@@ -1,0 +1,76 @@
+// Command soft-diff is SOFT's second phase: it crosschecks two phase-1
+// results files (from two different agents, same test), reporting every
+// input subspace on which the agents behave differently, with a concrete
+// witness input per inconsistency (§3.4). This phase needs no access to
+// either agent's source code.
+//
+// Usage:
+//
+//	soft-diff ref-results.txt ovs-results.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/soft-testing/soft/internal/crosscheck"
+	"github.com/soft-testing/soft/internal/group"
+	"github.com/soft-testing/soft/internal/harness"
+)
+
+func load(path string) (*group.Result, *harness.SerializedResult) {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "soft-diff:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	res, err := harness.ReadResults(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "soft-diff:", err)
+		os.Exit(1)
+	}
+	return group.Paths(res), res
+}
+
+func main() {
+	budget := flag.Duration("budget", 0, "time budget for the check (0 = unlimited)")
+	reproduce := flag.Bool("reproduce", false, "render a reproducer message per inconsistency")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: soft-diff [-budget 1m] [-reproduce] a-results.txt b-results.txt")
+		os.Exit(2)
+	}
+	ga, ra := load(flag.Arg(0))
+	gb, _ := load(flag.Arg(1))
+	if ra.Test != gb.Test {
+		fmt.Fprintf(os.Stderr, "soft-diff: results are from different tests (%q vs %q)\n", ga.Test, gb.Test)
+		os.Exit(2)
+	}
+
+	rep := crosscheck.Run(ga, gb, nil, *budget)
+	partial := ""
+	if rep.Partial {
+		partial = " (budget expired: partial)"
+	}
+	fmt.Printf("%s vs %s on %s: %d inconsistencies, ~%d root causes, %d solver queries in %s%s\n",
+		rep.AgentA, rep.AgentB, rep.Test, len(rep.Inconsistencies), rep.RootCauses(),
+		rep.Queries, rep.Elapsed.Round(time.Millisecond), partial)
+	for k, inc := range rep.Inconsistencies {
+		fmt.Printf("\n#%d %s\n", k, inc)
+		if *reproduce {
+			t, ok := harness.TestByName(rep.Test)
+			if !ok {
+				continue
+			}
+			wires := harness.Reproduce(t, inc.Witness)
+			for i, w := range wires {
+				fmt.Printf("  input %d (%s): %x\n", i, describe(wires)[i], w)
+			}
+		}
+	}
+}
+
+func describe(wires [][]byte) []string { return harness.DescribeReproducer(wires) }

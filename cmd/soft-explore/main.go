@@ -1,0 +1,82 @@
+// Command soft-explore runs SOFT's first phase for one agent and one test:
+// it symbolically executes the agent on the test's input sequence and
+// writes the intermediate results (path conditions + normalized output
+// traces) to a file. Each vendor runs this privately on its own agent
+// (§2.4); only the results file moves to the crosscheck phase.
+//
+// Usage:
+//
+//	soft-explore -agent ref|ovs|modified -test "Packet Out" -o results.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/soft-testing/soft/internal/agents"
+	"github.com/soft-testing/soft/internal/agents/modified"
+	"github.com/soft-testing/soft/internal/agents/ovs"
+	"github.com/soft-testing/soft/internal/agents/refswitch"
+	"github.com/soft-testing/soft/internal/harness"
+)
+
+func agentByName(name string) (agents.Agent, error) {
+	switch name {
+	case "ref", "reference":
+		return refswitch.New(), nil
+	case "ovs", "openvswitch":
+		return ovs.New(), nil
+	case "modified", "mod":
+		return modified.New(), nil
+	}
+	return nil, fmt.Errorf("unknown agent %q (want ref, ovs or modified)", name)
+}
+
+func main() {
+	agentName := flag.String("agent", "ref", "agent under test: ref, ovs or modified")
+	testName := flag.String("test", "Packet Out", "Table 1 test name")
+	out := flag.String("o", "", "output file (default stdout)")
+	maxPaths := flag.Int("max-paths", 0, "cap on explored paths (0 = default)")
+	models := flag.Bool("models", true, "extract a concrete input example per path")
+	list := flag.Bool("list", false, "list available tests and exit")
+	flag.Parse()
+
+	if *list {
+		for _, t := range harness.Tests() {
+			fmt.Printf("%-14s %s\n", t.Name, t.Desc)
+		}
+		return
+	}
+	a, err := agentByName(*agentName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "soft-explore:", err)
+		os.Exit(2)
+	}
+	t, ok := harness.TestByName(*testName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "soft-explore: unknown test %q (use -list)\n", *testName)
+		os.Exit(2)
+	}
+
+	res := harness.Explore(a, t, harness.Options{MaxPaths: *maxPaths, WantModels: *models})
+	fmt.Fprintf(os.Stderr, "%s / %s: %d paths in %s (coverage %.1f%% instr, %.1f%% branch)\n",
+		res.Agent, res.Test, len(res.Paths), res.Elapsed.Round(time.Millisecond),
+		res.InstrPct, res.BranchPct)
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "soft-explore:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := res.Write(w); err != nil {
+		fmt.Fprintln(os.Stderr, "soft-explore:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,58 @@
+// Command soft-group groups a phase-1 results file by output result: all
+// path conditions with the same normalized trace merge into one disjunction
+// (§3.4). It prints the distinct behaviors and their subspace sizes.
+//
+// Usage:
+//
+//	soft-group results.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/soft-testing/soft/internal/group"
+	"github.com/soft-testing/soft/internal/harness"
+)
+
+func main() {
+	verbose := flag.Bool("v", false, "print each group's condition size")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: soft-group [-v] results.txt")
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "soft-group:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	res, err := harness.ReadResults(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "soft-group:", err)
+		os.Exit(1)
+	}
+	g := group.Paths(res)
+	fmt.Printf("%s / %s: %d paths -> %d distinct output results (grouped in %s)\n",
+		g.Agent, g.Test, len(res.Paths), len(g.Groups), g.Elapsed.Round(time.Microsecond))
+	for i, gr := range g.Groups {
+		fmt.Printf("\n[%d] %d path(s)%s\n", i, gr.PathCount, crashMark(gr.Crashed))
+		for _, line := range strings.Split(gr.Canonical, "\n") {
+			fmt.Printf("    %s\n", line)
+		}
+		if *verbose {
+			fmt.Printf("    condition: %d boolean ops\n", gr.Cond.Size())
+		}
+	}
+}
+
+func crashMark(c bool) string {
+	if c {
+		return "  [CRASH]"
+	}
+	return ""
+}

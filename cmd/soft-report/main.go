@@ -1,0 +1,74 @@
+// Command soft-report reproduces the paper's evaluation section: it runs
+// the full pipeline and prints any (or all) of Table 1-5, Figure 4, the
+// §5.1.1 injected-modification experiment, and the §5.1.2 inconsistency
+// classes.
+//
+// Usage:
+//
+//	soft-report                 # everything
+//	soft-report -table 2       # one table
+//	soft-report -figure 4
+//	soft-report -injected
+//	soft-report -inconsistencies
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/soft-testing/soft/internal/report"
+)
+
+func main() {
+	table := flag.Int("table", 0, "print one table (1-5)")
+	figure := flag.Int("figure", 0, "print one figure (4)")
+	injected := flag.Bool("injected", false, "run the §5.1.1 injected-modification experiment")
+	inconsistencies := flag.Bool("inconsistencies", false, "run the §5.1.2 ref-vs-ovs classification")
+	quick := flag.Bool("quick", false, "skip the slow FlowMod-family tests")
+	maxPaths := flag.Int("max-paths", 0, "cap per-test exploration")
+	budget := flag.Duration("budget", time.Minute, "per-crosscheck time budget")
+	flag.Parse()
+
+	o := report.Options{Quick: *quick, MaxPaths: *maxPaths, CheckBudget: *budget}
+	specific := *table != 0 || *figure != 0 || *injected || *inconsistencies
+
+	switch {
+	case *table == 1:
+		fmt.Println(report.Table1())
+	case *table == 2:
+		fmt.Println(report.Table2(o))
+	case *table == 3:
+		fmt.Println(report.Table3(o))
+	case *table == 4:
+		fmt.Println(report.Table4(o))
+	case *table == 5:
+		fmt.Println(report.Table5(o))
+	case *table != 0:
+		fmt.Fprintln(os.Stderr, "soft-report: tables are 1-5")
+		os.Exit(2)
+	}
+	if *figure == 4 {
+		fmt.Println(report.Figure4(o))
+	} else if *figure != 0 {
+		fmt.Fprintln(os.Stderr, "soft-report: the paper's reproducible figure is 4")
+		os.Exit(2)
+	}
+	if *injected {
+		fmt.Println(report.Injected(o))
+	}
+	if *inconsistencies {
+		fmt.Println(report.Inconsistencies(o))
+	}
+	if !specific {
+		fmt.Println(report.Table1())
+		fmt.Println(report.Table2(o))
+		fmt.Println(report.Table3(o))
+		fmt.Println(report.Table4(o))
+		fmt.Println(report.Table5(o))
+		fmt.Println(report.Figure4(o))
+		fmt.Println(report.Injected(o))
+		fmt.Println(report.Inconsistencies(o))
+	}
+}

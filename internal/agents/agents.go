@@ -1,0 +1,165 @@
+// Package agents defines the OpenFlow agent interface SOFT tests against
+// and shared wire-offset helpers. The three concrete models live in the
+// refswitch, ovs and modified subpackages; each is an independent
+// implementation of OpenFlow 1.0 message processing whose interface-level
+// decision structure reproduces the corresponding C code base from the
+// paper's evaluation (§5): message validation order, field masking versus
+// strict validation, error propagation bugs, crashes, and feature gaps.
+package agents
+
+import (
+	"github.com/soft-testing/soft/internal/coverage"
+	"github.com/soft-testing/soft/internal/dataplane"
+	"github.com/soft-testing/soft/internal/flowtable"
+	"github.com/soft-testing/soft/internal/symbuf"
+	"github.com/soft-testing/soft/internal/symexec"
+)
+
+// Agent is a testable OpenFlow agent implementation.
+type Agent interface {
+	// Name identifies the agent in reports ("Reference Switch", ...).
+	Name() string
+	// CovMap is the agent's static coverage universe.
+	CovMap() *coverage.Map
+	// NewInstance creates fresh agent state for one execution path. The
+	// symbolic execution engine re-executes the driver per path, so every
+	// path gets an isolated instance.
+	NewInstance() Instance
+}
+
+// Instance is one running agent: a connected switch with its own flow
+// table and configuration.
+type Instance interface {
+	// Handshake performs the concrete Hello exchange. SOFT establishes a
+	// correct connection before injecting symbolic inputs (§5.1.1 — which
+	// is why a modified Hello handler escapes detection).
+	Handshake(ctx *symexec.Context)
+	// HandleMessage processes one OpenFlow control message, emitting
+	// trace events for every externally visible result.
+	HandleMessage(ctx *symexec.Context, msg *symbuf.Buffer)
+	// HandlePacket processes one data plane packet (SOFT's concrete state
+	// probes).
+	HandlePacket(ctx *symexec.Context, pkt *dataplane.Packet)
+}
+
+// Wire offsets of OpenFlow 1.0 message fields, shared by all agent
+// implementations (protocol facts, not implementation choices).
+const (
+	// OffVersion..OffXid: the common header.
+	OffVersion = 0
+	OffType    = 1
+	OffLength  = 2
+	OffXid     = 4
+
+	// Packet Out body.
+	OffPOBufferID   = 8
+	OffPOInPort     = 12
+	OffPOActionsLen = 14
+	OffPOActions    = 16
+
+	// Flow Mod body.
+	OffFMMatch    = 8
+	OffFMCookie   = 48
+	OffFMCommand  = 56
+	OffFMIdle     = 58
+	OffFMHard     = 60
+	OffFMPriority = 62
+	OffFMBufferID = 64
+	OffFMOutPort  = 68
+	OffFMFlags    = 70
+	OffFMActions  = 72
+
+	// Stats Request body.
+	OffStatsType = 8
+	OffStatsBody = 12
+
+	// Set Config body.
+	OffSCFlags       = 8
+	OffSCMissSendLen = 10
+
+	// Queue Get Config Request body.
+	OffQGCPort = 8
+
+	// Match field offsets relative to the start of ofp_match.
+	MOffWildcards = 0
+	MOffInPort    = 4
+	MOffDLSrc     = 6
+	MOffDLDst     = 12
+	MOffDLVLAN    = 18
+	MOffDLVLANPCP = 20
+	MOffDLType    = 22
+	MOffNWTos     = 24
+	MOffNWProto   = 25
+	MOffNWSrc     = 28
+	MOffNWDst     = 32
+	MOffTPSrc     = 36
+	MOffTPDst     = 38
+)
+
+// ParseMatch reads an ofp_match starting at off into a flow table entry
+// (match fields only; metadata left nil).
+func ParseMatch(buf *symbuf.Buffer, off int) *flowtable.Entry {
+	return &flowtable.Entry{
+		Wildcards: buf.U32(off + MOffWildcards),
+		InPort:    buf.U16(off + MOffInPort),
+		DLSrc:     buf.U48(off + MOffDLSrc),
+		DLDst:     buf.U48(off + MOffDLDst),
+		DLVLAN:    buf.U16(off + MOffDLVLAN),
+		DLVLANPCP: buf.U8(off + MOffDLVLANPCP),
+		DLType:    buf.U16(off + MOffDLType),
+		NWTos:     buf.U8(off + MOffNWTos),
+		NWProto:   buf.U8(off + MOffNWProto),
+		NWSrc:     buf.U32(off + MOffNWSrc),
+		NWDst:     buf.U32(off + MOffNWDst),
+		TPSrc:     buf.U16(off + MOffTPSrc),
+		TPDst:     buf.U16(off + MOffTPDst),
+	}
+}
+
+// ParseAction reads the action at off with the given concrete wire length
+// (8 or 16 — lengths are concrete under §3.2.1's structured inputs) into a
+// SymAction with every plausible argument view populated; the applying
+// code selects the view that matches the (possibly symbolic) type.
+func ParseAction(buf *symbuf.Buffer, off, alen int) flowtable.SymAction {
+	a := flowtable.SymAction{Type: buf.U16(off)}
+	switch alen {
+	case 8:
+		a.Arg16 = buf.U16(off + 4)
+		a.Arg8 = buf.U8(off + 4)
+		a.Arg32 = buf.U32(off + 4)
+		a.MaxLen = buf.U16(off + 6)
+	case 16:
+		a.Arg48 = buf.U48(off + 4)
+		a.Arg16 = buf.U16(off + 4)
+		a.Arg32 = buf.U32(off + 12)
+	}
+	return a
+}
+
+// ActionSlots splits the action list region [off, off+total) into slots
+// using the concrete length fields the structured inputs pin (§3.2.1). It
+// returns the start offset and length of each action.
+func ActionSlots(buf *symbuf.Buffer, off, total int) (starts, lens []int, ok bool) {
+	end := off + total
+	for off < end {
+		if off+4 > buf.Len() || off+4 > end {
+			return nil, nil, false
+		}
+		lenExpr := buf.U16(off + 2)
+		v, isConst := lenExpr.ConstVal()
+		if !isConst {
+			// Structured inputs always pin action lengths; a symbolic
+			// length means the harness built a raw unstructured message —
+			// treat as undecodable.
+			return nil, nil, false
+		}
+		alen := int(v)
+		if alen < 8 || alen%8 != 0 || off+alen > end {
+			return nil, nil, false
+		}
+		starts = append(starts, off)
+		lens = append(lens, alen)
+		off += alen
+	}
+	return starts, lens, true
+}

@@ -1,0 +1,391 @@
+// These tests pin each documented behavioral quirk (§5.1.2 of the paper)
+// to the agent model responsible for it, using fully concrete inputs so
+// every run is a single path whose trace is directly assertable.
+package agents_test
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/soft-testing/soft/internal/agents"
+	"github.com/soft-testing/soft/internal/agents/modified"
+	"github.com/soft-testing/soft/internal/agents/ovs"
+	"github.com/soft-testing/soft/internal/agents/refswitch"
+	"github.com/soft-testing/soft/internal/dataplane"
+	"github.com/soft-testing/soft/internal/openflow"
+	"github.com/soft-testing/soft/internal/symbuf"
+	"github.com/soft-testing/soft/internal/symexec"
+	"github.com/soft-testing/soft/internal/trace"
+)
+
+// run drives one agent instance over concrete wire messages and/or probes
+// and returns the single path's canonical trace.
+func run(t *testing.T, a agents.Agent, msgs []openflow.Message, probes ...*dataplane.Packet) string {
+	t.Helper()
+	eng := &symexec.Engine{CovMap: a.CovMap()}
+	res := eng.Run(func(ctx *symexec.Context) {
+		in := a.NewInstance()
+		in.Handshake(ctx)
+		for _, m := range msgs {
+			in.HandleMessage(ctx, symbuf.FromBytes(m.Serialize()))
+		}
+		for _, p := range probes {
+			in.HandlePacket(ctx, p)
+		}
+	})
+	if len(res.Paths) != 1 {
+		t.Fatalf("concrete input explored %d paths, want 1", len(res.Paths))
+	}
+	p := res.Paths[0]
+	return trace.FromOutputs(p.Outputs, p.Crashed).Canonical()
+}
+
+func packetOut(actions ...openflow.Action) *openflow.PacketOut {
+	return &openflow.PacketOut{
+		BufferID: openflow.NoBuffer,
+		InPort:   1,
+		Actions:  actions,
+		Data:     []byte{0, 0, 0, 0, 0, 0xaa, 0, 0, 0, 0, 0, 0xbb, 0x88, 0xb5},
+	}
+}
+
+func flowModAdd(actions ...openflow.Action) *openflow.FlowMod {
+	return &openflow.FlowMod{
+		Match:    openflow.MatchAll(),
+		Command:  openflow.FCAdd,
+		Priority: 0x8000,
+		BufferID: openflow.NoBuffer,
+		OutPort:  openflow.PortNone,
+		Actions:  actions,
+	}
+}
+
+func TestRefCrashOnPacketOutToController(t *testing.T) {
+	got := run(t, refswitch.New(),
+		[]openflow.Message{packetOut(&openflow.ActionOutput{Port: openflow.PortController})})
+	if !strings.Contains(got, "crash") {
+		t.Fatalf("ref must crash on Packet Out to OFPP_CONTROLLER, got %q", got)
+	}
+}
+
+func TestOVSHandlesPacketOutToController(t *testing.T) {
+	got := run(t, ovs.New(),
+		[]openflow.Message{packetOut(&openflow.ActionOutput{Port: openflow.PortController})})
+	if strings.Contains(got, "crash") {
+		t.Fatalf("ovs must not crash: %q", got)
+	}
+	if !strings.Contains(got, "pkt-in") {
+		t.Fatalf("ovs must encapsulate to the controller, got %q", got)
+	}
+}
+
+func TestRefCrashOnSetVLANInPacketOut(t *testing.T) {
+	got := run(t, refswitch.New(),
+		[]openflow.Message{packetOut(&openflow.ActionSetVLANVID{VLANVID: 5})})
+	if !strings.Contains(got, "crash") {
+		t.Fatalf("ref must crash on set_vlan_vid in Packet Out, got %q", got)
+	}
+}
+
+func TestRefCrashOnQueueConfigPortZero(t *testing.T) {
+	got := run(t, refswitch.New(),
+		[]openflow.Message{&openflow.QueueGetConfigRequest{Port: 0}})
+	if !strings.Contains(got, "crash") {
+		t.Fatalf("ref must crash on queue config for port 0, got %q", got)
+	}
+	got = run(t, ovs.New(), []openflow.Message{&openflow.QueueGetConfigRequest{Port: 0}})
+	if !strings.Contains(got, "ERROR/QUEUE_OP_FAILED") {
+		t.Fatalf("ovs must reject port 0 with an error, got %q", got)
+	}
+}
+
+func TestBufferIDValidationOrder(t *testing.T) {
+	// Packet Out with unknown buffer AND invalid output port: ref checks
+	// the buffer first (and swallows the error — silence); OVS validates
+	// actions first (error BAD_OUT_PORT). "Different order of message
+	// validation" (§5.1.2).
+	po := packetOut(&openflow.ActionOutput{Port: 77}) // 77 > ovs MaxPorts
+	po.BufferID = 42
+	ref := run(t, refswitch.New(), []openflow.Message{po})
+	if ref != "<silent>" {
+		t.Fatalf("ref must be silent (buffer checked first, error unpropagated), got %q", ref)
+	}
+	ov := run(t, ovs.New(), []openflow.Message{po})
+	if !strings.Contains(ov, "ERROR/BAD_ACTION/4") {
+		t.Fatalf("ovs must reject the port first, got %q", ov)
+	}
+}
+
+func TestFlowModBufferBehavior(t *testing.T) {
+	// Unknown buffer on Flow Mod: ref installs silently; OVS errors AND
+	// installs ("Lack of error messages").
+	fm := flowModAdd(&openflow.ActionOutput{Port: 2})
+	fm.BufferID = 42
+	probe := dataplane.TCPProbe(1)
+
+	ref := run(t, refswitch.New(), []openflow.Message{fm}, probe)
+	if strings.Contains(ref, "ERROR") {
+		t.Fatalf("ref must not send an error, got %q", ref)
+	}
+	if !strings.Contains(ref, "pkt-out:port=") {
+		t.Fatalf("ref must still install the flow (probe forwarded), got %q", ref)
+	}
+
+	ov := run(t, ovs.New(), []openflow.Message{fm}, probe)
+	if !strings.Contains(ov, "ERROR/BAD_REQUEST/8") {
+		t.Fatalf("ovs must report the unknown buffer, got %q", ov)
+	}
+	if !strings.Contains(ov, "pkt-out:port=") {
+		t.Fatalf("ovs must install the flow anyway, got %q", ov)
+	}
+}
+
+func TestVLANValidationStrictness(t *testing.T) {
+	// set_vlan_vid 0x1fff via Flow Mod: ref auto-masks and forwards with
+	// vlan 0xfff; OVS silently ignores the whole message ("Packet dropped
+	// when action is invalid").
+	fm := flowModAdd(
+		&openflow.ActionSetVLANVID{VLANVID: 0x1fff},
+		&openflow.ActionOutput{Port: 2},
+	)
+	probe := dataplane.TCPProbe(1)
+
+	ref := run(t, refswitch.New(), []openflow.Message{fm}, probe)
+	if !strings.Contains(ref, "vlan=0xfff") {
+		t.Fatalf("ref must forward with the auto-masked vlan, got %q", ref)
+	}
+	ov := run(t, ovs.New(), []openflow.Message{fm}, probe)
+	if !strings.Contains(ov, "pkt-in") {
+		// The flow was never installed: the probe misses to the controller.
+		t.Fatalf("ovs must silently ignore the flow mod (probe misses), got %q", ov)
+	}
+	// In range, both install.
+	ok := flowModAdd(&openflow.ActionSetVLANVID{VLANVID: 100}, &openflow.ActionOutput{Port: 2})
+	ov = run(t, ovs.New(), []openflow.Message{ok}, probe)
+	if !strings.Contains(ov, "vlan=0x64") {
+		t.Fatalf("ovs must apply an in-range vlan raw, got %q", ov)
+	}
+}
+
+func TestTosValidation(t *testing.T) {
+	// ToS with low bits set: ref masks to 0xfc-aligned; OVS drops the mod.
+	fm := flowModAdd(&openflow.ActionSetNWTos{Tos: 0x57}, &openflow.ActionOutput{Port: 2})
+	probe := dataplane.TCPProbe(1)
+	ref := run(t, refswitch.New(), []openflow.Message{fm}, probe)
+	if !strings.Contains(ref, "nw_tos=0x54") {
+		t.Fatalf("ref must forward with tos&0xfc = 0x54, got %q", ref)
+	}
+	ov := run(t, ovs.New(), []openflow.Message{fm}, probe)
+	if !strings.Contains(ov, "pkt-in") {
+		t.Fatalf("ovs must silently drop the flow mod, got %q", ov)
+	}
+}
+
+func TestInPortEqualsOutPort(t *testing.T) {
+	// Flow whose output equals the match's in_port: ref rejects with an
+	// error; OVS installs and drops matching packets ("Forwarding a packet
+	// to an invalid port").
+	fm := flowModAdd(&openflow.ActionOutput{Port: 1})
+	fm.Match.Wildcards = openflow.FWAll &^ openflow.FWInPort
+	fm.Match.InPort = 1
+	probe := dataplane.TCPProbe(1)
+
+	ref := run(t, refswitch.New(), []openflow.Message{fm}, probe)
+	if !strings.Contains(ref, "ERROR/BAD_ACTION/4") {
+		t.Fatalf("ref must reject out==in_port, got %q", ref)
+	}
+	ov := run(t, ovs.New(), []openflow.Message{fm}, probe)
+	if !strings.Contains(ov, "drop:output-to-ingress") {
+		t.Fatalf("ovs must install and drop matching packets, got %q", ov)
+	}
+}
+
+func TestPortRangeValidation(t *testing.T) {
+	// Output to a high physical port: ref sends anyway (no max-port
+	// validation); OVS errors.
+	po := packetOut(&openflow.ActionOutput{Port: 500})
+	ref := run(t, refswitch.New(), []openflow.Message{po})
+	if !strings.Contains(ref, "pkt-out:port=0x1f4") {
+		t.Fatalf("ref must emit to port 500, got %q", ref)
+	}
+	ov := run(t, ovs.New(), []openflow.Message{po})
+	if !strings.Contains(ov, "ERROR/BAD_ACTION/4") {
+		t.Fatalf("ovs must reject port 500, got %q", ov)
+	}
+}
+
+func TestNormalPortSupport(t *testing.T) {
+	// OFPP_NORMAL: missing feature on the reference switch side.
+	po := packetOut(&openflow.ActionOutput{Port: openflow.PortNormal})
+	ref := run(t, refswitch.New(), []openflow.Message{po})
+	if !strings.Contains(ref, "ERROR/BAD_ACTION") {
+		t.Fatalf("ref must reject OFPP_NORMAL, got %q", ref)
+	}
+	ov := run(t, ovs.New(), []openflow.Message{po})
+	if !strings.Contains(ov, "pkt-out:port=NORMAL") {
+		t.Fatalf("ovs must bridge to the normal path, got %q", ov)
+	}
+}
+
+func TestEmergencyFlowSupport(t *testing.T) {
+	// Emergency entries: missing feature on the OVS side.
+	fm := flowModAdd(&openflow.ActionOutput{Port: 2})
+	fm.Flags = openflow.FlagEmerg
+	ref := run(t, refswitch.New(), []openflow.Message{fm})
+	if strings.Contains(ref, "ERROR") {
+		t.Fatalf("ref must accept emergency flows, got %q", ref)
+	}
+	ov := run(t, ovs.New(), []openflow.Message{fm})
+	if !strings.Contains(ov, "ERROR/FLOW_MOD_FAILED/5") {
+		t.Fatalf("ovs must reject emergency flows as unsupported, got %q", ov)
+	}
+	// Emergency with a non-zero timeout is invalid even on ref.
+	bad := flowModAdd(&openflow.ActionOutput{Port: 2})
+	bad.Flags = openflow.FlagEmerg
+	bad.IdleTimeout = 10
+	ref = run(t, refswitch.New(), []openflow.Message{bad})
+	if !strings.Contains(ref, "ERROR/FLOW_MOD_FAILED/3") {
+		t.Fatalf("ref must reject emergency timeouts, got %q", ref)
+	}
+}
+
+func TestStatsSilentVsError(t *testing.T) {
+	// Unknown stats type: ref silent, ovs errors ("Statistics requests
+	// silently ignored").
+	sr := &openflow.StatsRequest{StatsType: openflow.StatsType(9), Body: make([]byte, 8)}
+	ref := run(t, refswitch.New(), []openflow.Message{sr})
+	if ref != "<silent>" {
+		t.Fatalf("ref must silently ignore unknown stats, got %q", ref)
+	}
+	ov := run(t, ovs.New(), []openflow.Message{sr})
+	if !strings.Contains(ov, "ERROR/BAD_REQUEST/2") {
+		t.Fatalf("ovs must reject unknown stats, got %q", ov)
+	}
+}
+
+func TestEchoAndBarrier(t *testing.T) {
+	for _, a := range []agents.Agent{refswitch.New(), ovs.New()} {
+		got := run(t, a, []openflow.Message{
+			&openflow.EchoRequest{Data: []byte("x")},
+			&openflow.BarrierRequest{},
+		})
+		if !strings.Contains(got, "ECHO_REPLY") || !strings.Contains(got, "BARRIER_REPLY") {
+			t.Fatalf("%s: bad echo/barrier handling: %q", a.Name(), got)
+		}
+	}
+}
+
+func TestBadVersionRejected(t *testing.T) {
+	wire := (&openflow.Hello{}).Serialize()
+	wire[0] = 0x04
+	for _, a := range []agents.Agent{refswitch.New(), ovs.New()} {
+		eng := &symexec.Engine{CovMap: a.CovMap()}
+		res := eng.Run(func(ctx *symexec.Context) {
+			in := a.NewInstance()
+			in.Handshake(ctx)
+			in.HandleMessage(ctx, symbuf.FromBytes(wire))
+		})
+		got := trace.FromOutputs(res.Paths[0].Outputs, res.Paths[0].Crashed).Canonical()
+		if !strings.Contains(got, "ERROR/BAD_REQUEST/0") {
+			t.Fatalf("%s: bad version must be rejected, got %q", a.Name(), got)
+		}
+	}
+}
+
+func TestFlowModDeleteRemovesEntry(t *testing.T) {
+	add := flowModAdd(&openflow.ActionOutput{Port: 2})
+	del := &openflow.FlowMod{
+		Match:    openflow.MatchAll(),
+		Command:  openflow.FCDelete,
+		BufferID: openflow.NoBuffer,
+		OutPort:  openflow.PortNone,
+	}
+	probe := dataplane.TCPProbe(1)
+	for _, a := range []agents.Agent{refswitch.New(), ovs.New()} {
+		got := run(t, a, []openflow.Message{add, del}, probe)
+		if !strings.Contains(got, "pkt-in") {
+			t.Fatalf("%s: probe must miss after delete, got %q", a.Name(), got)
+		}
+	}
+}
+
+func TestFlowModModifyReplacesActions(t *testing.T) {
+	add := flowModAdd(&openflow.ActionOutput{Port: 2})
+	mod := flowModAdd(&openflow.ActionOutput{Port: 3})
+	mod.Command = openflow.FCModify
+	probe := dataplane.TCPProbe(1)
+	for _, a := range []agents.Agent{refswitch.New(), ovs.New()} {
+		got := run(t, a, []openflow.Message{add, mod}, probe)
+		if !strings.Contains(got, "pkt-out:port=0x3") {
+			t.Fatalf("%s: modified flow must output to 3, got %q", a.Name(), got)
+		}
+	}
+}
+
+func TestCheckOverlapFlag(t *testing.T) {
+	a1 := flowModAdd(&openflow.ActionOutput{Port: 2})
+	a2 := flowModAdd(&openflow.ActionOutput{Port: 3})
+	a2.Flags = openflow.FlagCheckOverlap
+	for _, a := range []agents.Agent{refswitch.New(), ovs.New()} {
+		got := run(t, a, []openflow.Message{a1, a2})
+		if !strings.Contains(got, "ERROR/FLOW_MOD_FAILED/1") {
+			t.Fatalf("%s: overlapping add must fail, got %q", a.Name(), got)
+		}
+	}
+}
+
+func TestModifiedSwitchQuirks(t *testing.T) {
+	mod := modified.New()
+	// Flood rejection.
+	got := run(t, mod, []openflow.Message{packetOut(&openflow.ActionOutput{Port: openflow.PortFlood})})
+	if !strings.Contains(got, "ERROR/BAD_ACTION") {
+		t.Fatalf("modified switch must reject FLOOD, got %q", got)
+	}
+	// Port-zero error code change.
+	got = run(t, mod, []openflow.Message{packetOut(&openflow.ActionOutput{Port: 0})})
+	if !strings.Contains(got, "ERROR/BAD_ACTION/5") {
+		t.Fatalf("modified switch must use BAD_ARGUMENT for port 0, got %q", got)
+	}
+	// High-priority adds silently dropped (visible via probe miss).
+	fm := flowModAdd(&openflow.ActionOutput{Port: 2})
+	fm.Priority = 0xf800
+	got = run(t, mod, []openflow.Message{fm}, dataplane.TCPProbe(1))
+	if !strings.Contains(got, "pkt-in") {
+		t.Fatalf("modified switch must drop the high-priority add, got %q", got)
+	}
+}
+
+func TestModifiedIdleTimerQuirkInvisibleToSOFT(t *testing.T) {
+	// The timer path exists and differs — but no SOFT test can drive it,
+	// which is exactly why the paper's tool misses this modification.
+	stock := refswitch.New()
+	eng := &symexec.Engine{CovMap: stock.CovMap()}
+	var removedStock, removedMod int
+	eng.Run(func(ctx *symexec.Context) {
+		in := stock.NewInstance().(interface {
+			agents.Instance
+			TickIdleTimeout(uint16) int
+		})
+		in.Handshake(ctx)
+		fm := flowModAdd(&openflow.ActionOutput{Port: 2})
+		fm.IdleTimeout = 10
+		in.HandleMessage(ctx, symbuf.FromBytes(fm.Serialize()))
+		removedStock = in.TickIdleTimeout(9)
+	})
+	modSw := modified.New()
+	eng2 := &symexec.Engine{CovMap: modSw.CovMap()}
+	eng2.Run(func(ctx *symexec.Context) {
+		in := modSw.NewInstance().(interface {
+			agents.Instance
+			TickIdleTimeout(uint16) int
+		})
+		in.Handshake(ctx)
+		fm := flowModAdd(&openflow.ActionOutput{Port: 2})
+		fm.IdleTimeout = 10
+		in.HandleMessage(ctx, symbuf.FromBytes(fm.Serialize()))
+		removedMod = in.TickIdleTimeout(9)
+	})
+	if removedStock != 0 || removedMod != 1 {
+		t.Fatalf("timer quirk: stock removed %d, modified removed %d (want 0 and 1)", removedStock, removedMod)
+	}
+}

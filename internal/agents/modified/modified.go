@@ -1,0 +1,33 @@
+// Package modified builds the paper's third agent: the Reference Switch
+// with seven behavior modifications injected by team members who did not
+// build the tool (§5.1.1). SOFT correctly pinpoints five of the seven; the
+// remaining two are structurally invisible:
+//
+//   - the Hello-handshake change never executes under symbolic input
+//     because SOFT establishes a correct connection before testing, and
+//   - the idle-timeout change requires a timer to fire, which the symbolic
+//     execution engine cannot trigger.
+package modified
+
+import "github.com/soft-testing/soft/internal/agents/refswitch"
+
+// DetectableModifications is how many of the injected changes SOFT's test
+// suite can observe (5 of 7, as in the paper).
+const DetectableModifications = 5
+
+// TotalModifications is the number of injected changes.
+const TotalModifications = 7
+
+// New returns the Modified Switch: refswitch plus all seven injected
+// modifications.
+func New() *refswitch.Switch {
+	return refswitch.NewWithOptions("Modified Switch", refswitch.Options{
+		RejectFlood:       true, // 1: detectable via Packet Out
+		PortZeroCode:      true, // 2: detectable via Packet Out / Flow Mod
+		DropHighPriority:  true, // 3: detectable via Flow Mod + probe
+		TosMaskFF:         true, // 4: detectable via Flow Mod set_nw_tos + probe
+		StatsDescQuirk:    true, // 5: detectable via Stats Request
+		HelloVersionQuirk: true, // 6: NOT detectable (concrete handshake)
+		IdleExpiryQuirk:   true, // 7: NOT detectable (no timers)
+	})
+}

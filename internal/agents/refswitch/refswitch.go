@@ -1,0 +1,1012 @@
+// Package refswitch models the OpenFlow 1.0 Reference Switch — the 55K-LoC
+// userspace switch released with the 1.0 specification that the paper tests
+// (§5). The model reproduces the reference implementation's interface-level
+// decision structure, including its documented quirks, each of which is one
+// side of a §5.1.2 finding:
+//
+//   - no strict validation of VLAN/ToS/PCP action arguments: values are
+//     silently masked to fit ("Reference Switch does not validate values of
+//     the aforementioned fields, but it automatically modifies them");
+//   - buffer_id lookup failures produce an error internally that is never
+//     propagated as an OpenFlow message ("Lack of error messages");
+//   - crashes on Packet Out to OFPP_CONTROLLER, on a set-VLAN action in a
+//     Packet Out, and on a queue config request for port 0;
+//   - buffer validation happens before action validation ("Different order
+//     of message validation");
+//   - rejects flow mods whose output port equals the match's in_port;
+//   - does not validate output ports against the physical port count;
+//   - supports emergency flow entries; does not support OFPP_NORMAL;
+//   - silently ignores statistics requests it cannot answer.
+package refswitch
+
+import (
+	"github.com/soft-testing/soft/internal/agents"
+	"github.com/soft-testing/soft/internal/coverage"
+	"github.com/soft-testing/soft/internal/dataplane"
+	"github.com/soft-testing/soft/internal/flowtable"
+	"github.com/soft-testing/soft/internal/openflow"
+	"github.com/soft-testing/soft/internal/sym"
+	"github.com/soft-testing/soft/internal/symbuf"
+	"github.com/soft-testing/soft/internal/symexec"
+	"github.com/soft-testing/soft/internal/trace"
+)
+
+// NumPorts is the number of physical ports the modeled switch exposes.
+const NumPorts = 4
+
+// DefaultMissSendLen is the default miss_send_len (OFP_DEFAULT_MISS_SEND_LEN).
+const DefaultMissSendLen = 128
+
+// Options are the §5.1.1 injected modifications. The stock Reference Switch
+// uses the zero value; the modified package turns them on. Five injected
+// changes are reachable through SOFT's tests; two are structurally
+// invisible (a Hello handshake change — SOFT connects before testing — and
+// a timer-dependent change — the engine cannot trigger timers).
+type Options struct {
+	// RejectFlood makes Packet Out to OFPP_FLOOD return an error instead
+	// of flooding (detectable).
+	RejectFlood bool
+	// PortZeroCode changes the error code for output port 0 from
+	// BAD_OUT_PORT to BAD_ARGUMENT (detectable).
+	PortZeroCode bool
+	// DropHighPriority silently discards flow mod ADDs with priority
+	// >= 0xF000 (detectable).
+	DropHighPriority bool
+	// TosMaskFF masks set_nw_tos arguments with 0xff instead of 0xfc,
+	// so the low ToS bits leak into forwarded packets (detectable).
+	TosMaskFF bool
+	// StatsDescQuirk changes the DESC statistics reply body (detectable).
+	StatsDescQuirk bool
+	// HelloVersionQuirk answers the initial Hello with a different version
+	// byte. NOT detectable: SOFT performs the handshake concretely before
+	// injecting symbolic inputs (§5.1.1).
+	HelloVersionQuirk bool
+	// IdleExpiryQuirk removes idle-timed-out flows one second early. NOT
+	// detectable: the symbolic execution engine cannot trigger timers
+	// (§5.1.1).
+	IdleExpiryQuirk bool
+}
+
+// Switch is the Reference Switch agent model.
+type Switch struct {
+	name string
+	opts Options
+	cov  *coverage.Map
+	b    blocks
+}
+
+// blocks holds the coverage IDs of the agent's instrumented code regions.
+type blocks struct {
+	// Initialization & connection setup (covered by the handshake alone —
+	// the "No Message" row of Table 4).
+	init, helloTx, connSetup coverage.BlockID
+	// Never reachable through the OpenFlow interface: command-line
+	// parsing, cleanup paths, logging (the ~25% the paper attributes to
+	// "code that is not accessible in standard execution").
+	cli, cleanup, logging, deadcode coverage.BlockID
+
+	dispatch, badVersion, badType                              coverage.BlockID
+	hello, echo, barrier, features, getConfig, vendor, portMod coverage.BlockID
+	setConfig                                                  coverage.BlockID
+
+	poEntry, poBufferFail, poParse, poApply                      coverage.BlockID
+	actOutput, actOutPhys, actOutReserved, actSetVLAN, actSetPCP coverage.BlockID
+	actStrip, actSetDL, actSetNW, actSetTos, actSetTP, actEnq    coverage.BlockID
+	actUnknown                                                   coverage.BlockID
+
+	fmEntry, fmParse, fmValidate, fmInPortCheck, fmEmerg, fmOverlap coverage.BlockID
+	fmAdd, fmModify, fmDelete, fmStrict, fmBadCmd, fmBufferFail     coverage.BlockID
+
+	statsEntry, statsDesc, statsFlow, statsAggr, statsTable coverage.BlockID
+	statsPort, statsSilent                                  coverage.BlockID
+
+	queueEntry, queueCrash, queueReply, queueBad coverage.BlockID
+
+	pktEntry, pktMatch, pktMiss, pktApply coverage.BlockID
+
+	brVersion, brType, brLength, brPOBuffer, brActType, brOutClass coverage.BranchID
+	brVLANRange, brTosRange, brPCPRange, brFMCommand, brFMInPort   coverage.BranchID
+	brFMEmerg, brFMOverlap, brFMBuffer, brStatsType, brStatsPort   coverage.BranchID
+	brQueuePort, brPktMatch, brPktPriority, brMissLen, brDelMatch  coverage.BranchID
+	brOutInPort, brConn, brPktParse                                coverage.BranchID
+}
+
+// New returns the stock Reference Switch model.
+func New() *Switch { return NewWithOptions("Reference Switch", Options{}) }
+
+// NewWithOptions returns a Reference Switch with injected modifications —
+// the constructor the modified package uses.
+func NewWithOptions(name string, opts Options) *Switch {
+	s := &Switch{name: name, opts: opts, cov: coverage.NewMap()}
+	m := s.cov
+	b := &s.b
+
+	// Block weights approximate the relative instruction volume of the
+	// corresponding code in the reference switch; they calibrate Table 4.
+	b.init = m.Block("init", 70)
+	b.helloTx = m.Block("hello_tx", 20)
+	b.connSetup = m.Block("conn_setup", 32)
+	b.cli = m.Block("cli_config", 90)
+	b.cleanup = m.Block("cleanup", 60)
+	b.logging = m.Block("logging", 50)
+	b.deadcode = m.Block("deadcode", 50)
+
+	b.dispatch = m.Block("dispatch", 24)
+	b.badVersion = m.Block("bad_version", 8)
+	b.badType = m.Block("bad_type", 8)
+	b.hello = m.Block("hello_rx", 6)
+	b.echo = m.Block("echo", 10)
+	b.barrier = m.Block("barrier", 8)
+	b.features = m.Block("features_reply", 22)
+	b.getConfig = m.Block("get_config", 10)
+	b.vendor = m.Block("vendor", 8)
+	b.portMod = m.Block("port_mod", 18)
+	b.setConfig = m.Block("set_config", 16)
+
+	b.poEntry = m.Block("po_entry", 18)
+	b.poBufferFail = m.Block("po_buffer_fail", 12)
+	b.poParse = m.Block("po_parse", 26)
+	b.poApply = m.Block("po_apply", 14)
+	b.actOutput = m.Block("act_output", 16)
+	b.actOutPhys = m.Block("act_out_phys", 10)
+	b.actOutReserved = m.Block("act_out_reserved", 22)
+	b.actSetVLAN = m.Block("act_set_vlan", 10)
+	b.actSetPCP = m.Block("act_set_pcp", 10)
+	b.actStrip = m.Block("act_strip_vlan", 8)
+	b.actSetDL = m.Block("act_set_dl", 12)
+	b.actSetNW = m.Block("act_set_nw", 12)
+	b.actSetTos = m.Block("act_set_tos", 10)
+	b.actSetTP = m.Block("act_set_tp", 10)
+	b.actEnq = m.Block("act_enqueue", 12)
+	b.actUnknown = m.Block("act_unknown", 8)
+
+	b.fmEntry = m.Block("fm_entry", 20)
+	b.fmParse = m.Block("fm_parse_match", 34)
+	b.fmValidate = m.Block("fm_validate", 22)
+	b.fmInPortCheck = m.Block("fm_inport_check", 10)
+	b.fmEmerg = m.Block("fm_emergency", 14)
+	b.fmOverlap = m.Block("fm_overlap", 12)
+	b.fmAdd = m.Block("fm_add", 18)
+	b.fmModify = m.Block("fm_modify", 20)
+	b.fmDelete = m.Block("fm_delete", 20)
+	b.fmStrict = m.Block("fm_strict", 16)
+	b.fmBadCmd = m.Block("fm_bad_command", 8)
+	b.fmBufferFail = m.Block("fm_buffer_fail", 12)
+
+	b.statsEntry = m.Block("stats_entry", 14)
+	b.statsDesc = m.Block("stats_desc", 10)
+	b.statsFlow = m.Block("stats_flow", 24)
+	b.statsAggr = m.Block("stats_aggregate", 14)
+	b.statsTable = m.Block("stats_table", 12)
+	b.statsPort = m.Block("stats_port", 16)
+	b.statsSilent = m.Block("stats_silent_drop", 8)
+
+	b.queueEntry = m.Block("queue_entry", 10)
+	b.queueCrash = m.Block("queue_port0", 6)
+	b.queueReply = m.Block("queue_reply", 10)
+	b.queueBad = m.Block("queue_bad_port", 8)
+
+	b.pktEntry = m.Block("pkt_entry", 18)
+	b.pktMatch = m.Block("pkt_match", 26)
+	b.pktMiss = m.Block("pkt_miss", 16)
+	b.pktApply = m.Block("pkt_apply", 18)
+
+	b.brVersion = m.BranchSite("version_ok")
+	b.brConn = m.BranchSite("conn_established")
+	b.brPktParse = m.BranchSite("pkt_parse")
+	b.brType = m.BranchSite("msg_type")
+	b.brLength = m.BranchSite("msg_length")
+	b.brPOBuffer = m.BranchSite("po_buffer_id")
+	b.brActType = m.BranchSite("action_type")
+	b.brOutClass = m.BranchSite("output_port_class")
+	b.brOutInPort = m.BranchSite("output_vs_inport")
+	b.brVLANRange = m.BranchSite("vlan_range")
+	b.brTosRange = m.BranchSite("tos_range")
+	b.brPCPRange = m.BranchSite("pcp_range")
+	b.brFMCommand = m.BranchSite("fm_command")
+	b.brFMInPort = m.BranchSite("fm_inport_eq_outport")
+	b.brFMEmerg = m.BranchSite("fm_emerg_flag")
+	b.brFMOverlap = m.BranchSite("fm_overlap_flag")
+	b.brFMBuffer = m.BranchSite("fm_buffer_id")
+	b.brStatsType = m.BranchSite("stats_type")
+	b.brStatsPort = m.BranchSite("stats_port_valid")
+	b.brQueuePort = m.BranchSite("queue_port")
+	b.brPktMatch = m.BranchSite("pkt_match_entry")
+	b.brPktPriority = m.BranchSite("pkt_priority_order")
+	b.brMissLen = m.BranchSite("miss_send_len")
+	b.brDelMatch = m.BranchSite("fm_delete_match")
+	m.Seal()
+	return s
+}
+
+// Name implements agents.Agent.
+func (s *Switch) Name() string { return s.name }
+
+// CovMap implements agents.Agent.
+func (s *Switch) CovMap() *coverage.Map { return s.cov }
+
+// NewInstance implements agents.Agent.
+func (s *Switch) NewInstance() agents.Instance {
+	return &inst{
+		sw:          s,
+		table:       flowtable.New(1024),
+		flags:       sym.Const(16, uint64(openflow.FragNormal)),
+		missSendLen: sym.Const(16, DefaultMissSendLen),
+	}
+}
+
+type inst struct {
+	sw          *Switch
+	table       *flowtable.Table
+	flags       *sym.Expr // 16
+	missSendLen *sym.Expr // 16
+}
+
+// Handshake implements agents.Instance: the concrete Hello exchange. The
+// HelloVersionQuirk modification lives here, which is exactly why SOFT
+// cannot see it (§5.1.1): the harness completes the handshake before any
+// symbolic input and does not record it in the trace.
+func (in *inst) Handshake(ctx *symexec.Context) {
+	b := &in.sw.b
+	ctx.Cover(b.init)
+	ctx.Cover(b.helloTx)
+	ctx.Cover(b.connSetup)
+	// The concrete handshake exercises a few branch directions (version
+	// accepted, connection established) — the paper's "No Message"
+	// baseline covers 8% of branches from initialization alone.
+	ctx.BranchSite(b.brVersion, sym.Bool(false))
+	ctx.BranchSite(b.brConn, sym.Bool(true))
+	ctx.BranchSite(b.brLength, sym.Bool(false))
+	version := uint64(openflow.Version)
+	if in.sw.opts.HelloVersionQuirk {
+		version = 0x02
+	}
+	_ = version // sent on the concrete control channel, not traced
+}
+
+// TickIdleTimeout models the flow-expiry timer path. No harness test can
+// drive it (the engine cannot trigger timers), so the IdleExpiryQuirk
+// modification is the paper's second undetectable change (§5.1.1).
+func (in *inst) TickIdleTimeout(elapsed uint16) int {
+	removed := 0
+	for i := 0; i < len(in.table.Entries); {
+		e := in.table.Entries[i]
+		limit, ok := e.IdleTimeout.ConstVal()
+		if in.sw.opts.IdleExpiryQuirk && limit > 0 {
+			limit--
+		}
+		if ok && limit != 0 && uint64(elapsed) >= limit {
+			in.table.Remove(i)
+			removed++
+			continue
+		}
+		i++
+	}
+	return removed
+}
+
+// HandleMessage implements agents.Instance.
+func (in *inst) HandleMessage(ctx *symexec.Context, msg *symbuf.Buffer) {
+	b := &in.sw.b
+	ctx.Cover(b.dispatch)
+	if ctx.BranchSite(b.brVersion, sym.Ne(msg.U8(agents.OffVersion), sym.Const(8, openflow.Version))) {
+		ctx.Cover(b.badVersion)
+		ctx.Emit(trace.Error(openflow.ErrBadRequest, openflow.BRCBadVersion))
+		return
+	}
+	t := msg.U8(agents.OffType)
+	is := func(mt openflow.MsgType) bool {
+		return ctx.BranchSite(b.brType, sym.EqConst(t, uint64(mt)))
+	}
+	switch {
+	case is(openflow.TypeHello):
+		// Duplicate Hello after connection setup: ignored.
+		ctx.Cover(b.hello)
+	case is(openflow.TypeEchoRequest):
+		ctx.Cover(b.echo)
+		ctx.Emit(trace.Msg(openflow.TypeEchoReply))
+	case is(openflow.TypeEchoReply):
+		ctx.Cover(b.echo)
+	case is(openflow.TypeVendor):
+		ctx.Cover(b.vendor)
+		ctx.Emit(trace.Error(openflow.ErrBadRequest, openflow.BRCBadVendor))
+	case is(openflow.TypeFeaturesRequest):
+		ctx.Cover(b.features)
+		ctx.Emit(trace.NewBuilder("msg:FEATURES_REPLY").
+			Textf(" n_tables=1 n_ports=%d", NumPorts).Build())
+	case is(openflow.TypeGetConfigRequest):
+		ctx.Cover(b.getConfig)
+		ctx.Emit(trace.NewBuilder("msg:GET_CONFIG_REPLY flags=").Expr(in.flags).
+			Text(" miss_send_len=").Expr(in.missSendLen).Build())
+	case is(openflow.TypeSetConfig):
+		in.handleSetConfig(ctx, msg)
+	case is(openflow.TypePacketOut):
+		in.handlePacketOut(ctx, msg)
+	case is(openflow.TypeFlowMod):
+		in.handleFlowMod(ctx, msg)
+	case is(openflow.TypePortMod):
+		ctx.Cover(b.portMod)
+		if !in.checkLen(ctx, msg, 32) {
+			return
+		}
+		// The reference switch accepts port mods for its ports silently.
+	case is(openflow.TypeStatsRequest):
+		in.handleStats(ctx, msg)
+	case is(openflow.TypeBarrierRequest):
+		ctx.Cover(b.barrier)
+		ctx.Emit(trace.Msg(openflow.TypeBarrierReply))
+	case is(openflow.TypeQueueGetConfigRequest):
+		in.handleQueueConfig(ctx, msg)
+	default:
+		// Remaining codes are switch-to-controller messages or unknown.
+		ctx.Cover(b.badType)
+		ctx.Emit(trace.Error(openflow.ErrBadRequest, openflow.BRCBadType))
+	}
+}
+
+// checkLen validates the header length field against the handler's minimum.
+func (in *inst) checkLen(ctx *symexec.Context, msg *symbuf.Buffer, minLen uint64) bool {
+	b := &in.sw.b
+	// Physical short read (the io layer delivered fewer bytes than the
+	// handler's fixed part): always an error, no fork.
+	if uint64(msg.Len()) < minLen {
+		ctx.Emit(trace.Error(openflow.ErrBadRequest, openflow.BRCBadLen))
+		return false
+	}
+	if ctx.BranchSite(b.brLength, sym.Ult(msg.U16(agents.OffLength), sym.Const(16, minLen))) {
+		ctx.Emit(trace.Error(openflow.ErrBadRequest, openflow.BRCBadLen))
+		return false
+	}
+	return true
+}
+
+func (in *inst) handleSetConfig(ctx *symexec.Context, msg *symbuf.Buffer) {
+	b := &in.sw.b
+	ctx.Cover(b.setConfig)
+	if !in.checkLen(ctx, msg, openflow.SetConfigLen) {
+		return
+	}
+	// The reference switch stores the configuration verbatim — no
+	// validation, no reply.
+	in.flags = msg.U16(agents.OffSCFlags)
+	in.missSendLen = msg.U16(agents.OffSCMissSendLen)
+}
+
+// handlePacketOut: the reference switch looks up the buffer FIRST and only
+// then parses and applies actions — the opposite order from Open vSwitch
+// ("Different order of message validation", §5.1.2).
+func (in *inst) handlePacketOut(ctx *symexec.Context, msg *symbuf.Buffer) {
+	b := &in.sw.b
+	ctx.Cover(b.poEntry)
+	if !in.checkLen(ctx, msg, openflow.PacketOutFixedLen) {
+		return
+	}
+	bufferID := msg.U32(agents.OffPOBufferID)
+	if ctx.BranchSite(b.brPOBuffer, sym.Ne(bufferID, sym.Const(32, uint64(openflow.NoBuffer)))) {
+		// No such buffer. The handler produces an internal error that is
+		// never converted into an OpenFlow message ("Lack of error
+		// messages", §5.1.2): the message is consumed silently and no
+		// actions are applied.
+		ctx.Cover(b.poBufferFail)
+		return
+	}
+	ctx.Cover(b.poParse)
+	actionsLen, ok := msg.U16(agents.OffPOActionsLen).ConstVal()
+	if !ok {
+		// Structured inputs pin the actions length (§3.2.1).
+		ctx.Emit(trace.Error(openflow.ErrBadRequest, openflow.BRCBadLen))
+		return
+	}
+	starts, lens, ok := agents.ActionSlots(msg, agents.OffPOActions, int(actionsLen))
+	if !ok {
+		ctx.Emit(trace.Error(openflow.ErrBadAction, openflow.BACBadLen))
+		return
+	}
+	// The packet to send is the message payload after the actions.
+	payloadOff := agents.OffPOActions + int(actionsLen)
+	pkt := packetFromPayload(msg, payloadOff)
+	inPort := msg.U16(agents.OffPOInPort)
+
+	ctx.Cover(b.poApply)
+	for i := range starts {
+		a := agents.ParseAction(msg, starts[i], lens[i])
+		if !in.applyAction(ctx, pkt, a, lens[i], inPort, true) {
+			return
+		}
+	}
+}
+
+// packetFromPayload decodes the (concrete or symbolic) payload of a Packet
+// Out into a packet model. Payload bytes beyond the modeled headers are
+// dropped — the tests use small payloads.
+func packetFromPayload(msg *symbuf.Buffer, off int) *dataplane.Packet {
+	n := msg.Len() - off
+	if n <= 0 {
+		// An empty packet: all fields zero.
+		return &dataplane.Packet{
+			EthDst:  sym.Const(48, 0),
+			EthSrc:  sym.Const(48, 0),
+			VLAN:    sym.Const(16, dataplane.VLANNone),
+			PCP:     sym.Const(8, 0),
+			EthType: sym.Const(16, 0),
+		}
+	}
+	// Model the payload as an L2 frame: dst(6) src(6) type(2); shorter
+	// payloads zero-fill. Symbolic payload bytes remain symbolic fields.
+	get := func(off2, n2 int, w int) *sym.Expr {
+		if off2+n2 <= msg.Len() {
+			parts := make([]*sym.Expr, n2)
+			for i := 0; i < n2; i++ {
+				parts[i] = msg.Byte(off2 + i)
+			}
+			return sym.ConcatAll(parts...)
+		}
+		return sym.Const(w, 0)
+	}
+	return &dataplane.Packet{
+		EthDst:  get(off, 6, 48),
+		EthSrc:  get(off+6, 6, 48),
+		VLAN:    sym.Const(16, dataplane.VLANNone),
+		PCP:     sym.Const(8, 0),
+		EthType: get(off+12, 2, 16),
+	}
+}
+
+// applyAction executes one action against pkt, emitting outputs. It
+// returns false when processing of the whole message must stop (error or
+// crash). isPacketOut selects Packet-Out-specific behavior (the crash
+// sites live in the packet out path of the reference code).
+func (in *inst) applyAction(ctx *symexec.Context, pkt *dataplane.Packet, a flowtable.SymAction, alen int, inPort *sym.Expr, isPacketOut bool) bool {
+	b := &in.sw.b
+	t := a.Type
+	is := func(at openflow.ActionType) bool {
+		return ctx.BranchSite(b.brActType, sym.EqConst(t, uint64(at)))
+	}
+	switch {
+	case is(openflow.ActOutput):
+		ctx.Cover(b.actOutput)
+		return in.output(ctx, pkt, a.Arg16, inPort, isPacketOut)
+	case is(openflow.ActSetVLANVID):
+		ctx.Cover(b.actSetVLAN)
+		if isPacketOut {
+			// Reference switch crash #2 (§5.1.2): executing a set-VLAN
+			// action from a Packet Out dereferences an unset buffer.
+			ctx.Crash("segfault: set_vlan_vid on packet out path")
+		}
+		// Flow-installed path: no validation, auto-mask to 12 bits.
+		pkt.VLAN = sym.And(a.Arg16, sym.Const(16, 0x0fff))
+		return true
+	case is(openflow.ActSetVLANPCP):
+		ctx.Cover(b.actSetPCP)
+		pkt.PCP = sym.And(a.Arg8, sym.Const(8, 0x07)) // auto-mask
+		return true
+	case is(openflow.ActStripVLAN):
+		ctx.Cover(b.actStrip)
+		pkt.VLAN = sym.Const(16, dataplane.VLANNone)
+		pkt.PCP = sym.Const(8, 0)
+		return true
+	case alen == 16 && is(openflow.ActSetDLSrc):
+		ctx.Cover(b.actSetDL)
+		pkt.EthSrc = a.Arg48
+		return true
+	case alen == 16 && is(openflow.ActSetDLDst):
+		ctx.Cover(b.actSetDL)
+		pkt.EthDst = a.Arg48
+		return true
+	case is(openflow.ActSetNWSrc):
+		ctx.Cover(b.actSetNW)
+		pkt.NWSrc = a.Arg32
+		return true
+	case is(openflow.ActSetNWDst):
+		ctx.Cover(b.actSetNW)
+		pkt.NWDst = a.Arg32
+		return true
+	case is(openflow.ActSetNWTos):
+		ctx.Cover(b.actSetTos)
+		mask := uint64(0xfc)
+		if in.sw.opts.TosMaskFF {
+			mask = 0xff // injected modification: low bits leak
+		}
+		pkt.NWTos = sym.And(a.Arg8, sym.Const(8, mask)) // auto-mask
+		return true
+	case is(openflow.ActSetTPSrc):
+		ctx.Cover(b.actSetTP)
+		pkt.TPSrc = a.Arg16
+		return true
+	case is(openflow.ActSetTPDst):
+		ctx.Cover(b.actSetTP)
+		pkt.TPDst = a.Arg16
+		return true
+	case alen == 16 && is(openflow.ActEnqueue):
+		ctx.Cover(b.actEnq)
+		// Modeled as plain output: the reference switch has no queues.
+		return in.output(ctx, pkt, a.Arg16, inPort, isPacketOut)
+	default:
+		ctx.Cover(b.actUnknown)
+		ctx.Emit(trace.Error(openflow.ErrBadAction, openflow.BACBadType))
+		return false
+	}
+}
+
+// output classifies the port and emits the packet. The reference switch
+// performs NO upper-bound validation on physical port numbers (§5.1.2:
+// "Reference Switch does not validate ports this way").
+func (in *inst) output(ctx *symexec.Context, pkt *dataplane.Packet, port, inPort *sym.Expr, isPacketOut bool) bool {
+	b := &in.sw.b
+	cls := func(cond *sym.Expr) bool { return ctx.BranchSite(b.brOutClass, cond) }
+	switch {
+	case cls(sym.EqConst(port, 0)):
+		ctx.Cover(b.actOutReserved)
+		code := openflow.BACBadOutPort
+		if in.sw.opts.PortZeroCode {
+			code = openflow.BACBadArgument // injected modification
+		}
+		ctx.Emit(trace.Error(openflow.ErrBadAction, code))
+		return false
+	case cls(sym.Ult(port, sym.Const(16, uint64(openflow.PortMax)))):
+		// Any port below OFPP_MAX is sent to, existing or not.
+		ctx.Cover(b.actOutPhys)
+		ctx.Emit(trace.PacketOut(port, pkt))
+		return true
+	case cls(sym.EqConst(port, uint64(openflow.PortInPort))):
+		ctx.Cover(b.actOutReserved)
+		ctx.Emit(trace.PacketOut(inPort, pkt))
+		return true
+	case cls(sym.EqConst(port, uint64(openflow.PortTable))):
+		ctx.Cover(b.actOutReserved)
+		if isPacketOut {
+			in.forwardViaTable(ctx, pkt)
+			return true
+		}
+		ctx.Emit(trace.Error(openflow.ErrBadAction, openflow.BACBadOutPort))
+		return false
+	case cls(sym.EqConst(port, uint64(openflow.PortNormal))):
+		// Purely an OpenFlow switch: no traditional forwarding path
+		// ("Missing features", §5.1.2).
+		ctx.Cover(b.actOutReserved)
+		ctx.Emit(trace.Error(openflow.ErrBadAction, openflow.BACBadOutPort))
+		return false
+	case cls(sym.EqConst(port, uint64(openflow.PortFlood))):
+		ctx.Cover(b.actOutReserved)
+		if in.sw.opts.RejectFlood {
+			// Injected modification: flooding rejected.
+			ctx.Emit(trace.Error(openflow.ErrBadAction, openflow.BACBadOutPort))
+			return false
+		}
+		ctx.Emit(trace.PacketOut(sym.Const(16, uint64(openflow.PortFlood)), pkt))
+		return true
+	case cls(sym.EqConst(port, uint64(openflow.PortAll))):
+		ctx.Cover(b.actOutReserved)
+		ctx.Emit(trace.PacketOut(sym.Const(16, uint64(openflow.PortAll)), pkt))
+		return true
+	case cls(sym.EqConst(port, uint64(openflow.PortController))):
+		ctx.Cover(b.actOutReserved)
+		if isPacketOut {
+			// Reference switch crash #1 (§5.1.2): a Packet Out whose
+			// output port is OFPP_CONTROLLER dereferences a null buffer.
+			ctx.Crash("segfault: packet out to OFPP_CONTROLLER")
+		}
+		ctx.Emit(trace.PacketIn(openflow.ReasonAction, sym.Const(16, DefaultMissSendLen), pkt))
+		return true
+	case cls(sym.EqConst(port, uint64(openflow.PortLocal))):
+		ctx.Cover(b.actOutReserved)
+		ctx.Emit(trace.PacketOut(sym.Const(16, uint64(openflow.PortLocal)), pkt))
+		return true
+	default:
+		// OFPP_NONE and undefined reserved values: silently dropped.
+		ctx.Cover(b.actOutReserved)
+		ctx.Emit(trace.Drop("output"))
+		return true
+	}
+}
+
+// forwardViaTable runs a packet through the flow table (OFPP_TABLE).
+func (in *inst) forwardViaTable(ctx *symexec.Context, pkt *dataplane.Packet) {
+	in.lookupAndApply(ctx, pkt, false)
+}
+
+func (in *inst) handleFlowMod(ctx *symexec.Context, msg *symbuf.Buffer) {
+	b := &in.sw.b
+	ctx.Cover(b.fmEntry)
+	if !in.checkLen(ctx, msg, openflow.FlowModFixedLen) {
+		return
+	}
+	ctx.Cover(b.fmParse)
+	e := agents.ParseMatch(msg, agents.OffFMMatch)
+	e.Cookie = msg.U64(agents.OffFMCookie)
+	e.IdleTimeout = msg.U16(agents.OffFMIdle)
+	e.HardTimeout = msg.U16(agents.OffFMHard)
+	e.Priority = msg.U16(agents.OffFMPriority)
+	command := msg.U16(agents.OffFMCommand)
+	bufferID := msg.U32(agents.OffFMBufferID)
+	outPort := msg.U16(agents.OffFMOutPort)
+	flags := msg.U16(agents.OffFMFlags)
+
+	// Parse the action list (lengths are concrete per §3.2.1).
+	totalLen, ok := msg.U16(agents.OffLength).ConstVal()
+	if !ok {
+		totalLen = uint64(msg.Len())
+	}
+	starts, lens, okA := agents.ActionSlots(msg, agents.OffFMActions, int(totalLen)-agents.OffFMActions)
+	if !okA {
+		ctx.Emit(trace.Error(openflow.ErrBadAction, openflow.BACBadLen))
+		return
+	}
+	ctx.Cover(b.fmValidate)
+	for i := range starts {
+		e.Actions = append(e.Actions, agents.ParseAction(msg, starts[i], lens[i]))
+	}
+	// Validate action types lazily, reference style: unknown type errors,
+	// argument ranges are NOT validated (auto-masked at application).
+	for i := range e.Actions {
+		if !in.validateActionType(ctx, e.Actions[i], lens[i]) {
+			return
+		}
+	}
+	// in_port == out_port rule (§5.1.2 "Forwarding a packet to an invalid
+	// port"): output to the match's ingress port can never forward, so the
+	// reference switch rejects it (OFPP_IN_PORT must be used instead).
+	ctx.Cover(b.fmInPortCheck)
+	for i := range e.Actions {
+		a := e.Actions[i]
+		isOut := sym.EqConst(a.Type, uint64(openflow.ActOutput))
+		inPortSpecified := sym.EqConst(
+			sym.And(e.Wildcards, sym.Const(32, uint64(openflow.FWInPort))), 0)
+		bad := sym.LAnd(isOut, inPortSpecified, sym.Eq(a.Arg16, e.InPort))
+		if ctx.BranchSite(b.brFMInPort, bad) {
+			ctx.Emit(trace.Error(openflow.ErrBadAction, openflow.BACBadOutPort))
+			return
+		}
+	}
+
+	cmdIs := func(c openflow.FlowModCommand) bool {
+		return ctx.BranchSite(b.brFMCommand, sym.EqConst(command, uint64(c)))
+	}
+	switch {
+	case cmdIs(openflow.FCAdd):
+		in.flowAdd(ctx, msg, e, flags, bufferID)
+	case cmdIs(openflow.FCModify), cmdIs(openflow.FCModifyStrict):
+		in.flowModify(ctx, e, command, bufferID)
+	case cmdIs(openflow.FCDelete), cmdIs(openflow.FCDeleteStrict):
+		in.flowDelete(ctx, e, command, outPort)
+	default:
+		ctx.Cover(b.fmBadCmd)
+		ctx.Emit(trace.Error(openflow.ErrFlowModFailed, openflow.FMFCBadCommand))
+	}
+}
+
+// validateActionType rejects unknown action types and length/type
+// mismatches; argument values pass unchecked (reference behavior).
+func (in *inst) validateActionType(ctx *symexec.Context, a flowtable.SymAction, alen int) bool {
+	b := &in.sw.b
+	var valid *sym.Expr
+	if alen == 8 {
+		valid = sym.LOr(
+			sym.Ule(a.Type, sym.Const(16, uint64(openflow.ActStripVLAN))),
+			sym.LAnd(
+				sym.Uge(a.Type, sym.Const(16, uint64(openflow.ActSetNWSrc))),
+				sym.Ule(a.Type, sym.Const(16, uint64(openflow.ActSetTPDst))),
+			),
+		)
+	} else {
+		valid = sym.LOr(
+			sym.EqConst(a.Type, uint64(openflow.ActSetDLSrc)),
+			sym.EqConst(a.Type, uint64(openflow.ActSetDLDst)),
+			sym.EqConst(a.Type, uint64(openflow.ActEnqueue)),
+		)
+	}
+	if !ctx.BranchSite(b.brActType, valid) {
+		ctx.Cover(b.actUnknown)
+		ctx.Emit(trace.Error(openflow.ErrBadAction, openflow.BACBadType))
+		return false
+	}
+	return true
+}
+
+func (in *inst) flowAdd(ctx *symexec.Context, msg *symbuf.Buffer, e *flowtable.Entry, flags, bufferID *sym.Expr) {
+	b := &in.sw.b
+	ctx.Cover(b.fmAdd)
+	if in.sw.opts.DropHighPriority {
+		// Injected modification: very high priorities silently discarded.
+		if ctx.Branch(sym.Uge(e.Priority, sym.Const(16, 0xf000))) {
+			return
+		}
+	}
+	// Emergency entries: supported by the reference switch ("Missing
+	// features" is on the OVS side). Timeouts must be zero.
+	if ctx.BranchSite(b.brFMEmerg, sym.Ne(sym.And(flags, sym.Const(16, uint64(openflow.FlagEmerg))), sym.Const(16, 0))) {
+		ctx.Cover(b.fmEmerg)
+		nonZeroTimeout := sym.LOr(
+			sym.Ne(e.IdleTimeout, sym.Const(16, 0)),
+			sym.Ne(e.HardTimeout, sym.Const(16, 0)),
+		)
+		if ctx.Branch(nonZeroTimeout) {
+			ctx.Emit(trace.Error(openflow.ErrFlowModFailed, openflow.FMFCBadEmergTimeout))
+			return
+		}
+		e.Emergency = true
+	}
+	// Overlap checking on request.
+	if ctx.BranchSite(b.brFMOverlap, sym.Ne(sym.And(flags, sym.Const(16, uint64(openflow.FlagCheckOverlap))), sym.Const(16, 0))) {
+		ctx.Cover(b.fmOverlap)
+		for _, old := range in.table.Entries {
+			if ctx.Branch(e.OverlapCond(old)) {
+				ctx.Emit(trace.Error(openflow.ErrFlowModFailed, openflow.FMFCOverlap))
+				return
+			}
+		}
+	}
+	if !in.table.Add(e) {
+		ctx.Emit(trace.Error(openflow.ErrFlowModFailed, openflow.FMFCAllTablesFull))
+		return
+	}
+	// Buffered-packet application: the buffer never exists in our harness;
+	// the reference switch generates an error internally but never sends
+	// it, and applies no actions ("Lack of error messages", §5.1.2).
+	if ctx.BranchSite(b.brFMBuffer, sym.Ne(bufferID, sym.Const(32, uint64(openflow.NoBuffer)))) {
+		ctx.Cover(b.fmBufferFail)
+		return
+	}
+}
+
+func (in *inst) flowModify(ctx *symexec.Context, e *flowtable.Entry, command, bufferID *sym.Expr) {
+	b := &in.sw.b
+	ctx.Cover(b.fmModify)
+	strict := ctx.Branch(sym.EqConst(command, uint64(openflow.FCModifyStrict)))
+	if strict {
+		ctx.Cover(b.fmStrict)
+	}
+	modified := false
+	for _, old := range in.table.Entries {
+		var conds []*sym.Expr
+		if strict {
+			conds = e.IdenticalConds(old)
+		} else {
+			conds = e.SubsumesConds(old)
+		}
+		if branchAll(ctx, b.brDelMatch, conds) {
+			old.Actions = e.Actions
+			modified = true
+		}
+	}
+	if !modified {
+		// OpenFlow 1.0: MODIFY with no matching entry behaves as ADD.
+		in.table.Add(e)
+	}
+	if ctx.BranchSite(b.brFMBuffer, sym.Ne(bufferID, sym.Const(32, uint64(openflow.NoBuffer)))) {
+		ctx.Cover(b.fmBufferFail)
+		return
+	}
+}
+
+func (in *inst) flowDelete(ctx *symexec.Context, e *flowtable.Entry, command, outPort *sym.Expr) {
+	b := &in.sw.b
+	ctx.Cover(b.fmDelete)
+	strict := ctx.Branch(sym.EqConst(command, uint64(openflow.FCDeleteStrict)))
+	if strict {
+		ctx.Cover(b.fmStrict)
+	}
+	filterByPort := ctx.Branch(sym.Ne(outPort, sym.Const(16, uint64(openflow.PortNone))))
+	for i := 0; i < len(in.table.Entries); {
+		old := in.table.Entries[i]
+		var conds []*sym.Expr
+		if strict {
+			conds = e.IdenticalConds(old)
+		} else {
+			conds = e.SubsumesConds(old)
+		}
+		if !branchAll(ctx, b.brDelMatch, conds) {
+			i++
+			continue
+		}
+		cond := sym.Bool(true)
+		if filterByPort {
+			// Only delete entries with an output action to outPort.
+			var hasOut *sym.Expr = sym.Bool(false)
+			for _, a := range old.Actions {
+				hasOut = sym.LOr(hasOut, sym.LAnd(
+					sym.EqConst(a.Type, uint64(openflow.ActOutput)),
+					sym.Eq(a.Arg16, outPort),
+				))
+			}
+			cond = sym.LAnd(cond, hasOut)
+		}
+		if ctx.BranchSite(b.brDelMatch, cond) {
+			in.table.Remove(i)
+			continue
+		}
+		i++
+	}
+}
+
+// branchAll takes the conjuncts of a match condition one branch at a time,
+// short-circuiting on the first false — the field-loop shape of the real
+// implementations.
+func branchAll(ctx *symexec.Context, site coverage.BranchID, conds []*sym.Expr) bool {
+	for _, c := range conds {
+		if !ctx.BranchSite(site, c) {
+			return false
+		}
+	}
+	return true
+}
+
+func (in *inst) handleStats(ctx *symexec.Context, msg *symbuf.Buffer) {
+	b := &in.sw.b
+	ctx.Cover(b.statsEntry)
+	if !in.checkLen(ctx, msg, openflow.StatsRequestFixedLen) {
+		return
+	}
+	st := msg.U16(agents.OffStatsType)
+	is := func(t openflow.StatsType) bool {
+		return ctx.BranchSite(b.brStatsType, sym.EqConst(st, uint64(t)))
+	}
+	switch {
+	case is(openflow.StatsDesc):
+		ctx.Cover(b.statsDesc)
+		body := "mfr=Stanford sw=reference"
+		if in.sw.opts.StatsDescQuirk {
+			body = "mfr=Modified sw=reference-mod" // injected modification
+		}
+		ctx.Emit(trace.NewBuilder("msg:STATS_REPLY/DESC ").Text(body).Build())
+	case is(openflow.StatsFlow):
+		ctx.Cover(b.statsFlow)
+		ev := trace.NewBuilder("msg:STATS_REPLY/FLOW")
+		for _, e := range in.table.Entries {
+			ev.Text(" flow{prio=").Expr(e.Priority).Text(" cookie=").Expr(e.Cookie).Text("}")
+		}
+		ctx.Emit(ev.Build())
+	case is(openflow.StatsAggregate):
+		ctx.Cover(b.statsAggr)
+		ctx.Emit(trace.NewBuilder("msg:STATS_REPLY/AGGREGATE").
+			Textf(" flows=%d", in.table.Len()).Build())
+	case is(openflow.StatsTable):
+		ctx.Cover(b.statsTable)
+		ctx.Emit(trace.NewBuilder("msg:STATS_REPLY/TABLE").
+			Textf(" active=%d max=%d", in.table.Len(), in.table.Capacity).Build())
+	case is(openflow.StatsPort):
+		ctx.Cover(b.statsPort)
+		if msg.Len() < agents.OffStatsBody+2 {
+			ctx.Emit(trace.Error(openflow.ErrBadRequest, openflow.BRCBadLen))
+			return
+		}
+		port := msg.U16(agents.OffStatsBody)
+		valid := sym.LOr(
+			sym.LAnd(sym.Uge(port, sym.Const(16, 1)), sym.Ule(port, sym.Const(16, NumPorts))),
+			sym.EqConst(port, uint64(openflow.PortNone)), // all ports
+		)
+		if ctx.BranchSite(b.brStatsPort, valid) {
+			ctx.Emit(trace.NewBuilder("msg:STATS_REPLY/PORT port=").Expr(port).Build())
+		} else {
+			// Cannot answer: handler error never propagated ("Statistics
+			// requests silently ignored", §5.1.2).
+			ctx.Cover(b.statsSilent)
+		}
+	default:
+		// QUEUE, VENDOR and unknown types: the reference switch cannot
+		// respond and the internal error is not converted into an
+		// OpenFlow message — silence (§5.1.2).
+		ctx.Cover(b.statsSilent)
+	}
+}
+
+func (in *inst) handleQueueConfig(ctx *symexec.Context, msg *symbuf.Buffer) {
+	b := &in.sw.b
+	ctx.Cover(b.queueEntry)
+	if !in.checkLen(ctx, msg, openflow.QueueGetConfigRequestLen) {
+		return
+	}
+	port := msg.U16(agents.OffQGCPort)
+	if ctx.BranchSite(b.brQueuePort, sym.EqConst(port, 0)) {
+		// Reference switch crash #3 (§5.1.2): queue configuration request
+		// for port number 0 hits a memory error.
+		ctx.Cover(b.queueCrash)
+		ctx.Crash("memory error: queue config request for port 0")
+	}
+	if ctx.BranchSite(b.brQueuePort, sym.Ule(port, sym.Const(16, NumPorts))) {
+		ctx.Cover(b.queueReply)
+		ctx.Emit(trace.NewBuilder("msg:QUEUE_GET_CONFIG_REPLY port=").Expr(port).Build())
+		return
+	}
+	ctx.Cover(b.queueBad)
+	ctx.Emit(trace.Error(openflow.ErrQueueOpFailed, openflow.QOFCBadPort))
+}
+
+// HandlePacket implements agents.Instance: the data plane probe path.
+func (in *inst) HandlePacket(ctx *symexec.Context, pkt *dataplane.Packet) {
+	in.lookupAndApply(ctx, pkt, true)
+}
+
+func (in *inst) lookupAndApply(ctx *symexec.Context, pkt *dataplane.Packet, allowMiss bool) {
+	b := &in.sw.b
+	ctx.Cover(b.pktEntry)
+	// Packet parsing: classify the headers before matching. Concrete
+	// probes fold these branches; a symbolic probe forks here — the
+	// ~3.5x path cost Table 5's "Symbolic Probe" row measures.
+	if ctx.BranchSite(b.brPktParse, pkt.IsIPv4()) {
+		proto := pkt.MatchNWProto()
+		if !ctx.BranchSite(b.brPktParse, sym.EqConst(proto, dataplane.ProtoTCP)) {
+			if !ctx.BranchSite(b.brPktParse, sym.EqConst(proto, dataplane.ProtoUDP)) {
+				ctx.BranchSite(b.brPktParse, sym.EqConst(proto, dataplane.ProtoICMP))
+			}
+		}
+	}
+	ctx.BranchSite(b.brPktParse, pkt.HasVLANTag())
+	ctx.Cover(b.pktMatch)
+
+	// Priority order: branch on pairwise priority comparisons when
+	// symbolic (the tests install at most a few entries).
+	order := in.priorityOrder(ctx)
+	for _, idx := range order {
+		e := in.table.Entries[idx]
+		if branchAll(ctx, b.brPktMatch, e.MatchConds(pkt)) {
+			ctx.Cover(b.pktApply)
+			e.Packets++
+			out := pkt.Clone()
+			for i, a := range e.Actions {
+				_ = i
+				if !in.applyAction(ctx, out, a, symActionLen(a), pkt.InPort, false) {
+					return
+				}
+			}
+			if len(e.Actions) == 0 {
+				// An entry with no actions drops matching packets.
+				ctx.Emit(trace.Drop("probe"))
+			}
+			return
+		}
+	}
+	if !allowMiss {
+		ctx.Emit(trace.Drop("probe"))
+		return
+	}
+	// Table miss: forward to the controller, truncated to miss_send_len.
+	ctx.Cover(b.pktMiss)
+	pktLen := uint64(probeWireLen(pkt))
+	var dataLen *sym.Expr
+	if ctx.BranchSite(b.brMissLen, sym.Ult(in.missSendLen, sym.Const(16, pktLen))) {
+		dataLen = in.missSendLen
+	} else {
+		dataLen = sym.Const(16, pktLen)
+	}
+	ctx.Emit(trace.PacketIn(openflow.ReasonNoMatch, dataLen, pkt))
+}
+
+// priorityOrder returns entry indices in descending priority order,
+// branching on comparisons between symbolic priorities.
+func (in *inst) priorityOrder(ctx *symexec.Context) []int {
+	b := &in.sw.b
+	n := len(in.table.Entries)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	// Insertion sort with symbolic comparisons; stable so insertion order
+	// breaks ties.
+	for i := 1; i < n; i++ {
+		for j := i; j > 0; j-- {
+			a := in.table.Entries[order[j-1]]
+			bEnt := in.table.Entries[order[j]]
+			if ctx.BranchSite(b.brPktPriority, sym.Ult(a.Priority, bEnt.Priority)) {
+				order[j-1], order[j] = order[j], order[j-1]
+			} else {
+				break
+			}
+		}
+	}
+	return order
+}
+
+// symActionLen infers the wire length of a parsed symbolic action from
+// which argument views were populated.
+func symActionLen(a flowtable.SymAction) int {
+	if a.Arg48 != nil {
+		return 16
+	}
+	return 8
+}
+
+// probeWireLen computes the concrete wire length of a probe packet.
+func probeWireLen(pkt *dataplane.Packet) int {
+	return len(pkt.Serialize(nil))
+}

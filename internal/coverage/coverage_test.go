@@ -1,0 +1,178 @@
+package coverage
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRegistrationAndTotals(t *testing.T) {
+	m := NewMap()
+	a := m.Block("parse", 10)
+	b := m.Block("validate", 20)
+	if a == b {
+		t.Fatal("distinct blocks share an ID")
+	}
+	if got := m.TotalInstructions(); got != 30 {
+		t.Fatalf("total = %d, want 30", got)
+	}
+	// Re-registration returns the same ID without double counting.
+	if again := m.Block("parse", 10); again != a {
+		t.Fatal("re-registration produced a new ID")
+	}
+	if got := m.TotalInstructions(); got != 30 {
+		t.Fatalf("total after re-registration = %d, want 30", got)
+	}
+}
+
+func TestWeightMismatchPanics(t *testing.T) {
+	m := NewMap()
+	m.Block("x", 5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on weight mismatch")
+		}
+	}()
+	m.Block("x", 6)
+}
+
+func TestSealPreventsRegistration(t *testing.T) {
+	m := NewMap()
+	m.Block("x", 1)
+	m.Seal()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic registering after seal")
+		}
+	}()
+	m.Block("y", 1)
+}
+
+func TestInstructionPct(t *testing.T) {
+	m := NewMap()
+	a := m.Block("a", 25)
+	m.Block("b", 75)
+	s := m.NewSet()
+	if s.InstructionPct() != 0 {
+		t.Fatal("empty set must be 0%")
+	}
+	s.CoverBlock(a)
+	if got := s.InstructionPct(); math.Abs(got-25) > 1e-9 {
+		t.Fatalf("pct = %v, want 25", got)
+	}
+}
+
+func TestBranchPct(t *testing.T) {
+	m := NewMap()
+	b1 := m.BranchSite("p1")
+	m.BranchSite("p2")
+	s := m.NewSet()
+	s.CoverBranch(b1, true)
+	if got := s.BranchPct(); math.Abs(got-25) > 1e-9 {
+		t.Fatalf("one direction of one of two sites = %v%%, want 25", got)
+	}
+	s.CoverBranch(b1, true) // idempotent
+	if got := s.BranchPct(); math.Abs(got-25) > 1e-9 {
+		t.Fatalf("re-covering changed pct to %v", got)
+	}
+	s.CoverBranch(b1, false)
+	if got := s.BranchPct(); math.Abs(got-50) > 1e-9 {
+		t.Fatalf("both directions of one of two sites = %v%%, want 50", got)
+	}
+}
+
+func TestMergeIsUnion(t *testing.T) {
+	m := NewMap()
+	a := m.Block("a", 10)
+	b := m.Block("b", 10)
+	br := m.BranchSite("br")
+
+	s1 := m.NewSet()
+	s1.CoverBlock(a)
+	s1.CoverBranch(br, true)
+	s2 := m.NewSet()
+	s2.CoverBlock(b)
+	s2.CoverBranch(br, false)
+
+	s1.Merge(s2)
+	if got := s1.InstructionPct(); got != 100 {
+		t.Fatalf("merged instruction pct = %v", got)
+	}
+	if got := s1.BranchPct(); got != 100 {
+		t.Fatalf("merged branch pct = %v", got)
+	}
+	// Merge must not mutate the source.
+	if s2.InstructionPct() != 50 {
+		t.Fatal("merge mutated its argument")
+	}
+}
+
+func TestMergeAcrossMapsPanics(t *testing.T) {
+	m1, m2 := NewMap(), NewMap()
+	m1.Block("a", 1)
+	m2.Block("a", 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic merging across maps")
+		}
+	}()
+	m1.NewSet().Merge(m2.NewSet())
+}
+
+func TestUncoveredBlocks(t *testing.T) {
+	m := NewMap()
+	a := m.Block("zeta", 1)
+	m.Block("alpha", 1)
+	s := m.NewSet()
+	s.CoverBlock(a)
+	got := s.UncoveredBlocks()
+	if len(got) != 1 || got[0] != "alpha" {
+		t.Fatalf("uncovered = %v", got)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	m := NewMap()
+	a := m.Block("a", 1)
+	b := m.Block("b", 1)
+	s := m.NewSet()
+	s.CoverBlock(a)
+	c := s.Clone()
+	c.CoverBlock(b)
+	if s.CoveredInstructions() != 1 {
+		t.Fatal("clone shares state with original")
+	}
+}
+
+// Property: merge is commutative and idempotent with respect to coverage
+// percentages.
+func TestQuickMergeCommutative(t *testing.T) {
+	m := NewMap()
+	var blocks []BlockID
+	for i := 0; i < 16; i++ {
+		blocks = append(blocks, m.Block(string(rune('a'+i)), i+1))
+	}
+	f := func(xs, ys []uint8) bool {
+		s1, s2 := m.NewSet(), m.NewSet()
+		for _, x := range xs {
+			s1.CoverBlock(blocks[int(x)%len(blocks)])
+		}
+		for _, y := range ys {
+			s2.CoverBlock(blocks[int(y)%len(blocks)])
+		}
+		a := s1.Clone()
+		a.Merge(s2)
+		b := s2.Clone()
+		b.Merge(s1)
+		if a.CoveredInstructions() != b.CoveredInstructions() {
+			return false
+		}
+		// Idempotence.
+		c := a.Clone()
+		c.Merge(a)
+		return c.CoveredInstructions() == a.CoveredInstructions()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,163 @@
+// Package crosscheck implements the second sub-stage of SOFT's phase 2
+// (§3.4, "Intersecting input subspaces"): for each pair of result groups
+// (i, j) from agents A and B with different outputs, ask the solver whether
+// C_A(i) ∧ C_B(j) is satisfiable. A model is a concrete input on which the
+// two agents demonstrably behave differently — an inconsistency, with the
+// reproducing test case for free.
+//
+// When two groups share the same trace *shape* but embed different value
+// expressions (e.g. one agent forwards with VLAN = x & 0xfff, the other
+// with VLAN = x), the query additionally requires some embedded pair to
+// evaluate differently, preserving the paper's no-false-positive property
+// (§3.4) for symbolic outputs.
+package crosscheck
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/soft-testing/soft/internal/group"
+	"github.com/soft-testing/soft/internal/solver"
+	"github.com/soft-testing/soft/internal/sym"
+)
+
+// Inconsistency is one discovered behavioral difference.
+type Inconsistency struct {
+	// AIndex and BIndex identify the differing groups.
+	AIndex, BIndex int
+	// ACanonical and BCanonical are the two observed behaviors.
+	ACanonical, BCanonical string
+	// ATemplate and BTemplate are the structural trace shapes; distinct
+	// inconsistencies sharing a template pair usually share one root cause
+	// (§5.2: 58 reported inconsistencies, 6 distinct root causes).
+	ATemplate, BTemplate string
+	// Witness is a concrete input triggering the difference — the test
+	// case SOFT constructs per inconsistency (§2.3).
+	Witness sym.Assignment
+	// ACrashed/BCrashed flag abnormal termination on either side.
+	ACrashed, BCrashed bool
+}
+
+func (inc Inconsistency) String() string {
+	return fmt.Sprintf("inconsistency A#%d vs B#%d\n  A: %s\n  B: %s\n  witness: %v",
+		inc.AIndex, inc.BIndex, indent(inc.ACanonical), indent(inc.BCanonical), inc.Witness)
+}
+
+func indent(s string) string {
+	out := ""
+	for i, line := range splitLines(s) {
+		if i > 0 {
+			out += " | "
+		}
+		out += line
+	}
+	return out
+}
+
+func splitLines(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	return append(out, s[start:])
+}
+
+// Report is the outcome of crosschecking two grouped results.
+type Report struct {
+	AgentA, AgentB  string
+	Test            string
+	Inconsistencies []Inconsistency
+	// Queries counts solver calls; the §3.4 bound is
+	// |RES_A| · |RES_B|.
+	Queries int
+	// Elapsed is the Table 3 "Inconsist. checking" time.
+	Elapsed time.Duration
+	// Partial reports that the time budget expired before the cross
+	// product was exhausted (the paper's ">28h / >=8" CS FlowMods row).
+	Partial bool
+}
+
+// RootCauses returns the number of distinct (template A, template B)
+// pairs among the inconsistencies — the root-cause estimate of §5.2.
+func (r *Report) RootCauses() int {
+	seen := map[[2]string]bool{}
+	for _, inc := range r.Inconsistencies {
+		seen[[2]string{inc.ATemplate, inc.BTemplate}] = true
+	}
+	return len(seen)
+}
+
+// diffCond rebuilds the trace difference condition from the grouped
+// (template, exprs) pairs — the serialized mirror of trace.DiffCond.
+func diffCond(a, b *group.Group) *sym.Expr {
+	if a.Template != b.Template || len(a.Exprs) != len(b.Exprs) {
+		return sym.Bool(true)
+	}
+	var dis []*sym.Expr
+	for i := range a.Exprs {
+		if sym.Equal(a.Exprs[i], b.Exprs[i]) {
+			continue
+		}
+		if a.Exprs[i].Width() != b.Exprs[i].Width() {
+			return sym.Bool(true)
+		}
+		dis = append(dis, sym.Ne(a.Exprs[i], b.Exprs[i]))
+	}
+	if len(dis) == 0 {
+		return sym.Bool(false)
+	}
+	return sym.LOr(dis...)
+}
+
+// Run crosschecks two grouped phase-1 results (which must come from the
+// same test, so the symbolic input variables coincide). A non-zero budget
+// stops the cross product early and marks the report partial.
+func Run(a, b *group.Result, s *solver.Solver, budget time.Duration) *Report {
+	if s == nil {
+		s = solver.New()
+	}
+	start := time.Now()
+	rep := &Report{AgentA: a.Agent, AgentB: b.Agent, Test: a.Test}
+outer:
+	for i := range a.Groups {
+		ga := &a.Groups[i]
+		for j := range b.Groups {
+			if budget > 0 && time.Since(start) > budget {
+				rep.Partial = true
+				break outer
+			}
+			gb := &b.Groups[j]
+			if ga.Canonical == gb.Canonical {
+				// Identical output results are excluded from the cross
+				// product (§2.3).
+				continue
+			}
+			diff := diffCond(ga, gb)
+			if diff.IsFalse() {
+				continue
+			}
+			rep.Queries++
+			res, model := s.Check(ga.Cond, gb.Cond, diff)
+			if res != solver.Sat {
+				continue
+			}
+			rep.Inconsistencies = append(rep.Inconsistencies, Inconsistency{
+				AIndex:     i,
+				BIndex:     j,
+				ACanonical: ga.Canonical,
+				BCanonical: gb.Canonical,
+				ATemplate:  ga.Template,
+				BTemplate:  gb.Template,
+				Witness:    model,
+				ACrashed:   ga.Crashed,
+				BCrashed:   gb.Crashed,
+			})
+		}
+	}
+	rep.Elapsed = time.Since(start)
+	return rep
+}

@@ -1,0 +1,190 @@
+package harness
+
+import (
+	"time"
+
+	"github.com/soft-testing/soft/internal/agents"
+	"github.com/soft-testing/soft/internal/openflow"
+	"github.com/soft-testing/soft/internal/solver"
+	"github.com/soft-testing/soft/internal/sym"
+	"github.com/soft-testing/soft/internal/symexec"
+	"github.com/soft-testing/soft/internal/trace"
+)
+
+// Options tunes an exploration run.
+type Options struct {
+	// MaxPaths caps exploration (0 = DefaultMaxPaths). The paper notes
+	// SOFT works with partial path sets too.
+	MaxPaths int
+	// MaxDepth caps symbolic decisions per path (0 = DefaultMaxDepth).
+	MaxDepth int
+	// Strategy overrides the engine search strategy.
+	Strategy symexec.Strategy
+	// WantModels extracts a concrete input example per path.
+	WantModels bool
+	// Solver reuses an existing solver (and its cache) across runs.
+	Solver *solver.Solver
+}
+
+// DefaultMaxPaths bounds a single exploration.
+const DefaultMaxPaths = 60000
+
+// DefaultMaxDepth bounds decisions per path.
+const DefaultMaxDepth = 256
+
+// PathResult is one explored path: its condition and normalized trace.
+type PathResult struct {
+	ID   int
+	Cond *sym.Expr
+	// ConstraintOps is the Table 2 metric: boolean operations in the path
+	// condition.
+	ConstraintOps int
+	Trace         trace.Trace
+	Model         sym.Assignment
+	Crashed       bool
+	Branches      int
+}
+
+// Result is the phase-1 output for one (agent, test) pair — the
+// "intermediate result" a vendor ships to the crosscheck phase (§2.4).
+type Result struct {
+	Agent    string
+	Test     string
+	MsgCount int
+
+	Paths []PathResult
+
+	Elapsed        time.Duration
+	InstrPct       float64
+	BranchPct      float64
+	Truncated      bool
+	Infeasible     int
+	DepthTruncated int
+	BranchQueries  int64
+	SolverStats    solver.Stats
+}
+
+// AvgConstraintOps returns the mean constraint size over paths.
+func (r *Result) AvgConstraintOps() float64 {
+	if len(r.Paths) == 0 {
+		return 0
+	}
+	var sum int64
+	for _, p := range r.Paths {
+		sum += int64(p.ConstraintOps)
+	}
+	return float64(sum) / float64(len(r.Paths))
+}
+
+// MaxConstraintOps returns the largest constraint size over paths.
+func (r *Result) MaxConstraintOps() int {
+	m := 0
+	for _, p := range r.Paths {
+		if p.ConstraintOps > m {
+			m = p.ConstraintOps
+		}
+	}
+	return m
+}
+
+// Explore symbolically executes agent a on test t: the whole of SOFT's
+// phase 1 for one (agent, test) pair.
+func Explore(a agents.Agent, t Test, o Options) *Result {
+	if o.MaxPaths == 0 {
+		o.MaxPaths = DefaultMaxPaths
+	}
+	if o.MaxDepth == 0 {
+		o.MaxDepth = DefaultMaxDepth
+	}
+	s := o.Solver
+	if s == nil {
+		s = solver.New()
+	}
+	statsBefore := s.Stats()
+
+	eng := &symexec.Engine{
+		Solver:     s,
+		Strategy:   o.Strategy,
+		MaxPaths:   o.MaxPaths,
+		MaxDepth:   o.MaxDepth,
+		WantModels: o.WantModels,
+		CovMap:     a.CovMap(),
+	}
+	res := eng.Run(func(ctx *symexec.Context) {
+		in := a.NewInstance()
+		in.Handshake(ctx)
+		for _, input := range t.Inputs(ctx.NewSym) {
+			if input.Msg != nil {
+				in.HandleMessage(ctx, input.Msg)
+			} else if input.Probe != nil {
+				in.HandlePacket(ctx, input.Probe)
+			}
+		}
+	})
+
+	out := &Result{
+		Agent:          a.Name(),
+		Test:           t.Name,
+		MsgCount:       t.MsgCount,
+		Elapsed:        res.Elapsed,
+		Truncated:      res.PathsTruncated,
+		Infeasible:     res.Infeasible,
+		DepthTruncated: res.DepthTruncated,
+		BranchQueries:  res.BranchQueries,
+	}
+	if res.Cov != nil {
+		out.InstrPct = res.Cov.InstructionPct()
+		out.BranchPct = res.Cov.BranchPct()
+	}
+	after := s.Stats()
+	out.SolverStats = solver.Stats{
+		Queries:      after.Queries - statsBefore.Queries,
+		CacheHits:    after.CacheHits - statsBefore.CacheHits,
+		SatQueries:   after.SatQueries - statsBefore.SatQueries,
+		UnsatQueries: after.UnsatQueries - statsBefore.UnsatQueries,
+		SolveTime:    after.SolveTime - statsBefore.SolveTime,
+	}
+	for _, p := range res.Paths {
+		cond := p.Condition()
+		out.Paths = append(out.Paths, PathResult{
+			ID:            p.ID,
+			Cond:          cond,
+			ConstraintOps: cond.Size(),
+			Trace:         trace.FromOutputs(p.Outputs, p.Crashed),
+			Model:         p.Model,
+			Crashed:       p.Crashed,
+			Branches:      p.Branches,
+		})
+	}
+	return out
+}
+
+// Reproduce renders the test's input sequence under a solver model into
+// concrete OpenFlow wire messages — the ready-made test case SOFT builds
+// for each inconsistency (§2.3).
+func Reproduce(t Test, model sym.Assignment) [][]byte {
+	var out [][]byte
+	for _, input := range t.Inputs(sym.Var) {
+		if input.Msg != nil {
+			out = append(out, input.Msg.Concretize(model))
+		} else if input.Probe != nil {
+			out = append(out, input.Probe.Serialize(model))
+		}
+	}
+	return out
+}
+
+// DescribeReproducer decodes reproducer wire messages for display. Probe
+// packets (which do not parse as OpenFlow) are labeled as data plane
+// inputs.
+func DescribeReproducer(wires [][]byte) []string {
+	var out []string
+	for _, w := range wires {
+		if m, err := openflow.Decode(w); err == nil {
+			out = append(out, m.MsgType().String())
+		} else {
+			out = append(out, "dataplane-probe")
+		}
+	}
+	return out
+}

@@ -1,0 +1,208 @@
+package harness
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/soft-testing/soft/internal/sym"
+)
+
+// The results file format carries phase-1 output between the two SOFT
+// phases (§2.4: vendors run symbolic execution privately and ship only
+// these intermediate results — path conditions and normalized traces — to
+// the crosscheck). The format is line-oriented text: path conditions and
+// trace expressions are canonical sym s-expressions, templates and
+// canonicals are quoted strings.
+
+const resultsMagic = "soft-results v1"
+
+// Write serializes r to the results file format.
+func (r *Result) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, resultsMagic)
+	fmt.Fprintf(bw, "agent %q\n", r.Agent)
+	fmt.Fprintf(bw, "test %q\n", r.Test)
+	fmt.Fprintf(bw, "msgcount %d\n", r.MsgCount)
+	fmt.Fprintf(bw, "elapsed %d\n", r.Elapsed.Nanoseconds())
+	fmt.Fprintf(bw, "coverage %f %f\n", r.InstrPct, r.BranchPct)
+	fmt.Fprintf(bw, "paths %d\n", len(r.Paths))
+	for i := range r.Paths {
+		p := &r.Paths[i]
+		fmt.Fprintf(bw, "path %d crashed=%t branches=%d\n", p.ID, p.Crashed, p.Branches)
+		fmt.Fprintf(bw, "cond %s\n", p.Cond.String())
+		fmt.Fprintf(bw, "template %q\n", p.Trace.Template())
+		fmt.Fprintf(bw, "canonical %q\n", p.Trace.Canonical())
+		exprs := p.Trace.Exprs()
+		fmt.Fprintf(bw, "nexprs %d\n", len(exprs))
+		for _, e := range exprs {
+			fmt.Fprintf(bw, "expr %s\n", e.String())
+		}
+		if len(p.Model) > 0 {
+			names := make([]string, 0, len(p.Model))
+			for n := range p.Model {
+				names = append(names, n)
+			}
+			sort.Strings(names)
+			fmt.Fprint(bw, "model")
+			for _, n := range names {
+				fmt.Fprintf(bw, " %s=%d", n, p.Model[n])
+			}
+			fmt.Fprintln(bw)
+		}
+	}
+	fmt.Fprintln(bw, "end")
+	return bw.Flush()
+}
+
+// SerializedPath is the crosscheck-phase view of one path: everything the
+// second phase needs, with no access to agent source or engine state.
+type SerializedPath struct {
+	ID       int
+	Crashed  bool
+	Branches int
+	Cond     *sym.Expr
+	Template string
+	// Canonical is the full normalized trace rendering (the group key).
+	Canonical string
+	Exprs     []*sym.Expr
+	Model     sym.Assignment
+}
+
+// SerializedResult mirrors Result after a round trip through the file
+// format.
+type SerializedResult struct {
+	Agent     string
+	Test      string
+	MsgCount  int
+	Elapsed   time.Duration
+	InstrPct  float64
+	BranchPct float64
+	Paths     []SerializedPath
+}
+
+// Serialized converts an in-memory Result into the crosscheck-phase view
+// without a file round trip.
+func (r *Result) Serialized() *SerializedResult {
+	out := &SerializedResult{
+		Agent: r.Agent, Test: r.Test, MsgCount: r.MsgCount,
+		Elapsed: r.Elapsed, InstrPct: r.InstrPct, BranchPct: r.BranchPct,
+	}
+	for i := range r.Paths {
+		p := &r.Paths[i]
+		out.Paths = append(out.Paths, SerializedPath{
+			ID:        p.ID,
+			Crashed:   p.Crashed,
+			Branches:  p.Branches,
+			Cond:      p.Cond,
+			Template:  p.Trace.Template(),
+			Canonical: p.Trace.Canonical(),
+			Exprs:     p.Trace.Exprs(),
+			Model:     p.Model,
+		})
+	}
+	return out
+}
+
+// ReadResults parses a results file.
+func ReadResults(r io.Reader) (*SerializedResult, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 64*1024*1024)
+	line := func() (string, bool) {
+		if !sc.Scan() {
+			return "", false
+		}
+		return sc.Text(), true
+	}
+	l, ok := line()
+	if !ok || l != resultsMagic {
+		return nil, fmt.Errorf("harness: not a results file (got %q)", l)
+	}
+	out := &SerializedResult{}
+	var cur *SerializedPath
+	for {
+		l, ok = line()
+		if !ok {
+			return nil, fmt.Errorf("harness: truncated results file")
+		}
+		if l == "end" {
+			return out, nil
+		}
+		field, rest, _ := strings.Cut(l, " ")
+		switch field {
+		case "agent":
+			if _, err := fmt.Sscanf(rest, "%q", &out.Agent); err != nil {
+				return nil, fmt.Errorf("harness: bad agent line: %v", err)
+			}
+		case "test":
+			if _, err := fmt.Sscanf(rest, "%q", &out.Test); err != nil {
+				return nil, fmt.Errorf("harness: bad test line: %v", err)
+			}
+		case "msgcount":
+			out.MsgCount, _ = strconv.Atoi(rest)
+		case "elapsed":
+			ns, _ := strconv.ParseInt(rest, 10, 64)
+			out.Elapsed = time.Duration(ns)
+		case "coverage":
+			fmt.Sscanf(rest, "%f %f", &out.InstrPct, &out.BranchPct)
+		case "paths":
+			n, _ := strconv.Atoi(rest)
+			out.Paths = make([]SerializedPath, 0, n)
+		case "path":
+			out.Paths = append(out.Paths, SerializedPath{})
+			cur = &out.Paths[len(out.Paths)-1]
+			fmt.Sscanf(rest, "%d crashed=%t branches=%d", &cur.ID, &cur.Crashed, &cur.Branches)
+		case "cond":
+			if cur == nil {
+				return nil, fmt.Errorf("harness: cond before path")
+			}
+			e, err := sym.Parse(rest)
+			if err != nil {
+				return nil, fmt.Errorf("harness: bad cond: %v", err)
+			}
+			cur.Cond = e
+		case "template":
+			if _, err := fmt.Sscanf(rest, "%q", &cur.Template); err != nil {
+				return nil, fmt.Errorf("harness: bad template: %v", err)
+			}
+		case "canonical":
+			if _, err := fmt.Sscanf(rest, "%q", &cur.Canonical); err != nil {
+				return nil, fmt.Errorf("harness: bad canonical: %v", err)
+			}
+		case "nexprs":
+			// Count line; the exprs follow.
+		case "expr":
+			e, err := sym.Parse(rest)
+			if err != nil {
+				return nil, fmt.Errorf("harness: bad expr: %v", err)
+			}
+			cur.Exprs = append(cur.Exprs, e)
+		case "model":
+			cur.Model = sym.Assignment{}
+			for _, kv := range strings.Fields(rest) {
+				k, v, ok := strings.Cut(kv, "=")
+				if !ok {
+					return nil, fmt.Errorf("harness: bad model entry %q", kv)
+				}
+				x, err := strconv.ParseUint(v, 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("harness: bad model value %q", kv)
+				}
+				cur.Model[k] = x
+			}
+		default:
+			return nil, fmt.Errorf("harness: unknown field %q", field)
+		}
+	}
+}
+
+// TraceOf rebuilds a trace-comparison view for a serialized path. (The
+// events themselves are not reconstructed — grouping and crosschecking
+// only need the canonical string, template, and expressions.)
+func (p *SerializedPath) TraceOf() (template, canonical string, exprs []*sym.Expr) {
+	return p.Template, p.Canonical, p.Exprs
+}

@@ -1,0 +1,370 @@
+package openflow
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Action is one entry of an OpenFlow action list. Implementations are the
+// ofp_action_* structs of the 1.0 specification.
+type Action interface {
+	// Type returns the action's wire type code.
+	Type() ActionType
+	// Len returns the wire length (a multiple of 8).
+	Len() int
+	// SerializeTo appends the wire form to dst.
+	SerializeTo(dst []byte) []byte
+	// String renders the action for traces.
+	String() string
+}
+
+// ActionOutput sends the packet out a port (ofp_action_output).
+type ActionOutput struct {
+	Port   uint16
+	MaxLen uint16 // bytes to send when Port == PortController
+}
+
+// Type implements Action.
+func (a *ActionOutput) Type() ActionType { return ActOutput }
+
+// Len implements Action.
+func (a *ActionOutput) Len() int { return 8 }
+
+// SerializeTo implements Action.
+func (a *ActionOutput) SerializeTo(dst []byte) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint16(b[0:2], uint16(ActOutput))
+	binary.BigEndian.PutUint16(b[2:4], 8)
+	binary.BigEndian.PutUint16(b[4:6], a.Port)
+	binary.BigEndian.PutUint16(b[6:8], a.MaxLen)
+	return append(dst, b[:]...)
+}
+
+func (a *ActionOutput) String() string {
+	if n := PortName(a.Port); n != "" {
+		return fmt.Sprintf("output:%s", n)
+	}
+	return fmt.Sprintf("output:%d", a.Port)
+}
+
+// ActionSetVLANVID sets the 802.1q VLAN id (ofp_action_vlan_vid).
+type ActionSetVLANVID struct{ VLANVID uint16 }
+
+// Type implements Action.
+func (a *ActionSetVLANVID) Type() ActionType { return ActSetVLANVID }
+
+// Len implements Action.
+func (a *ActionSetVLANVID) Len() int { return 8 }
+
+// SerializeTo implements Action.
+func (a *ActionSetVLANVID) SerializeTo(dst []byte) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint16(b[0:2], uint16(ActSetVLANVID))
+	binary.BigEndian.PutUint16(b[2:4], 8)
+	binary.BigEndian.PutUint16(b[4:6], a.VLANVID)
+	return append(dst, b[:]...)
+}
+
+func (a *ActionSetVLANVID) String() string { return fmt.Sprintf("set_vlan_vid:%d", a.VLANVID) }
+
+// ActionSetVLANPCP sets the 802.1q priority (ofp_action_vlan_pcp).
+type ActionSetVLANPCP struct{ VLANPCP uint8 }
+
+// Type implements Action.
+func (a *ActionSetVLANPCP) Type() ActionType { return ActSetVLANPCP }
+
+// Len implements Action.
+func (a *ActionSetVLANPCP) Len() int { return 8 }
+
+// SerializeTo implements Action.
+func (a *ActionSetVLANPCP) SerializeTo(dst []byte) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint16(b[0:2], uint16(ActSetVLANPCP))
+	binary.BigEndian.PutUint16(b[2:4], 8)
+	b[4] = a.VLANPCP
+	return append(dst, b[:]...)
+}
+
+func (a *ActionSetVLANPCP) String() string { return fmt.Sprintf("set_vlan_pcp:%d", a.VLANPCP) }
+
+// ActionStripVLAN removes the 802.1q header (ofp_action_header).
+type ActionStripVLAN struct{}
+
+// Type implements Action.
+func (a *ActionStripVLAN) Type() ActionType { return ActStripVLAN }
+
+// Len implements Action.
+func (a *ActionStripVLAN) Len() int { return 8 }
+
+// SerializeTo implements Action.
+func (a *ActionStripVLAN) SerializeTo(dst []byte) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint16(b[0:2], uint16(ActStripVLAN))
+	binary.BigEndian.PutUint16(b[2:4], 8)
+	return append(dst, b[:]...)
+}
+
+func (a *ActionStripVLAN) String() string { return "strip_vlan" }
+
+// ActionSetDL sets the Ethernet source or destination (ofp_action_dl_addr).
+type ActionSetDL struct {
+	Dst  bool // false: set source; true: set destination
+	Addr [6]byte
+}
+
+// Type implements Action.
+func (a *ActionSetDL) Type() ActionType {
+	if a.Dst {
+		return ActSetDLDst
+	}
+	return ActSetDLSrc
+}
+
+// Len implements Action.
+func (a *ActionSetDL) Len() int { return 16 }
+
+// SerializeTo implements Action.
+func (a *ActionSetDL) SerializeTo(dst []byte) []byte {
+	var b [16]byte
+	binary.BigEndian.PutUint16(b[0:2], uint16(a.Type()))
+	binary.BigEndian.PutUint16(b[2:4], 16)
+	copy(b[4:10], a.Addr[:])
+	return append(dst, b[:]...)
+}
+
+func (a *ActionSetDL) String() string {
+	if a.Dst {
+		return fmt.Sprintf("set_dl_dst:%x", a.Addr)
+	}
+	return fmt.Sprintf("set_dl_src:%x", a.Addr)
+}
+
+// ActionSetNW sets the IPv4 source or destination (ofp_action_nw_addr).
+type ActionSetNW struct {
+	Dst  bool
+	Addr uint32
+}
+
+// Type implements Action.
+func (a *ActionSetNW) Type() ActionType {
+	if a.Dst {
+		return ActSetNWDst
+	}
+	return ActSetNWSrc
+}
+
+// Len implements Action.
+func (a *ActionSetNW) Len() int { return 8 }
+
+// SerializeTo implements Action.
+func (a *ActionSetNW) SerializeTo(dst []byte) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint16(b[0:2], uint16(a.Type()))
+	binary.BigEndian.PutUint16(b[2:4], 8)
+	binary.BigEndian.PutUint32(b[4:8], a.Addr)
+	return append(dst, b[:]...)
+}
+
+func (a *ActionSetNW) String() string {
+	if a.Dst {
+		return fmt.Sprintf("set_nw_dst:%#x", a.Addr)
+	}
+	return fmt.Sprintf("set_nw_src:%#x", a.Addr)
+}
+
+// ActionSetNWTos sets the IP ToS/DSCP field (ofp_action_nw_tos).
+type ActionSetNWTos struct{ Tos uint8 }
+
+// Type implements Action.
+func (a *ActionSetNWTos) Type() ActionType { return ActSetNWTos }
+
+// Len implements Action.
+func (a *ActionSetNWTos) Len() int { return 8 }
+
+// SerializeTo implements Action.
+func (a *ActionSetNWTos) SerializeTo(dst []byte) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint16(b[0:2], uint16(ActSetNWTos))
+	binary.BigEndian.PutUint16(b[2:4], 8)
+	b[4] = a.Tos
+	return append(dst, b[:]...)
+}
+
+func (a *ActionSetNWTos) String() string { return fmt.Sprintf("set_nw_tos:%d", a.Tos) }
+
+// ActionSetTP sets the TCP/UDP source or destination port
+// (ofp_action_tp_port).
+type ActionSetTP struct {
+	Dst  bool
+	Port uint16
+}
+
+// Type implements Action.
+func (a *ActionSetTP) Type() ActionType {
+	if a.Dst {
+		return ActSetTPDst
+	}
+	return ActSetTPSrc
+}
+
+// Len implements Action.
+func (a *ActionSetTP) Len() int { return 8 }
+
+// SerializeTo implements Action.
+func (a *ActionSetTP) SerializeTo(dst []byte) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint16(b[0:2], uint16(a.Type()))
+	binary.BigEndian.PutUint16(b[2:4], 8)
+	binary.BigEndian.PutUint16(b[4:6], a.Port)
+	return append(dst, b[:]...)
+}
+
+func (a *ActionSetTP) String() string {
+	if a.Dst {
+		return fmt.Sprintf("set_tp_dst:%d", a.Port)
+	}
+	return fmt.Sprintf("set_tp_src:%d", a.Port)
+}
+
+// ActionEnqueue forwards through a queue on a port (ofp_action_enqueue).
+type ActionEnqueue struct {
+	Port    uint16
+	QueueID uint32
+}
+
+// Type implements Action.
+func (a *ActionEnqueue) Type() ActionType { return ActEnqueue }
+
+// Len implements Action.
+func (a *ActionEnqueue) Len() int { return 16 }
+
+// SerializeTo implements Action.
+func (a *ActionEnqueue) SerializeTo(dst []byte) []byte {
+	var b [16]byte
+	binary.BigEndian.PutUint16(b[0:2], uint16(ActEnqueue))
+	binary.BigEndian.PutUint16(b[2:4], 16)
+	binary.BigEndian.PutUint16(b[4:6], a.Port)
+	binary.BigEndian.PutUint32(b[12:16], a.QueueID)
+	return append(dst, b[:]...)
+}
+
+func (a *ActionEnqueue) String() string {
+	return fmt.Sprintf("enqueue:%d:%d", a.Port, a.QueueID)
+}
+
+// ActionVendor is an opaque vendor action (ofp_action_vendor_header).
+type ActionVendor struct {
+	Vendor uint32
+	Body   []byte // padded so that total length is a multiple of 8
+}
+
+// Type implements Action.
+func (a *ActionVendor) Type() ActionType { return ActVendor }
+
+// Len implements Action.
+func (a *ActionVendor) Len() int { return 8 + (len(a.Body)+7)/8*8 }
+
+// SerializeTo implements Action.
+func (a *ActionVendor) SerializeTo(dst []byte) []byte {
+	n := a.Len()
+	b := make([]byte, n)
+	binary.BigEndian.PutUint16(b[0:2], uint16(ActVendor))
+	binary.BigEndian.PutUint16(b[2:4], uint16(n))
+	binary.BigEndian.PutUint32(b[4:8], a.Vendor)
+	copy(b[8:], a.Body)
+	return append(dst, b...)
+}
+
+func (a *ActionVendor) String() string { return fmt.Sprintf("vendor:%#x", a.Vendor) }
+
+// DecodeActions parses a wire action list. It returns the parsed actions or
+// an error describing the first malformed entry (type and code match the
+// error message an agent should send).
+func DecodeActions(b []byte) ([]Action, error) {
+	var out []Action
+	for len(b) > 0 {
+		if len(b) < 4 {
+			return nil, fmt.Errorf("openflow: truncated action header (%d bytes)", len(b))
+		}
+		t := ActionType(binary.BigEndian.Uint16(b[0:2]))
+		n := int(binary.BigEndian.Uint16(b[2:4]))
+		if n < 8 || n%8 != 0 || n > len(b) {
+			return nil, fmt.Errorf("openflow: bad action length %d for %v", n, t)
+		}
+		a, err := decodeAction(t, b[:n])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, a)
+		b = b[n:]
+	}
+	return out, nil
+}
+
+func decodeAction(t ActionType, b []byte) (Action, error) {
+	want := ActionLen(t)
+	if t != ActVendor && want != 0 && len(b) != want {
+		return nil, fmt.Errorf("openflow: action %v length %d, want %d", t, len(b), want)
+	}
+	switch t {
+	case ActOutput:
+		return &ActionOutput{
+			Port:   binary.BigEndian.Uint16(b[4:6]),
+			MaxLen: binary.BigEndian.Uint16(b[6:8]),
+		}, nil
+	case ActSetVLANVID:
+		return &ActionSetVLANVID{VLANVID: binary.BigEndian.Uint16(b[4:6])}, nil
+	case ActSetVLANPCP:
+		return &ActionSetVLANPCP{VLANPCP: b[4]}, nil
+	case ActStripVLAN:
+		return &ActionStripVLAN{}, nil
+	case ActSetDLSrc, ActSetDLDst:
+		a := &ActionSetDL{Dst: t == ActSetDLDst}
+		copy(a.Addr[:], b[4:10])
+		return a, nil
+	case ActSetNWSrc, ActSetNWDst:
+		return &ActionSetNW{
+			Dst:  t == ActSetNWDst,
+			Addr: binary.BigEndian.Uint32(b[4:8]),
+		}, nil
+	case ActSetNWTos:
+		return &ActionSetNWTos{Tos: b[4]}, nil
+	case ActSetTPSrc, ActSetTPDst:
+		return &ActionSetTP{
+			Dst:  t == ActSetTPDst,
+			Port: binary.BigEndian.Uint16(b[4:6]),
+		}, nil
+	case ActEnqueue:
+		return &ActionEnqueue{
+			Port:    binary.BigEndian.Uint16(b[4:6]),
+			QueueID: binary.BigEndian.Uint32(b[12:16]),
+		}, nil
+	case ActVendor:
+		if len(b) < 8 {
+			return nil, fmt.Errorf("openflow: vendor action too short")
+		}
+		return &ActionVendor{
+			Vendor: binary.BigEndian.Uint32(b[4:8]),
+			Body:   append([]byte(nil), b[8:]...),
+		}, nil
+	}
+	return nil, fmt.Errorf("openflow: unknown action type %d", uint16(t))
+}
+
+// SerializeActions renders an action list to wire form.
+func SerializeActions(acts []Action) []byte {
+	var out []byte
+	for _, a := range acts {
+		out = a.SerializeTo(out)
+	}
+	return out
+}
+
+// ActionsLen returns the total wire length of an action list.
+func ActionsLen(acts []Action) int {
+	n := 0
+	for _, a := range acts {
+		n += a.Len()
+	}
+	return n
+}

@@ -1,0 +1,814 @@
+package openflow
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Header is the common ofp_header prefix of every OpenFlow message.
+type Header struct {
+	Version uint8
+	Type    MsgType
+	Length  uint16
+	Xid     uint32
+}
+
+// DecodeHeader parses the first HeaderLen bytes of b.
+func DecodeHeader(b []byte) (Header, error) {
+	if len(b) < HeaderLen {
+		return Header{}, fmt.Errorf("openflow: header needs %d bytes, have %d", HeaderLen, len(b))
+	}
+	return Header{
+		Version: b[0],
+		Type:    MsgType(b[1]),
+		Length:  binary.BigEndian.Uint16(b[2:4]),
+		Xid:     binary.BigEndian.Uint32(b[4:8]),
+	}, nil
+}
+
+func putHeader(dst []byte, t MsgType, length int, xid uint32) {
+	dst[0] = Version
+	dst[1] = uint8(t)
+	binary.BigEndian.PutUint16(dst[2:4], uint16(length))
+	binary.BigEndian.PutUint32(dst[4:8], xid)
+}
+
+// Message is an OpenFlow control message. Serialize renders the full wire
+// form including the header; MsgType identifies the concrete type.
+type Message interface {
+	MsgType() MsgType
+	Serialize() []byte
+}
+
+// xidOf extracts the transaction id common to all message structs.
+type xided interface{ xid() uint32 }
+
+// Hello is OFPT_HELLO: version negotiation, empty body.
+type Hello struct{ Xid uint32 }
+
+// MsgType implements Message.
+func (m *Hello) MsgType() MsgType { return TypeHello }
+
+// Serialize implements Message.
+func (m *Hello) Serialize() []byte {
+	b := make([]byte, HeaderLen)
+	putHeader(b, TypeHello, HeaderLen, m.Xid)
+	return b
+}
+func (m *Hello) xid() uint32 { return m.Xid }
+
+// EchoRequest is OFPT_ECHO_REQUEST: keep-alive with arbitrary payload.
+type EchoRequest struct {
+	Xid  uint32
+	Data []byte
+}
+
+// MsgType implements Message.
+func (m *EchoRequest) MsgType() MsgType { return TypeEchoRequest }
+
+// Serialize implements Message.
+func (m *EchoRequest) Serialize() []byte {
+	b := make([]byte, HeaderLen+len(m.Data))
+	putHeader(b, TypeEchoRequest, len(b), m.Xid)
+	copy(b[HeaderLen:], m.Data)
+	return b
+}
+func (m *EchoRequest) xid() uint32 { return m.Xid }
+
+// EchoReply is OFPT_ECHO_REPLY: mirrors the request payload.
+type EchoReply struct {
+	Xid  uint32
+	Data []byte
+}
+
+// MsgType implements Message.
+func (m *EchoReply) MsgType() MsgType { return TypeEchoReply }
+
+// Serialize implements Message.
+func (m *EchoReply) Serialize() []byte {
+	b := make([]byte, HeaderLen+len(m.Data))
+	putHeader(b, TypeEchoReply, len(b), m.Xid)
+	copy(b[HeaderLen:], m.Data)
+	return b
+}
+func (m *EchoReply) xid() uint32 { return m.Xid }
+
+// Vendor is OFPT_VENDOR: an opaque extension message.
+type Vendor struct {
+	Xid    uint32
+	Vendor uint32
+	Body   []byte
+}
+
+// MsgType implements Message.
+func (m *Vendor) MsgType() MsgType { return TypeVendor }
+
+// Serialize implements Message.
+func (m *Vendor) Serialize() []byte {
+	b := make([]byte, HeaderLen+4+len(m.Body))
+	putHeader(b, TypeVendor, len(b), m.Xid)
+	binary.BigEndian.PutUint32(b[8:12], m.Vendor)
+	copy(b[12:], m.Body)
+	return b
+}
+func (m *Vendor) xid() uint32 { return m.Xid }
+
+// FeaturesRequest is OFPT_FEATURES_REQUEST (empty body).
+type FeaturesRequest struct{ Xid uint32 }
+
+// MsgType implements Message.
+func (m *FeaturesRequest) MsgType() MsgType { return TypeFeaturesRequest }
+
+// Serialize implements Message.
+func (m *FeaturesRequest) Serialize() []byte {
+	b := make([]byte, HeaderLen)
+	putHeader(b, TypeFeaturesRequest, HeaderLen, m.Xid)
+	return b
+}
+func (m *FeaturesRequest) xid() uint32 { return m.Xid }
+
+// PhyPortLen is the wire length of ofp_phy_port.
+const PhyPortLen = 48
+
+// PhyPort describes one switch port (ofp_phy_port).
+type PhyPort struct {
+	PortNo     uint16
+	HWAddr     [6]byte
+	Name       string // up to 16 bytes on the wire
+	Config     uint32
+	State      uint32
+	Curr       uint32
+	Advertised uint32
+	Supported  uint32
+	Peer       uint32
+}
+
+func (p *PhyPort) serializeTo(dst []byte) []byte {
+	var b [PhyPortLen]byte
+	binary.BigEndian.PutUint16(b[0:2], p.PortNo)
+	copy(b[2:8], p.HWAddr[:])
+	copy(b[8:24], p.Name)
+	binary.BigEndian.PutUint32(b[24:28], p.Config)
+	binary.BigEndian.PutUint32(b[28:32], p.State)
+	binary.BigEndian.PutUint32(b[32:36], p.Curr)
+	binary.BigEndian.PutUint32(b[36:40], p.Advertised)
+	binary.BigEndian.PutUint32(b[40:44], p.Supported)
+	binary.BigEndian.PutUint32(b[44:48], p.Peer)
+	return append(dst, b[:]...)
+}
+
+func decodePhyPort(b []byte) (PhyPort, error) {
+	if len(b) < PhyPortLen {
+		return PhyPort{}, fmt.Errorf("openflow: phy_port needs %d bytes", PhyPortLen)
+	}
+	var p PhyPort
+	p.PortNo = binary.BigEndian.Uint16(b[0:2])
+	copy(p.HWAddr[:], b[2:8])
+	name := b[8:24]
+	for i, c := range name {
+		if c == 0 {
+			name = name[:i]
+			break
+		}
+	}
+	p.Name = string(name)
+	p.Config = binary.BigEndian.Uint32(b[24:28])
+	p.State = binary.BigEndian.Uint32(b[28:32])
+	p.Curr = binary.BigEndian.Uint32(b[32:36])
+	p.Advertised = binary.BigEndian.Uint32(b[36:40])
+	p.Supported = binary.BigEndian.Uint32(b[40:44])
+	p.Peer = binary.BigEndian.Uint32(b[44:48])
+	return p, nil
+}
+
+// FeaturesReply is OFPT_FEATURES_REPLY (ofp_switch_features).
+type FeaturesReply struct {
+	Xid          uint32
+	DatapathID   uint64
+	NBuffers     uint32
+	NTables      uint8
+	Capabilities uint32
+	Actions      uint32 // bitmap of supported action types
+	Ports        []PhyPort
+}
+
+// MsgType implements Message.
+func (m *FeaturesReply) MsgType() MsgType { return TypeFeaturesReply }
+
+// Serialize implements Message.
+func (m *FeaturesReply) Serialize() []byte {
+	b := make([]byte, HeaderLen+24, HeaderLen+24+len(m.Ports)*PhyPortLen)
+	binary.BigEndian.PutUint64(b[8:16], m.DatapathID)
+	binary.BigEndian.PutUint32(b[16:20], m.NBuffers)
+	b[20] = m.NTables
+	binary.BigEndian.PutUint32(b[24:28], m.Capabilities)
+	binary.BigEndian.PutUint32(b[28:32], m.Actions)
+	for i := range m.Ports {
+		b = m.Ports[i].serializeTo(b)
+	}
+	putHeader(b, TypeFeaturesReply, len(b), m.Xid)
+	return b
+}
+func (m *FeaturesReply) xid() uint32 { return m.Xid }
+
+// GetConfigRequest is OFPT_GET_CONFIG_REQUEST (empty body).
+type GetConfigRequest struct{ Xid uint32 }
+
+// MsgType implements Message.
+func (m *GetConfigRequest) MsgType() MsgType { return TypeGetConfigRequest }
+
+// Serialize implements Message.
+func (m *GetConfigRequest) Serialize() []byte {
+	b := make([]byte, HeaderLen)
+	putHeader(b, TypeGetConfigRequest, HeaderLen, m.Xid)
+	return b
+}
+func (m *GetConfigRequest) xid() uint32 { return m.Xid }
+
+// SwitchConfig is the shared body of GET_CONFIG_REPLY and SET_CONFIG
+// (ofp_switch_config).
+type SwitchConfig struct {
+	Xid         uint32
+	Flags       uint16
+	MissSendLen uint16
+	reply       bool
+}
+
+// GetConfigReply is OFPT_GET_CONFIG_REPLY.
+type GetConfigReply SwitchConfig
+
+// MsgType implements Message.
+func (m *GetConfigReply) MsgType() MsgType { return TypeGetConfigReply }
+
+// Serialize implements Message.
+func (m *GetConfigReply) Serialize() []byte {
+	b := make([]byte, HeaderLen+4)
+	putHeader(b, TypeGetConfigReply, len(b), m.Xid)
+	binary.BigEndian.PutUint16(b[8:10], m.Flags)
+	binary.BigEndian.PutUint16(b[10:12], m.MissSendLen)
+	return b
+}
+func (m *GetConfigReply) xid() uint32 { return m.Xid }
+
+// SetConfig is OFPT_SET_CONFIG.
+type SetConfig SwitchConfig
+
+// MsgType implements Message.
+func (m *SetConfig) MsgType() MsgType { return TypeSetConfig }
+
+// Serialize implements Message.
+func (m *SetConfig) Serialize() []byte {
+	b := make([]byte, HeaderLen+4)
+	putHeader(b, TypeSetConfig, len(b), m.Xid)
+	binary.BigEndian.PutUint16(b[8:10], m.Flags)
+	binary.BigEndian.PutUint16(b[10:12], m.MissSendLen)
+	return b
+}
+func (m *SetConfig) xid() uint32 { return m.Xid }
+
+// SetConfigLen is the wire length of OFPT_SET_CONFIG.
+const SetConfigLen = HeaderLen + 4
+
+// PacketIn is OFPT_PACKET_IN: a packet forwarded to the controller.
+type PacketIn struct {
+	Xid      uint32
+	BufferID uint32
+	TotalLen uint16
+	InPort   uint16
+	Reason   uint8
+	Data     []byte
+}
+
+// MsgType implements Message.
+func (m *PacketIn) MsgType() MsgType { return TypePacketIn }
+
+// Serialize implements Message.
+func (m *PacketIn) Serialize() []byte {
+	b := make([]byte, HeaderLen+10+len(m.Data))
+	putHeader(b, TypePacketIn, len(b), m.Xid)
+	binary.BigEndian.PutUint32(b[8:12], m.BufferID)
+	binary.BigEndian.PutUint16(b[12:14], m.TotalLen)
+	binary.BigEndian.PutUint16(b[14:16], m.InPort)
+	b[16] = m.Reason
+	copy(b[18:], m.Data)
+	return b
+}
+func (m *PacketIn) xid() uint32 { return m.Xid }
+
+// FlowRemoved is OFPT_FLOW_REMOVED.
+type FlowRemoved struct {
+	Xid          uint32
+	Match        Match
+	Cookie       uint64
+	Priority     uint16
+	Reason       uint8
+	DurationSec  uint32
+	DurationNsec uint32
+	IdleTimeout  uint16
+	PacketCount  uint64
+	ByteCount    uint64
+}
+
+// MsgType implements Message.
+func (m *FlowRemoved) MsgType() MsgType { return TypeFlowRemoved }
+
+// Serialize implements Message.
+func (m *FlowRemoved) Serialize() []byte {
+	b := make([]byte, HeaderLen)
+	b = m.Match.SerializeTo(b)
+	var rest [40]byte
+	binary.BigEndian.PutUint64(rest[0:8], m.Cookie)
+	binary.BigEndian.PutUint16(rest[8:10], m.Priority)
+	rest[10] = m.Reason
+	binary.BigEndian.PutUint32(rest[12:16], m.DurationSec)
+	binary.BigEndian.PutUint32(rest[16:20], m.DurationNsec)
+	binary.BigEndian.PutUint16(rest[20:22], m.IdleTimeout)
+	binary.BigEndian.PutUint64(rest[24:32], m.PacketCount)
+	binary.BigEndian.PutUint64(rest[32:40], m.ByteCount)
+	b = append(b, rest[:]...)
+	putHeader(b, TypeFlowRemoved, len(b), m.Xid)
+	return b
+}
+func (m *FlowRemoved) xid() uint32 { return m.Xid }
+
+// PortStatus is OFPT_PORT_STATUS.
+type PortStatus struct {
+	Xid    uint32
+	Reason uint8
+	Desc   PhyPort
+}
+
+// MsgType implements Message.
+func (m *PortStatus) MsgType() MsgType { return TypePortStatus }
+
+// Serialize implements Message.
+func (m *PortStatus) Serialize() []byte {
+	b := make([]byte, HeaderLen+8)
+	b[8] = m.Reason
+	b = m.Desc.serializeTo(b)
+	putHeader(b, TypePortStatus, len(b), m.Xid)
+	return b
+}
+func (m *PortStatus) xid() uint32 { return m.Xid }
+
+// PacketOutFixedLen is the length of OFPT_PACKET_OUT up to the action list.
+const PacketOutFixedLen = HeaderLen + 8
+
+// PacketOut is OFPT_PACKET_OUT: instructs the switch to emit a packet.
+type PacketOut struct {
+	Xid      uint32
+	BufferID uint32
+	InPort   uint16
+	Actions  []Action
+	Data     []byte // packet payload when BufferID == NoBuffer
+}
+
+// MsgType implements Message.
+func (m *PacketOut) MsgType() MsgType { return TypePacketOut }
+
+// Serialize implements Message.
+func (m *PacketOut) Serialize() []byte {
+	acts := SerializeActions(m.Actions)
+	b := make([]byte, PacketOutFixedLen, PacketOutFixedLen+len(acts)+len(m.Data))
+	binary.BigEndian.PutUint32(b[8:12], m.BufferID)
+	binary.BigEndian.PutUint16(b[12:14], m.InPort)
+	binary.BigEndian.PutUint16(b[14:16], uint16(len(acts)))
+	b = append(b, acts...)
+	b = append(b, m.Data...)
+	putHeader(b, TypePacketOut, len(b), m.Xid)
+	return b
+}
+func (m *PacketOut) xid() uint32 { return m.Xid }
+
+// FlowModFixedLen is the length of OFPT_FLOW_MOD up to the action list.
+const FlowModFixedLen = HeaderLen + MatchLen + 24
+
+// FlowMod is OFPT_FLOW_MOD: the flow table modification command.
+type FlowMod struct {
+	Xid         uint32
+	Match       Match
+	Cookie      uint64
+	Command     FlowModCommand
+	IdleTimeout uint16
+	HardTimeout uint16
+	Priority    uint16
+	BufferID    uint32
+	OutPort     uint16
+	Flags       uint16
+	Actions     []Action
+}
+
+// MsgType implements Message.
+func (m *FlowMod) MsgType() MsgType { return TypeFlowMod }
+
+// Serialize implements Message.
+func (m *FlowMod) Serialize() []byte {
+	b := make([]byte, HeaderLen, FlowModFixedLen+ActionsLen(m.Actions))
+	b = m.Match.SerializeTo(b)
+	var rest [24]byte
+	binary.BigEndian.PutUint64(rest[0:8], m.Cookie)
+	binary.BigEndian.PutUint16(rest[8:10], uint16(m.Command))
+	binary.BigEndian.PutUint16(rest[10:12], m.IdleTimeout)
+	binary.BigEndian.PutUint16(rest[12:14], m.HardTimeout)
+	binary.BigEndian.PutUint16(rest[14:16], m.Priority)
+	binary.BigEndian.PutUint32(rest[16:20], m.BufferID)
+	binary.BigEndian.PutUint16(rest[20:22], m.OutPort)
+	binary.BigEndian.PutUint16(rest[22:24], m.Flags)
+	b = append(b, rest[:]...)
+	b = append(b, SerializeActions(m.Actions)...)
+	putHeader(b, TypeFlowMod, len(b), m.Xid)
+	return b
+}
+func (m *FlowMod) xid() uint32 { return m.Xid }
+
+// PortMod is OFPT_PORT_MOD.
+type PortMod struct {
+	Xid       uint32
+	PortNo    uint16
+	HWAddr    [6]byte
+	Config    uint32
+	Mask      uint32
+	Advertise uint32
+}
+
+// MsgType implements Message.
+func (m *PortMod) MsgType() MsgType { return TypePortMod }
+
+// Serialize implements Message.
+func (m *PortMod) Serialize() []byte {
+	b := make([]byte, HeaderLen+24)
+	putHeader(b, TypePortMod, len(b), m.Xid)
+	binary.BigEndian.PutUint16(b[8:10], m.PortNo)
+	copy(b[10:16], m.HWAddr[:])
+	binary.BigEndian.PutUint32(b[16:20], m.Config)
+	binary.BigEndian.PutUint32(b[20:24], m.Mask)
+	binary.BigEndian.PutUint32(b[24:28], m.Advertise)
+	return b
+}
+func (m *PortMod) xid() uint32 { return m.Xid }
+
+// StatsRequestFixedLen is the length of OFPT_STATS_REQUEST up to the body.
+const StatsRequestFixedLen = HeaderLen + 4
+
+// StatsRequest is OFPT_STATS_REQUEST.
+type StatsRequest struct {
+	Xid       uint32
+	StatsType StatsType
+	Flags     uint16
+	Body      []byte
+}
+
+// MsgType implements Message.
+func (m *StatsRequest) MsgType() MsgType { return TypeStatsRequest }
+
+// Serialize implements Message.
+func (m *StatsRequest) Serialize() []byte {
+	b := make([]byte, StatsRequestFixedLen+len(m.Body))
+	putHeader(b, TypeStatsRequest, len(b), m.Xid)
+	binary.BigEndian.PutUint16(b[8:10], uint16(m.StatsType))
+	binary.BigEndian.PutUint16(b[10:12], m.Flags)
+	copy(b[12:], m.Body)
+	return b
+}
+func (m *StatsRequest) xid() uint32 { return m.Xid }
+
+// StatsReply is OFPT_STATS_REPLY.
+type StatsReply struct {
+	Xid       uint32
+	StatsType StatsType
+	Flags     uint16
+	Body      []byte
+}
+
+// MsgType implements Message.
+func (m *StatsReply) MsgType() MsgType { return TypeStatsReply }
+
+// Serialize implements Message.
+func (m *StatsReply) Serialize() []byte {
+	b := make([]byte, StatsRequestFixedLen+len(m.Body))
+	putHeader(b, TypeStatsReply, len(b), m.Xid)
+	binary.BigEndian.PutUint16(b[8:10], uint16(m.StatsType))
+	binary.BigEndian.PutUint16(b[10:12], m.Flags)
+	copy(b[12:], m.Body)
+	return b
+}
+func (m *StatsReply) xid() uint32 { return m.Xid }
+
+// BarrierRequest is OFPT_BARRIER_REQUEST (empty body).
+type BarrierRequest struct{ Xid uint32 }
+
+// MsgType implements Message.
+func (m *BarrierRequest) MsgType() MsgType { return TypeBarrierRequest }
+
+// Serialize implements Message.
+func (m *BarrierRequest) Serialize() []byte {
+	b := make([]byte, HeaderLen)
+	putHeader(b, TypeBarrierRequest, HeaderLen, m.Xid)
+	return b
+}
+func (m *BarrierRequest) xid() uint32 { return m.Xid }
+
+// BarrierReply is OFPT_BARRIER_REPLY (empty body).
+type BarrierReply struct{ Xid uint32 }
+
+// MsgType implements Message.
+func (m *BarrierReply) MsgType() MsgType { return TypeBarrierReply }
+
+// Serialize implements Message.
+func (m *BarrierReply) Serialize() []byte {
+	b := make([]byte, HeaderLen)
+	putHeader(b, TypeBarrierReply, HeaderLen, m.Xid)
+	return b
+}
+func (m *BarrierReply) xid() uint32 { return m.Xid }
+
+// QueueGetConfigRequestLen is the wire length of the queue config request.
+const QueueGetConfigRequestLen = HeaderLen + 4
+
+// QueueGetConfigRequest is OFPT_QUEUE_GET_CONFIG_REQUEST.
+type QueueGetConfigRequest struct {
+	Xid  uint32
+	Port uint16
+}
+
+// MsgType implements Message.
+func (m *QueueGetConfigRequest) MsgType() MsgType { return TypeQueueGetConfigRequest }
+
+// Serialize implements Message.
+func (m *QueueGetConfigRequest) Serialize() []byte {
+	b := make([]byte, QueueGetConfigRequestLen)
+	putHeader(b, TypeQueueGetConfigRequest, len(b), m.Xid)
+	binary.BigEndian.PutUint16(b[8:10], m.Port)
+	return b
+}
+func (m *QueueGetConfigRequest) xid() uint32 { return m.Xid }
+
+// QueueGetConfigReply is OFPT_QUEUE_GET_CONFIG_REPLY (queues omitted: the
+// agents under test expose no queues, matching the reference switch).
+type QueueGetConfigReply struct {
+	Xid  uint32
+	Port uint16
+}
+
+// MsgType implements Message.
+func (m *QueueGetConfigReply) MsgType() MsgType { return TypeQueueGetConfigReply }
+
+// Serialize implements Message.
+func (m *QueueGetConfigReply) Serialize() []byte {
+	b := make([]byte, HeaderLen+8)
+	putHeader(b, TypeQueueGetConfigReply, len(b), m.Xid)
+	binary.BigEndian.PutUint16(b[8:10], m.Port)
+	return b
+}
+func (m *QueueGetConfigReply) xid() uint32 { return m.Xid }
+
+// ErrorMsg is OFPT_ERROR.
+type ErrorMsg struct {
+	Xid     uint32
+	ErrType ErrType
+	Code    uint16
+	Data    []byte // at least 64 bytes of the offending message
+}
+
+// MsgType implements Message.
+func (m *ErrorMsg) MsgType() MsgType { return TypeError }
+
+// Serialize implements Message.
+func (m *ErrorMsg) Serialize() []byte {
+	b := make([]byte, HeaderLen+4+len(m.Data))
+	putHeader(b, TypeError, len(b), m.Xid)
+	binary.BigEndian.PutUint16(b[8:10], uint16(m.ErrType))
+	binary.BigEndian.PutUint16(b[10:12], m.Code)
+	copy(b[12:], m.Data)
+	return b
+}
+func (m *ErrorMsg) xid() uint32 { return m.Xid }
+
+func (m *ErrorMsg) String() string {
+	return fmt.Sprintf("error{%v/%d}", m.ErrType, m.Code)
+}
+
+// Xid returns the transaction id of any message produced by this package.
+func Xid(m Message) uint32 {
+	if x, ok := m.(xided); ok {
+		return x.xid()
+	}
+	return 0
+}
+
+// Decode parses one complete OpenFlow message from b. The header length
+// field must equal len(b).
+func Decode(b []byte) (Message, error) {
+	h, err := DecodeHeader(b)
+	if err != nil {
+		return nil, err
+	}
+	if h.Version != Version {
+		return nil, fmt.Errorf("openflow: version %d not supported", h.Version)
+	}
+	if int(h.Length) != len(b) {
+		return nil, fmt.Errorf("openflow: header length %d != buffer %d", h.Length, len(b))
+	}
+	body := b[HeaderLen:]
+	switch h.Type {
+	case TypeHello:
+		return &Hello{Xid: h.Xid}, nil
+	case TypeError:
+		if len(body) < 4 {
+			return nil, fmt.Errorf("openflow: error message too short")
+		}
+		return &ErrorMsg{
+			Xid:     h.Xid,
+			ErrType: ErrType(binary.BigEndian.Uint16(body[0:2])),
+			Code:    binary.BigEndian.Uint16(body[2:4]),
+			Data:    append([]byte(nil), body[4:]...),
+		}, nil
+	case TypeEchoRequest:
+		return &EchoRequest{Xid: h.Xid, Data: append([]byte(nil), body...)}, nil
+	case TypeEchoReply:
+		return &EchoReply{Xid: h.Xid, Data: append([]byte(nil), body...)}, nil
+	case TypeVendor:
+		if len(body) < 4 {
+			return nil, fmt.Errorf("openflow: vendor message too short")
+		}
+		return &Vendor{
+			Xid:    h.Xid,
+			Vendor: binary.BigEndian.Uint32(body[0:4]),
+			Body:   append([]byte(nil), body[4:]...),
+		}, nil
+	case TypeFeaturesRequest:
+		return &FeaturesRequest{Xid: h.Xid}, nil
+	case TypeFeaturesReply:
+		if len(body) < 24 {
+			return nil, fmt.Errorf("openflow: features reply too short")
+		}
+		m := &FeaturesReply{
+			Xid:          h.Xid,
+			DatapathID:   binary.BigEndian.Uint64(body[0:8]),
+			NBuffers:     binary.BigEndian.Uint32(body[8:12]),
+			NTables:      body[12],
+			Capabilities: binary.BigEndian.Uint32(body[16:20]),
+			Actions:      binary.BigEndian.Uint32(body[20:24]),
+		}
+		for rest := body[24:]; len(rest) >= PhyPortLen; rest = rest[PhyPortLen:] {
+			p, err := decodePhyPort(rest)
+			if err != nil {
+				return nil, err
+			}
+			m.Ports = append(m.Ports, p)
+		}
+		return m, nil
+	case TypeGetConfigRequest:
+		return &GetConfigRequest{Xid: h.Xid}, nil
+	case TypeGetConfigReply, TypeSetConfig:
+		if len(body) < 4 {
+			return nil, fmt.Errorf("openflow: switch config too short")
+		}
+		sc := SwitchConfig{
+			Xid:         h.Xid,
+			Flags:       binary.BigEndian.Uint16(body[0:2]),
+			MissSendLen: binary.BigEndian.Uint16(body[2:4]),
+		}
+		if h.Type == TypeSetConfig {
+			m := SetConfig(sc)
+			return &m, nil
+		}
+		m := GetConfigReply(sc)
+		return &m, nil
+	case TypePacketIn:
+		if len(body) < 10 {
+			return nil, fmt.Errorf("openflow: packet in too short")
+		}
+		return &PacketIn{
+			Xid:      h.Xid,
+			BufferID: binary.BigEndian.Uint32(body[0:4]),
+			TotalLen: binary.BigEndian.Uint16(body[4:6]),
+			InPort:   binary.BigEndian.Uint16(body[6:8]),
+			Reason:   body[8],
+			Data:     append([]byte(nil), body[10:]...),
+		}, nil
+	case TypeFlowRemoved:
+		if len(body) < MatchLen+40 {
+			return nil, fmt.Errorf("openflow: flow removed too short")
+		}
+		m := &FlowRemoved{Xid: h.Xid}
+		if err := m.Match.DecodeFromBytes(body); err != nil {
+			return nil, err
+		}
+		rest := body[MatchLen:]
+		m.Cookie = binary.BigEndian.Uint64(rest[0:8])
+		m.Priority = binary.BigEndian.Uint16(rest[8:10])
+		m.Reason = rest[10]
+		m.DurationSec = binary.BigEndian.Uint32(rest[12:16])
+		m.DurationNsec = binary.BigEndian.Uint32(rest[16:20])
+		m.IdleTimeout = binary.BigEndian.Uint16(rest[20:22])
+		m.PacketCount = binary.BigEndian.Uint64(rest[24:32])
+		m.ByteCount = binary.BigEndian.Uint64(rest[32:40])
+		return m, nil
+	case TypePortStatus:
+		if len(body) < 8+PhyPortLen {
+			return nil, fmt.Errorf("openflow: port status too short")
+		}
+		p, err := decodePhyPort(body[8:])
+		if err != nil {
+			return nil, err
+		}
+		return &PortStatus{Xid: h.Xid, Reason: body[0], Desc: p}, nil
+	case TypePacketOut:
+		if len(body) < 8 {
+			return nil, fmt.Errorf("openflow: packet out too short")
+		}
+		actsLen := int(binary.BigEndian.Uint16(body[6:8]))
+		if 8+actsLen > len(body) {
+			return nil, fmt.Errorf("openflow: packet out actions overflow body")
+		}
+		acts, err := DecodeActions(body[8 : 8+actsLen])
+		if err != nil {
+			return nil, err
+		}
+		return &PacketOut{
+			Xid:      h.Xid,
+			BufferID: binary.BigEndian.Uint32(body[0:4]),
+			InPort:   binary.BigEndian.Uint16(body[4:6]),
+			Actions:  acts,
+			Data:     append([]byte(nil), body[8+actsLen:]...),
+		}, nil
+	case TypeFlowMod:
+		if len(body) < MatchLen+24 {
+			return nil, fmt.Errorf("openflow: flow mod too short")
+		}
+		m := &FlowMod{Xid: h.Xid}
+		if err := m.Match.DecodeFromBytes(body); err != nil {
+			return nil, err
+		}
+		rest := body[MatchLen:]
+		m.Cookie = binary.BigEndian.Uint64(rest[0:8])
+		m.Command = FlowModCommand(binary.BigEndian.Uint16(rest[8:10]))
+		m.IdleTimeout = binary.BigEndian.Uint16(rest[10:12])
+		m.HardTimeout = binary.BigEndian.Uint16(rest[12:14])
+		m.Priority = binary.BigEndian.Uint16(rest[14:16])
+		m.BufferID = binary.BigEndian.Uint32(rest[16:20])
+		m.OutPort = binary.BigEndian.Uint16(rest[20:22])
+		m.Flags = binary.BigEndian.Uint16(rest[22:24])
+		acts, err := DecodeActions(rest[24:])
+		if err != nil {
+			return nil, err
+		}
+		m.Actions = acts
+		return m, nil
+	case TypePortMod:
+		if len(body) < 24 {
+			return nil, fmt.Errorf("openflow: port mod too short")
+		}
+		m := &PortMod{
+			Xid:    h.Xid,
+			PortNo: binary.BigEndian.Uint16(body[0:2]),
+		}
+		copy(m.HWAddr[:], body[2:8])
+		m.Config = binary.BigEndian.Uint32(body[8:12])
+		m.Mask = binary.BigEndian.Uint32(body[12:16])
+		m.Advertise = binary.BigEndian.Uint32(body[16:20])
+		return m, nil
+	case TypeStatsRequest:
+		if len(body) < 4 {
+			return nil, fmt.Errorf("openflow: stats request too short")
+		}
+		return &StatsRequest{
+			Xid:       h.Xid,
+			StatsType: StatsType(binary.BigEndian.Uint16(body[0:2])),
+			Flags:     binary.BigEndian.Uint16(body[2:4]),
+			Body:      append([]byte(nil), body[4:]...),
+		}, nil
+	case TypeStatsReply:
+		if len(body) < 4 {
+			return nil, fmt.Errorf("openflow: stats reply too short")
+		}
+		return &StatsReply{
+			Xid:       h.Xid,
+			StatsType: StatsType(binary.BigEndian.Uint16(body[0:2])),
+			Flags:     binary.BigEndian.Uint16(body[2:4]),
+			Body:      append([]byte(nil), body[4:]...),
+		}, nil
+	case TypeBarrierRequest:
+		return &BarrierRequest{Xid: h.Xid}, nil
+	case TypeBarrierReply:
+		return &BarrierReply{Xid: h.Xid}, nil
+	case TypeQueueGetConfigRequest:
+		if len(body) < 4 {
+			return nil, fmt.Errorf("openflow: queue config request too short")
+		}
+		return &QueueGetConfigRequest{
+			Xid:  h.Xid,
+			Port: binary.BigEndian.Uint16(body[0:2]),
+		}, nil
+	case TypeQueueGetConfigReply:
+		if len(body) < 8 {
+			return nil, fmt.Errorf("openflow: queue config reply too short")
+		}
+		return &QueueGetConfigReply{
+			Xid:  h.Xid,
+			Port: binary.BigEndian.Uint16(body[0:2]),
+		}, nil
+	}
+	return nil, fmt.Errorf("openflow: unknown message type %d", uint8(h.Type))
+}

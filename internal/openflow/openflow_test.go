@@ -1,0 +1,354 @@
+package openflow
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func roundTrip(t *testing.T, m Message) Message {
+	t.Helper()
+	wire := m.Serialize()
+	h, err := DecodeHeader(wire)
+	if err != nil {
+		t.Fatalf("header: %v", err)
+	}
+	if int(h.Length) != len(wire) {
+		t.Fatalf("%v: header length %d != wire %d", m.MsgType(), h.Length, len(wire))
+	}
+	if h.Type != m.MsgType() {
+		t.Fatalf("type %v != %v", h.Type, m.MsgType())
+	}
+	got, err := Decode(wire)
+	if err != nil {
+		t.Fatalf("decode %v: %v", m.MsgType(), err)
+	}
+	return got
+}
+
+func TestRoundTripAllMessageTypes(t *testing.T) {
+	msgs := []Message{
+		&Hello{Xid: 1},
+		&ErrorMsg{Xid: 2, ErrType: ErrBadRequest, Code: BRCBadLen, Data: []byte{1, 2, 3}},
+		&EchoRequest{Xid: 3, Data: []byte("ping")},
+		&EchoReply{Xid: 4, Data: []byte("pong")},
+		&Vendor{Xid: 5, Vendor: 0x2320, Body: []byte{9, 9}},
+		&FeaturesRequest{Xid: 6},
+		&FeaturesReply{
+			Xid: 7, DatapathID: 0xdeadbeefcafe, NBuffers: 256, NTables: 2,
+			Capabilities: CapFlowStats | CapTableStats,
+			Actions:      1<<uint(ActOutput) | 1<<uint(ActSetVLANVID),
+			Ports:        []PhyPort{{PortNo: 1, Name: "eth1"}, {PortNo: 2, Name: "eth2"}},
+		},
+		&GetConfigRequest{Xid: 8},
+		&GetConfigReply{Xid: 9, Flags: FragNormal, MissSendLen: 128},
+		&SetConfig{Xid: 10, Flags: FragDrop, MissSendLen: 0xffff},
+		&PacketIn{Xid: 11, BufferID: 42, TotalLen: 60, InPort: 3, Reason: ReasonNoMatch, Data: []byte{0xaa, 0xbb}},
+		&FlowRemoved{Xid: 12, Match: MatchAll(), Cookie: 7, Priority: 100, Reason: 1, PacketCount: 5, ByteCount: 500},
+		&PortStatus{Xid: 13, Reason: 2, Desc: PhyPort{PortNo: 9, Name: "eth9"}},
+		&PacketOut{Xid: 14, BufferID: NoBuffer, InPort: PortNone,
+			Actions: []Action{&ActionOutput{Port: 2, MaxLen: 64}}, Data: []byte{1, 2, 3, 4}},
+		&FlowMod{Xid: 15, Match: MatchAll(), Command: FCAdd, Priority: 0x8000,
+			BufferID: NoBuffer, OutPort: PortNone,
+			Actions: []Action{&ActionOutput{Port: 1}, &ActionSetVLANVID{VLANVID: 100}}},
+		&PortMod{Xid: 16, PortNo: 1, Config: 1, Mask: 1},
+		&StatsRequest{Xid: 17, StatsType: StatsFlow, Body: make([]byte, 44)},
+		&StatsReply{Xid: 18, StatsType: StatsDesc, Body: []byte("desc")},
+		&BarrierRequest{Xid: 19},
+		&BarrierReply{Xid: 20},
+		&QueueGetConfigRequest{Xid: 21, Port: 1},
+		&QueueGetConfigReply{Xid: 22, Port: 1},
+	}
+	if len(msgs) != NumTypes {
+		t.Fatalf("test covers %d message types, protocol has %d", len(msgs), NumTypes)
+	}
+	seen := map[MsgType]bool{}
+	for _, m := range msgs {
+		got := roundTrip(t, m)
+		if !reflect.DeepEqual(normalize(got), normalize(m)) {
+			t.Errorf("%v round trip:\n got %#v\nwant %#v", m.MsgType(), got, m)
+		}
+		seen[m.MsgType()] = true
+	}
+	if len(seen) != NumTypes {
+		t.Fatalf("covered %d distinct types, want %d", len(seen), NumTypes)
+	}
+}
+
+// normalize maps empty slices to nil so DeepEqual ignores the
+// empty-vs-nil distinction Decode introduces.
+func normalize(m Message) Message {
+	v := reflect.ValueOf(m).Elem()
+	for i := 0; i < v.NumField(); i++ {
+		f := v.Field(i)
+		if f.Kind() == reflect.Slice && f.Len() == 0 && f.CanSet() {
+			f.Set(reflect.Zero(f.Type()))
+		}
+	}
+	return m
+}
+
+func TestXidAccessor(t *testing.T) {
+	for _, m := range []Message{&Hello{Xid: 77}, &FlowMod{Xid: 78}, &ErrorMsg{Xid: 79}} {
+		want := reflect.ValueOf(m).Elem().FieldByName("Xid").Uint()
+		if got := Xid(m); got != uint32(want) {
+			t.Errorf("Xid(%v) = %d, want %d", m.MsgType(), got, want)
+		}
+	}
+}
+
+func TestDecodeRejectsBadVersion(t *testing.T) {
+	wire := (&Hello{}).Serialize()
+	wire[0] = 0x04 // OpenFlow 1.3
+	if _, err := Decode(wire); err == nil {
+		t.Fatal("expected version error")
+	}
+}
+
+func TestDecodeRejectsLengthMismatch(t *testing.T) {
+	wire := (&Hello{}).Serialize()
+	wire = append(wire, 0)
+	if _, err := Decode(wire); err == nil {
+		t.Fatal("expected length error")
+	}
+}
+
+func TestDecodeRejectsUnknownType(t *testing.T) {
+	wire := (&Hello{}).Serialize()
+	wire[1] = 99
+	if _, err := Decode(wire); err == nil {
+		t.Fatal("expected unknown type error")
+	}
+}
+
+func TestActionRoundTrip(t *testing.T) {
+	acts := []Action{
+		&ActionOutput{Port: 5, MaxLen: 128},
+		&ActionSetVLANVID{VLANVID: 0xfff},
+		&ActionSetVLANPCP{VLANPCP: 7},
+		&ActionStripVLAN{},
+		&ActionSetDL{Dst: false, Addr: [6]byte{1, 2, 3, 4, 5, 6}},
+		&ActionSetDL{Dst: true, Addr: [6]byte{6, 5, 4, 3, 2, 1}},
+		&ActionSetNW{Dst: false, Addr: 0x0a000001},
+		&ActionSetNW{Dst: true, Addr: 0x0a000002},
+		&ActionSetNWTos{Tos: 0xfc},
+		&ActionSetTP{Dst: false, Port: 80},
+		&ActionSetTP{Dst: true, Port: 443},
+		&ActionEnqueue{Port: 3, QueueID: 9},
+		&ActionVendor{Vendor: 0x1234, Body: []byte{1, 2, 3, 4, 5, 6, 7, 8}},
+	}
+	wire := SerializeActions(acts)
+	if len(wire) != ActionsLen(acts) {
+		t.Fatalf("wire %d bytes, ActionsLen %d", len(wire), ActionsLen(acts))
+	}
+	if len(wire)%8 != 0 {
+		t.Fatalf("action list length %d not a multiple of 8", len(wire))
+	}
+	got, err := DecodeActions(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(acts) {
+		t.Fatalf("decoded %d actions, want %d", len(got), len(acts))
+	}
+	for i := range acts {
+		if !reflect.DeepEqual(got[i], acts[i]) {
+			t.Errorf("action %d: got %#v want %#v", i, got[i], acts[i])
+		}
+	}
+}
+
+func TestDecodeActionsRejectsBadLength(t *testing.T) {
+	// Valid type with a length of 4 (must be >= 8 and a multiple of 8).
+	bad := []byte{0, 0, 0, 4, 0, 0, 0, 0}
+	if _, err := DecodeActions(bad); err == nil {
+		t.Fatal("expected bad-length error")
+	}
+	// Length larger than the remaining buffer.
+	bad = []byte{0, 0, 0, 16, 0, 0, 0, 0}
+	if _, err := DecodeActions(bad); err == nil {
+		t.Fatal("expected overflow error")
+	}
+}
+
+func TestActionLenTable(t *testing.T) {
+	for at := ActionType(0); at < NumActionTypes; at++ {
+		n := ActionLen(at)
+		if n == 0 || n%8 != 0 {
+			t.Errorf("ActionLen(%v) = %d", at, n)
+		}
+	}
+	if ActionLen(ActionType(500)) != 0 {
+		t.Error("unknown action type must have length 0")
+	}
+}
+
+func TestMatchRoundTrip(t *testing.T) {
+	m := Match{
+		Wildcards: FWDLVLAN | FWNWSrcAll,
+		InPort:    7,
+		DLSrc:     [6]byte{1, 2, 3, 4, 5, 6},
+		DLDst:     [6]byte{9, 8, 7, 6, 5, 4},
+		DLType:    0x0800,
+		NWTos:     0x10,
+		NWProto:   6,
+		NWDst:     0x0a000001,
+		TPSrc:     1234,
+		TPDst:     80,
+	}
+	wire := m.SerializeTo(nil)
+	if len(wire) != MatchLen {
+		t.Fatalf("match wire length %d", len(wire))
+	}
+	var got Match
+	if err := got.DecodeFromBytes(wire); err != nil {
+		t.Fatal(err)
+	}
+	if got != m {
+		t.Fatalf("round trip:\n got %+v\nwant %+v", got, m)
+	}
+}
+
+func TestQuickMatchRoundTrip(t *testing.T) {
+	f := func(wild uint32, inPort, vlan, dlType, tpSrc, tpDst uint16,
+		pcp, tos, proto uint8, src, dst uint32) bool {
+		m := Match{
+			Wildcards: wild & FWAll, InPort: inPort, DLVLAN: vlan,
+			DLVLANPCP: pcp, DLType: dlType, NWTos: tos, NWProto: proto,
+			NWSrc: src, NWDst: dst, TPSrc: tpSrc, TPDst: tpDst,
+		}
+		var got Match
+		if err := got.DecodeFromBytes(m.SerializeTo(nil)); err != nil {
+			return false
+		}
+		return got == m
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatchSubsumes(t *testing.T) {
+	all := MatchAll()
+	exact := Match{InPort: 3, DLType: 0x0800, NWProto: 6}
+	if !all.Subsumes(&exact) {
+		t.Fatal("wildcard-all must subsume everything")
+	}
+	if exact.Subsumes(&all) {
+		t.Fatal("exact match cannot subsume wildcard-all")
+	}
+	if !exact.Subsumes(&exact) {
+		t.Fatal("subsumption must be reflexive")
+	}
+	inPortOnly := Match{Wildcards: FWAll &^ FWInPort, InPort: 3}
+	if !inPortOnly.Subsumes(&exact) {
+		t.Fatal("in_port=3 must subsume the exact match on port 3")
+	}
+	otherPort := Match{Wildcards: FWAll &^ FWInPort, InPort: 4}
+	if otherPort.Subsumes(&exact) {
+		t.Fatal("in_port=4 must not subsume a port-3 match")
+	}
+}
+
+func TestMatchSubsumesPrefixes(t *testing.T) {
+	// nw_dst 10.0.0.0/24 subsumes 10.0.0.0/32 but not 10.0.1.0/32.
+	w24 := (FWAll &^ FWNWDstMask) | (8 << FWNWDstShift)
+	prefix := Match{Wildcards: w24, NWDst: 0x0a000000}
+	host := Match{Wildcards: FWAll &^ FWNWDstMask, NWDst: 0x0a000001}
+	other := Match{Wildcards: FWAll &^ FWNWDstMask, NWDst: 0x0a000101}
+	if !prefix.Subsumes(&host) {
+		t.Fatal("/24 must subsume host within it")
+	}
+	if prefix.Subsumes(&other) {
+		t.Fatal("/24 must not subsume host outside it")
+	}
+}
+
+func TestMatchEqualsNormalizesWildBits(t *testing.T) {
+	// 33 and 63 wildcarded bits both mean "fully wildcarded address".
+	a := Match{Wildcards: 33 << FWNWSrcShift, NWSrc: 1}
+	b := Match{Wildcards: 63 << FWNWSrcShift, NWSrc: 2}
+	if !a.Equals(&b) {
+		t.Fatal("over-wildcarded addresses must compare equal")
+	}
+}
+
+func TestMatchString(t *testing.T) {
+	all := MatchAll()
+	if got := all.String(); got != "match{*}" {
+		t.Fatalf("MatchAll string %q", got)
+	}
+	m := Match{Wildcards: FWAll &^ FWInPort, InPort: 5}
+	if got := m.String(); got != "match{in_port=5}" {
+		t.Fatalf("string %q", got)
+	}
+}
+
+func TestPortNames(t *testing.T) {
+	if PortName(PortController) != "CONTROLLER" || PortName(5) != "" {
+		t.Fatal("bad port naming")
+	}
+	if PortMax != 0xff00 || PortController != 0xfffd || PortInPort != 0xfff8 {
+		t.Fatal("reserved port constants drifted from the 1.0 spec")
+	}
+}
+
+func TestMsgTypeNames(t *testing.T) {
+	if TypeFlowMod.String() != "FLOW_MOD" || TypePacketOut.String() != "PACKET_OUT" {
+		t.Fatal("message names drifted")
+	}
+	if MsgType(99).Valid() {
+		t.Fatal("type 99 must be invalid")
+	}
+	for i := 0; i < NumTypes; i++ {
+		if !MsgType(i).Valid() {
+			t.Fatalf("type %d must be valid", i)
+		}
+	}
+}
+
+func TestQuickFlowModWireStable(t *testing.T) {
+	// Serializing twice yields identical bytes (no hidden state).
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 50; i++ {
+		m := &FlowMod{
+			Xid:      rng.Uint32(),
+			Match:    Match{Wildcards: rng.Uint32() & FWAll, InPort: uint16(rng.Uint32())},
+			Cookie:   rng.Uint64(),
+			Command:  FlowModCommand(rng.Intn(5)),
+			Priority: uint16(rng.Uint32()),
+			BufferID: rng.Uint32(),
+			OutPort:  uint16(rng.Uint32()),
+			Actions:  []Action{&ActionOutput{Port: uint16(rng.Uint32())}},
+		}
+		if !bytes.Equal(m.Serialize(), m.Serialize()) {
+			t.Fatal("serialization is not deterministic")
+		}
+	}
+}
+
+func BenchmarkFlowModSerialize(b *testing.B) {
+	m := &FlowMod{
+		Match: MatchAll(), Command: FCAdd, BufferID: NoBuffer, OutPort: PortNone,
+		Actions: []Action{&ActionOutput{Port: 1}, &ActionSetVLANVID{VLANVID: 10}},
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Serialize()
+	}
+}
+
+func BenchmarkFlowModDecode(b *testing.B) {
+	wire := (&FlowMod{
+		Match: MatchAll(), Command: FCAdd, BufferID: NoBuffer, OutPort: PortNone,
+		Actions: []Action{&ActionOutput{Port: 1}},
+	}).Serialize()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(wire); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,229 @@
+package report
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/soft-testing/soft/internal/crosscheck"
+)
+
+// quick options keep the suite's test time reasonable; the shape
+// assertions below are the qualitative claims of the paper's evaluation.
+var quick = Options{Quick: true, CheckBudget: 30 * time.Second}
+
+func TestTable1ListsAllTests(t *testing.T) {
+	s := Table1()
+	for _, name := range []string{"Packet Out", "Stats Request", "Set Config",
+		"FlowMod", "Eth FlowMod", "CS FlowMods", "Concrete", "Short Symb"} {
+		if !strings.Contains(s, name) {
+			t.Errorf("Table 1 missing %s", name)
+		}
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	rows := Table2Data(quick)
+	byKey := map[string]Row2{}
+	for _, r := range rows {
+		byKey[r.Test+"/"+r.Agent] = r
+	}
+	// Concrete: exactly 1 path, zero constraints, all agents.
+	for _, a := range Agents() {
+		r := byKey["Concrete/"+a.Name()]
+		if r.Paths != 1 {
+			t.Errorf("Concrete/%s: %d paths, want 1", a.Name(), r.Paths)
+		}
+		if r.AvgSize != 0 || r.MaxSize != 0 {
+			t.Errorf("Concrete/%s: constraint sizes %f/%d, want 0", a.Name(), r.AvgSize, r.MaxSize)
+		}
+	}
+	// Packet Out: OVS partitions finer than ref (Table 2's 3-15x
+	// observation); Modified >= ref (injected changes add paths).
+	po := func(agent string) int { return byKey["Packet Out/"+agent].Paths }
+	if po("Open vSwitch") <= po("Reference Switch") {
+		t.Errorf("ovs Packet Out paths %d not finer than ref %d", po("Open vSwitch"), po("Reference Switch"))
+	}
+	// Packet Out >> Concrete and Short Symb small.
+	if po("Reference Switch") < 20 {
+		t.Errorf("ref Packet Out paths suspiciously low: %d", po("Reference Switch"))
+	}
+	ss := byKey["Short Symb/Reference Switch"]
+	if ss.Paths < 5 || ss.Paths > 100 {
+		t.Errorf("Short Symb path count out of range: %d", ss.Paths)
+	}
+}
+
+func TestTable3Shape(t *testing.T) {
+	rows := Table3Data(quick)
+	byTest := map[string]Row3{}
+	for _, r := range rows {
+		byTest[r.Test] = r
+	}
+	// Set Config: agents agree — zero inconsistencies (Table 3).
+	if r := byTest["Set Config"]; r.Inconsistencies != 0 {
+		t.Errorf("Set Config found %d inconsistencies, want 0", r.Inconsistencies)
+	}
+	// Packet Out and Stats Request: inconsistencies found.
+	if r := byTest["Packet Out"]; r.Inconsistencies == 0 {
+		t.Error("Packet Out found no inconsistencies")
+	}
+	if r := byTest["Stats Request"]; r.Inconsistencies == 0 {
+		t.Error("Stats Request found no inconsistencies")
+	}
+	// Root causes never exceed inconsistencies; grouping is fast.
+	for _, r := range rows {
+		if r.RootCauses > r.Inconsistencies {
+			t.Errorf("%s: root causes %d > inconsistencies %d", r.Test, r.RootCauses, r.Inconsistencies)
+		}
+		if r.GroupsRef == 0 || r.GroupsOVS == 0 {
+			t.Errorf("%s: empty grouping", r.Test)
+		}
+	}
+}
+
+func TestTable4Shape(t *testing.T) {
+	rows := Table4Data(quick)
+	byTest := map[string]Row4{}
+	for _, r := range rows {
+		byTest[r.Test] = r
+	}
+	base := byTest["No Message"]
+	if base.RefInstr <= 5 || base.RefInstr >= 20 {
+		t.Errorf("No Message ref coverage %f out of the ~12%% band", base.RefInstr)
+	}
+	if base.RefBranch <= 0 {
+		t.Error("handshake must cover some branch directions")
+	}
+	// Every test covers strictly more than the handshake baseline.
+	for name, r := range byTest {
+		if name == "No Message" {
+			continue
+		}
+		if r.RefInstr <= base.RefInstr || r.OVSInstr <= base.OVSInstr {
+			t.Errorf("%s coverage (%f/%f) not above baseline (%f/%f)",
+				name, r.RefInstr, r.OVSInstr, base.RefInstr, base.OVSInstr)
+		}
+	}
+	// Packet Out covers more than Concrete (it reaches the action code).
+	if byTest["Packet Out"].RefInstr <= byTest["Concrete"].RefInstr {
+		t.Error("Packet Out should cover more than Concrete")
+	}
+}
+
+func TestTable5Shape(t *testing.T) {
+	rows := Table5Data(Options{MaxPaths: 20000})
+	byVariant := map[string]Row5{}
+	for _, r := range rows {
+		byVariant[r.Variant] = r
+	}
+	full := byVariant["Fully Symbolic"]
+	cm := byVariant["Concrete Match"]
+	ca := byVariant["Concrete Action"]
+	// Concretizing shrinks the path count dramatically (10-50x faster, 1-2
+	// orders fewer paths in the paper).
+	if cm.Paths >= full.Paths {
+		t.Errorf("concrete match paths %d not below baseline %d", cm.Paths, full.Paths)
+	}
+	if ca.Paths >= full.Paths {
+		t.Errorf("concrete action paths %d not below baseline %d", ca.Paths, full.Paths)
+	}
+	// ...at only a small coverage cost (2-5% in the paper).
+	if full.Coverage-cm.Coverage > 10 {
+		t.Errorf("concrete match loses too much coverage: %f vs %f", cm.Coverage, full.Coverage)
+	}
+	// Symbolic probe costs more paths than the concrete probe and buys at
+	// most a little coverage.
+	cp, sp := byVariant["Concrete Probe"], byVariant["Symbolic Probe"]
+	if sp.Paths <= cp.Paths {
+		t.Errorf("symbolic probe paths %d not above concrete probe %d", sp.Paths, cp.Paths)
+	}
+	if sp.Coverage < cp.Coverage-0.01 {
+		t.Errorf("symbolic probe lost coverage: %f vs %f", sp.Coverage, cp.Coverage)
+	}
+}
+
+func TestFigure4Shape(t *testing.T) {
+	data := Figure4Data(Options{MaxPaths: 8000})
+	if len(data) != 3 {
+		t.Fatalf("want 3 points, got %d", len(data))
+	}
+	// The second symbolic message adds a substantial increment; the third
+	// adds almost nothing (Figure 4).
+	inc12 := data[1] - data[0]
+	inc23 := data[2] - data[1]
+	if inc12 < 2 {
+		t.Errorf("second message adds only %.2f pp coverage", inc12)
+	}
+	if inc23 > inc12/2 {
+		t.Errorf("third message adds %.2f pp, not marginal vs %.2f", inc23, inc12)
+	}
+}
+
+func TestInjectedFiveOfSeven(t *testing.T) {
+	// Full mode so the FlowMod-family tests can catch the priority and
+	// ToS modifications (as in the paper).
+	findings := InjectedData(Options{CheckBudget: 30 * time.Second})
+	if len(findings) != 7 {
+		t.Fatalf("want 7 findings, got %d", len(findings))
+	}
+	detected := 0
+	for _, f := range findings {
+		if f.Detected {
+			detected++
+		}
+	}
+	if detected != 5 {
+		for _, f := range findings {
+			t.Logf("%v detected=%v", f.Name, f.Detected)
+		}
+		t.Fatalf("detected %d of 7 injected modifications, want 5 (as in §5.1.1)", detected)
+	}
+	// The two misses are exactly the structural ones.
+	for _, f := range findings {
+		structural := strings.Contains(f.Name, "Hello") || strings.Contains(f.Name, "idle-timeout")
+		if structural == f.Detected {
+			t.Errorf("finding %q: detected=%v, structural=%v", f.Name, f.Detected, structural)
+		}
+	}
+}
+
+func TestInconsistencyClassesCoverPaperFindings(t *testing.T) {
+	classes := InconsistencyClasses(quick)
+	have := map[string]bool{}
+	for _, c := range classes {
+		have[c.Class] = true
+		if c.Count <= 0 {
+			t.Errorf("class %q with non-positive count", c.Class)
+		}
+	}
+	for _, want := range []string{
+		"OpenFlow agent terminates with an error",
+		"Packet dropped when action is invalid",
+		"Lack of error messages / silently ignored requests",
+	} {
+		if !have[want] {
+			t.Errorf("missing §5.1.2 class %q (have %v)", want, have)
+		}
+	}
+}
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		inc  crosscheck.Inconsistency
+		want string
+	}{
+		{crosscheck.Inconsistency{ACrashed: true}, "OpenFlow agent terminates with an error"},
+		{crosscheck.Inconsistency{ACanonical: "drop:output", BCanonical: "pkt-out:port=3"},
+			"Packet dropped when action is invalid"},
+		{crosscheck.Inconsistency{ACanonical: "<silent>", BCanonical: "msg:ERROR/BAD_REQUEST/2"},
+			"Lack of error messages / silently ignored requests"},
+		{crosscheck.Inconsistency{ACanonical: "msg:ERROR/BAD_ACTION/4", BCanonical: "msg:ERROR/BAD_ACTION/5"},
+			"Different order of message validation / different errors"},
+	}
+	for i, c := range cases {
+		if got := Classify(c.inc); got != c.want {
+			t.Errorf("case %d: got %q want %q", i, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,179 @@
+// Package solver is the constraint-solving façade used by the rest of SOFT:
+// satisfiability checking and model (test case) extraction over sym
+// expressions. It wraps the bit-blasting encoder and the CDCL SAT core —
+// the reproduction's substitute for STP — and adds what the SOFT pipeline
+// needs around a raw decision procedure: simplification before encoding, a
+// query cache (crosschecking issues many structurally equal queries), and
+// per-query statistics matching what the paper's evaluation reports.
+package solver
+
+import (
+	"sync"
+	"time"
+
+	"github.com/soft-testing/soft/internal/bitblast"
+	"github.com/soft-testing/soft/internal/sym"
+)
+
+// Result is the outcome of a satisfiability query.
+type Result int8
+
+// Query outcomes.
+const (
+	Unsat Result = iota
+	Sat
+)
+
+func (r Result) String() string {
+	if r == Sat {
+		return "sat"
+	}
+	return "unsat"
+}
+
+// Stats aggregates solver work across queries.
+type Stats struct {
+	Queries       int64
+	CacheHits     int64
+	SatQueries    int64
+	UnsatQueries  int64
+	SolveTime     time.Duration
+	MaxQuerySize  int64 // largest constraint (boolean operation count)
+	ClausesTotal  int64
+	AuxVarsTotal  int64
+	FastPathConst int64 // queries answered by simplification alone
+}
+
+type cacheEntry struct {
+	res   Result
+	model sym.Assignment
+}
+
+// Solver answers satisfiability queries. It is safe for concurrent use.
+type Solver struct {
+	mu    sync.Mutex
+	cache map[string]cacheEntry
+
+	// DisableCache turns off result caching (ablation: Table 5 companion
+	// bench BenchmarkAblationSolver).
+	DisableCache bool
+	// DisableSimplify turns off pre-encoding simplification (ablation).
+	DisableSimplify bool
+
+	stats Stats
+}
+
+// New returns a Solver with caching and simplification enabled.
+func New() *Solver {
+	return &Solver{cache: make(map[string]cacheEntry)}
+}
+
+// Stats returns a snapshot of the accumulated statistics.
+func (s *Solver) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// ResetStats zeroes the accumulated statistics (the cache is kept).
+func (s *Solver) ResetStats() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats = Stats{}
+}
+
+// Check decides satisfiability of the conjunction of the given boolean
+// expressions. When satisfiable it returns a model assigning every variable
+// that occurs in the constraints; evaluating the constraints under the model
+// yields true (the soundness property TestModelsSatisfy verifies).
+func (s *Solver) Check(constraints ...*sym.Expr) (Result, sym.Assignment) {
+	e := sym.LAnd(constraints...)
+	if !s.DisableSimplify {
+		e = sym.Simplify(e)
+	}
+
+	s.mu.Lock()
+	s.stats.Queries++
+	if sz := int64(e.Size()); sz > s.stats.MaxQuerySize {
+		s.stats.MaxQuerySize = sz
+	}
+	s.mu.Unlock()
+
+	// Fast path: simplification decided the query.
+	if e.IsTrue() {
+		s.mu.Lock()
+		s.stats.FastPathConst++
+		s.stats.SatQueries++
+		s.mu.Unlock()
+		return Sat, sym.Assignment{}
+	}
+	if e.IsFalse() {
+		s.mu.Lock()
+		s.stats.FastPathConst++
+		s.stats.UnsatQueries++
+		s.mu.Unlock()
+		return Unsat, nil
+	}
+
+	var key string
+	if !s.DisableCache {
+		key = e.String()
+		s.mu.Lock()
+		if ent, ok := s.cache[key]; ok {
+			s.stats.CacheHits++
+			if ent.res == Sat {
+				s.stats.SatQueries++
+			} else {
+				s.stats.UnsatQueries++
+			}
+			s.mu.Unlock()
+			return ent.res, cloneModel(ent.model)
+		}
+		s.mu.Unlock()
+	}
+
+	start := time.Now()
+	b := bitblast.New()
+	b.Assert(e)
+	satisfiable := b.Solve()
+	elapsed := time.Since(start)
+
+	var res Result
+	var model sym.Assignment
+	if satisfiable {
+		res = Sat
+		model = b.Model()
+	}
+
+	s.mu.Lock()
+	s.stats.SolveTime += elapsed
+	s.stats.ClausesTotal += int64(b.Clauses)
+	s.stats.AuxVarsTotal += int64(b.Aux)
+	if satisfiable {
+		s.stats.SatQueries++
+	} else {
+		s.stats.UnsatQueries++
+	}
+	if !s.DisableCache {
+		s.cache[key] = cacheEntry{res: res, model: model}
+	}
+	s.mu.Unlock()
+	return res, cloneModel(model)
+}
+
+// Sat reports whether the conjunction of the constraints is satisfiable.
+func (s *Solver) Sat(constraints ...*sym.Expr) bool {
+	r, _ := s.Check(constraints...)
+	return r == Sat
+}
+
+func cloneModel(m sym.Assignment) sym.Assignment {
+	if m == nil {
+		return nil
+	}
+	out := make(sym.Assignment, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,256 @@
+package sym
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse reads an expression from the canonical s-expression form produced
+// by (*Expr).String. It is used to deserialize path conditions in SOFT's
+// second phase, which — as in the paper — operates on symbolic execution
+// outputs rather than on agent source code.
+func Parse(s string) (*Expr, error) {
+	p := &parser{in: s}
+	e, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.in) {
+		return nil, fmt.Errorf("sym: trailing input at %d: %q", p.pos, p.rest())
+	}
+	return e, nil
+}
+
+// MustParse is Parse that panics on error; for tests and constants.
+func MustParse(s string) *Expr {
+	e, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+type parser struct {
+	in  string
+	pos int
+}
+
+func (p *parser) rest() string {
+	r := p.in[p.pos:]
+	if len(r) > 24 {
+		r = r[:24] + "..."
+	}
+	return r
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.in) && (p.in[p.pos] == ' ' || p.in[p.pos] == '\t' || p.in[p.pos] == '\n') {
+		p.pos++
+	}
+}
+
+func (p *parser) token() string {
+	p.skipSpace()
+	start := p.pos
+	for p.pos < len(p.in) {
+		c := p.in[p.pos]
+		if c == '(' || c == ')' || c == ' ' || c == '\t' || c == '\n' {
+			break
+		}
+		p.pos++
+	}
+	return p.in[start:p.pos]
+}
+
+func (p *parser) expect(c byte) error {
+	p.skipSpace()
+	if p.pos >= len(p.in) || p.in[p.pos] != c {
+		return fmt.Errorf("sym: expected %q at %d, have %q", string(c), p.pos, p.rest())
+	}
+	p.pos++
+	return nil
+}
+
+func (p *parser) int() (int, error) {
+	t := p.token()
+	v, err := strconv.Atoi(t)
+	if err != nil {
+		return 0, fmt.Errorf("sym: bad integer %q at %d", t, p.pos)
+	}
+	return v, nil
+}
+
+func (p *parser) uint() (uint64, error) {
+	t := p.token()
+	v, err := strconv.ParseUint(t, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("sym: bad unsigned integer %q at %d", t, p.pos)
+	}
+	return v, nil
+}
+
+func (p *parser) expr() (*Expr, error) {
+	p.skipSpace()
+	if p.pos >= len(p.in) {
+		return nil, fmt.Errorf("sym: unexpected end of input")
+	}
+	if p.in[p.pos] != '(' {
+		t := p.token()
+		switch t {
+		case "true":
+			return True, nil
+		case "false":
+			return False, nil
+		}
+		return nil, fmt.Errorf("sym: unexpected token %q at %d", t, p.pos)
+	}
+	p.pos++ // consume '('
+	op := p.token()
+	var e *Expr
+	var err error
+	switch op {
+	case "const":
+		var w int
+		var v uint64
+		if w, err = p.int(); err == nil {
+			if v, err = p.uint(); err == nil {
+				e, err = safely(func() *Expr { return Const(w, v) })
+			}
+		}
+	case "var":
+		name := p.token()
+		var w int
+		if w, err = p.int(); err == nil {
+			e, err = safely(func() *Expr { return Var(name, w) })
+		}
+	case "extract":
+		var hi, lo int
+		var k *Expr
+		if hi, err = p.int(); err == nil {
+			if lo, err = p.int(); err == nil {
+				if k, err = p.expr(); err == nil {
+					e, err = safely(func() *Expr { return Extract(k, hi, lo) })
+				}
+			}
+		}
+	case "zext":
+		var w int
+		var k *Expr
+		if w, err = p.int(); err == nil {
+			if k, err = p.expr(); err == nil {
+				e, err = safely(func() *Expr { return ZExt(k, w) })
+			}
+		}
+	case "shl", "lshr":
+		var sh int
+		var k *Expr
+		if sh, err = p.int(); err == nil {
+			if k, err = p.expr(); err == nil {
+				if op == "shl" {
+					e, err = safely(func() *Expr { return Shl(k, sh) })
+				} else {
+					e, err = safely(func() *Expr { return Lshr(k, sh) })
+				}
+			}
+		}
+	default:
+		var kids []*Expr
+		for {
+			p.skipSpace()
+			if p.pos < len(p.in) && p.in[p.pos] == ')' {
+				break
+			}
+			var k *Expr
+			if k, err = p.expr(); err != nil {
+				break
+			}
+			kids = append(kids, k)
+		}
+		if err == nil {
+			e, err = buildOp(op, kids)
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(')'); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+func buildOp(op string, kids []*Expr) (*Expr, error) {
+	need := func(n int) error {
+		if len(kids) != n {
+			return fmt.Errorf("sym: %s wants %d operands, have %d", op, n, len(kids))
+		}
+		return nil
+	}
+	switch op {
+	case "concat":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		return safely(func() *Expr { return Concat(kids[0], kids[1]) })
+	case "add", "sub", "mul", "and", "or", "xor", "eq", "ult", "ule":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		f := map[string]func(a, b *Expr) *Expr{
+			"add": Add, "sub": Sub, "mul": Mul, "and": And, "or": Or,
+			"xor": Xor, "eq": Eq, "ult": Ult, "ule": Ule,
+		}[op]
+		return safely(func() *Expr { return f(kids[0], kids[1]) })
+	case "not":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		return safely(func() *Expr { return Not(kids[0]) })
+	case "lnot":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		return safely(func() *Expr { return LNot(kids[0]) })
+	case "ite":
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		return safely(func() *Expr { return Ite(kids[0], kids[1], kids[2]) })
+	case "land":
+		return safely(func() *Expr { return LAnd(kids...) })
+	case "lor":
+		return safely(func() *Expr { return LOr(kids...) })
+	}
+	return nil, fmt.Errorf("sym: unknown operator %q", op)
+}
+
+// safely converts constructor panics (width mismatches in malformed input)
+// into errors so that Parse never panics on untrusted data.
+func safely(f func() *Expr) (e *Expr, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("sym: invalid expression: %v", r)
+		}
+	}()
+	return f(), nil
+}
+
+// ParseAll parses a whitespace-separated sequence of expressions, one per
+// line, ignoring blank lines and lines starting with '#'.
+func ParseAll(s string) ([]*Expr, error) {
+	var out []*Expr
+	for i, line := range strings.Split(s, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		e, err := Parse(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", i+1, err)
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}

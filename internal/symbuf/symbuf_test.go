@@ -1,0 +1,140 @@
+package symbuf
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"github.com/soft-testing/soft/internal/sym"
+)
+
+func TestConcreteRoundTrip(t *testing.T) {
+	data := []byte{0x01, 0x0e, 0x00, 0x48, 0xde, 0xad, 0xbe, 0xef}
+	b := FromBytes(data)
+	if !b.IsConcrete() {
+		t.Fatal("FromBytes must be concrete")
+	}
+	if got := b.Concretize(nil); !bytes.Equal(got, data) {
+		t.Fatalf("round trip %x != %x", got, data)
+	}
+}
+
+func TestFieldReaders(t *testing.T) {
+	b := FromBytes([]byte{0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08})
+	if v, _ := b.U8(0).ConstVal(); v != 0x01 {
+		t.Fatalf("U8 = %#x", v)
+	}
+	if v, _ := b.U16(0).ConstVal(); v != 0x0102 {
+		t.Fatalf("U16 = %#x", v)
+	}
+	if v, _ := b.U32(2).ConstVal(); v != 0x03040506 {
+		t.Fatalf("U32 = %#x", v)
+	}
+	if v, _ := b.U48(1).ConstVal(); v != 0x020304050607 {
+		t.Fatalf("U48 = %#x", v)
+	}
+	if v, _ := b.U64(0).ConstVal(); v != 0x0102030405060708 {
+		t.Fatalf("U64 = %#x", v)
+	}
+}
+
+func TestPutThenReadFoldsToVariable(t *testing.T) {
+	// Writing a 16-bit variable and reading the field back must return the
+	// variable itself (the ntoh/hton identity property from §4.1).
+	b := New(8)
+	v := sym.Var("port", 16)
+	b.Put(4, v)
+	got := b.U16(4)
+	if !sym.Equal(got, v) {
+		t.Fatalf("read-back is %v, want the original variable", got)
+	}
+	if !b.U8(0).IsConst() {
+		t.Fatal("untouched bytes must stay concrete")
+	}
+}
+
+func TestPutConst(t *testing.T) {
+	b := New(8)
+	b.PutConst(2, 2, 0xabcd)
+	if v, ok := b.U16(2).ConstVal(); !ok || v != 0xabcd {
+		t.Fatalf("PutConst read back %#x", v)
+	}
+}
+
+func TestConcretizeWithModel(t *testing.T) {
+	b := New(4)
+	b.Put(0, sym.Var("x", 16))
+	b.PutConst(2, 2, 0x1234)
+	got := b.Concretize(sym.Assignment{"x": 0xbeef})
+	want := []byte{0xbe, 0xef, 0x12, 0x34}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("concretize %x, want %x", got, want)
+	}
+}
+
+func TestSliceIsIndependent(t *testing.T) {
+	b := FromBytes([]byte{1, 2, 3, 4})
+	s := b.Slice(1, 2)
+	s.SetByte(0, sym.Const(8, 99))
+	if v, _ := b.U8(1).ConstVal(); v != 2 {
+		t.Fatal("slice mutation leaked into parent")
+	}
+	if v, _ := s.U8(0).ConstVal(); v != 99 {
+		t.Fatal("slice write lost")
+	}
+}
+
+func TestAppend(t *testing.T) {
+	a := FromBytes([]byte{1, 2})
+	b := FromBytes([]byte{3})
+	c := a.Append(b)
+	if c.Len() != 3 {
+		t.Fatalf("len %d", c.Len())
+	}
+	if got := c.Concretize(nil); !bytes.Equal(got, []byte{1, 2, 3}) {
+		t.Fatalf("append %x", got)
+	}
+}
+
+func TestVars(t *testing.T) {
+	b := New(8)
+	b.Put(0, sym.Var("a", 16))
+	b.Put(2, sym.Var("b", 32))
+	vars := b.Vars()
+	if len(vars) != 2 || vars["a"] == nil || vars["b"] == nil {
+		t.Fatalf("vars %v", vars)
+	}
+}
+
+func TestString(t *testing.T) {
+	b := New(3)
+	b.PutConst(0, 1, 0xab)
+	b.Put(1, sym.Var("x", 16))
+	if got := b.String(); got != "ab????" {
+		t.Fatalf("string %q", got)
+	}
+}
+
+func TestSetByteWidthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(1).SetByte(0, sym.Const(16, 0))
+}
+
+// Property: Put followed by Concretize under any assignment equals writing
+// the evaluated constant directly.
+func TestQuickPutConcretize(t *testing.T) {
+	f := func(v uint32, x uint32) bool {
+		b := New(6)
+		b.Put(1, sym.Var("v", 32))
+		got := b.Concretize(sym.Assignment{"v": uint64(v)})
+		want := []byte{0, byte(v >> 24), byte(v >> 16), byte(v >> 8), byte(v), 0}
+		return bytes.Equal(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,411 @@
+// Package symexec implements the symbolic execution engine at the core of
+// SOFT's first phase. It substitutes for Cloud9 in the paper's prototype:
+// given a deterministic handler (the OpenFlow agent model driven by the test
+// harness), it explores every feasible execution path, maintaining a path
+// condition per path and recording the outputs the agent produced along it.
+//
+// The engine uses deterministic re-execution (execution-generated testing):
+// a path is identified by the sequence of decisions taken at branches whose
+// condition depends on symbolic input. To explore an alternative, the engine
+// re-runs the handler from the start, replaying the recorded decision prefix
+// and then diverging. Because agents are deterministic functions of the
+// branch decisions, replay reconstructs exactly the same execution tree a
+// state-forking engine (like Cloud9) would maintain, at the cost of
+// re-execution — which is cheap for agent models — and with none of the
+// state-snapshotting machinery.
+//
+// Branch feasibility is decided by the solver package. Each in-flight path
+// carries an incrementally built SAT encoding of its path condition, so a
+// feasibility query at a branch reuses all the encoding and learned clauses
+// accumulated along the path.
+package symexec
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/soft-testing/soft/internal/bitblast"
+	"github.com/soft-testing/soft/internal/coverage"
+	"github.com/soft-testing/soft/internal/solver"
+	"github.com/soft-testing/soft/internal/sym"
+)
+
+// Handler is the program under test: a deterministic function of the
+// symbolic inputs it creates via Context.NewSym and the decisions returned
+// by Context.Branch.
+type Handler func(ctx *Context)
+
+// abortKind is carried by the sentinel panic that unwinds a path early.
+type abortKind int
+
+const (
+	abortCrash abortKind = iota
+	abortInfeasible
+	abortDepth
+)
+
+type abortPanic struct {
+	kind abortKind
+	msg  string
+}
+
+// Context is the per-path execution context handed to the Handler. It is
+// valid only for the duration of one handler invocation.
+type Context struct {
+	eng       *Engine
+	blaster   *bitblast.Blaster
+	decisions []bool // prescribed prefix (replay), then grown by new decisions
+	sites     []coverage.BranchID
+	depth     int // next decision index
+	pc        []*sym.Expr
+	outputs   []any
+	cov       *coverage.Set
+	inputs    map[string]*sym.Expr
+	crashed   bool
+	crashMsg  string
+}
+
+// NewSym creates (or returns, when re-executed) the symbolic input variable
+// with the given name and width. Handlers must create inputs
+// deterministically: the same names in the same order on every run.
+func (c *Context) NewSym(name string, w int) *sym.Expr {
+	if v, ok := c.inputs[name]; ok {
+		if v.Width() != w {
+			panic(fmt.Sprintf("symexec: input %q redeclared with width %d != %d", name, w, v.Width()))
+		}
+		return v
+	}
+	v := sym.Var(name, w)
+	c.inputs[name] = v
+	return v
+}
+
+// Inputs returns the symbolic input variables created so far, keyed by name.
+func (c *Context) Inputs() map[string]*sym.Expr { return c.inputs }
+
+// Emit records an output event on the current path (an OpenFlow message or
+// data plane packet the agent sent, in SOFT's usage).
+func (c *Context) Emit(ev any) { c.outputs = append(c.outputs, ev) }
+
+// Cover marks a coverage block as executed on this path.
+func (c *Context) Cover(b coverage.BlockID) {
+	if c.cov != nil {
+		c.cov.CoverBlock(b)
+	}
+}
+
+// Crash aborts the current path, recording that the agent terminated
+// abnormally (the paper's "OpenFlow agent terminates with an error" class of
+// findings). The crash is externally observable behavior, so it becomes part
+// of the path's result.
+func (c *Context) Crash(msg string) {
+	c.crashed = true
+	c.crashMsg = msg
+	panic(abortPanic{kind: abortCrash, msg: msg})
+}
+
+// Assume constrains the path without forking. The harness uses it to pin
+// structured-input invariants (§3.2.1: concrete message type and length
+// fields). If the assumption contradicts the path condition the path is
+// abandoned as infeasible.
+func (c *Context) Assume(cond *sym.Expr) {
+	cond = sym.Simplify(cond)
+	if cond.IsTrue() {
+		return
+	}
+	if cond.IsFalse() {
+		panic(abortPanic{kind: abortInfeasible, msg: "assumption is false"})
+	}
+	if !c.blaster.SolveAssuming(cond) {
+		panic(abortPanic{kind: abortInfeasible, msg: "assumption contradicts path condition"})
+	}
+	c.pc = append(c.pc, cond)
+	c.blaster.Assert(cond)
+}
+
+// Branch evaluates a two-way branch on cond. Concrete conditions do not
+// fork. Symbolic conditions consult the decision prefix (replay) or the
+// solver (exploration); when both arms are feasible the unexplored arm is
+// enqueued with the engine's search strategy.
+func (c *Context) Branch(cond *sym.Expr) bool {
+	return c.BranchSite(-1, cond)
+}
+
+// BranchSite is Branch with a coverage branch site attached.
+func (c *Context) BranchSite(site coverage.BranchID, cond *sym.Expr) bool {
+	cond = sym.Simplify(cond)
+	if cond.IsTrue() || cond.IsFalse() {
+		taken := cond.IsTrue()
+		c.coverBranch(site, taken)
+		return taken
+	}
+
+	idx := c.depth
+	c.depth++
+	if c.eng.MaxDepth > 0 && idx >= c.eng.MaxDepth {
+		panic(abortPanic{kind: abortDepth, msg: "maximum branch depth exceeded"})
+	}
+
+	if idx < len(c.decisions) {
+		// Replay: the prefix was checked feasible when enqueued.
+		taken := c.decisions[idx]
+		c.take(site, cond, taken)
+		return taken
+	}
+
+	// Frontier: decide which arms are feasible.
+	c.eng.branchQueries++
+	satTrue := c.blaster.SolveAssuming(cond)
+	var satFalse bool
+	if !satTrue {
+		// The path condition is feasible, so at least one arm is.
+		satFalse = true
+	} else {
+		satFalse = c.blaster.SolveAssuming(sym.LNot(cond))
+	}
+
+	switch {
+	case satTrue && satFalse:
+		// Fork: continue down true, enqueue false.
+		alt := make([]bool, idx+1)
+		copy(alt, c.decisions)
+		alt[idx] = false
+		c.eng.enqueue(&workItem{decisions: alt, site: site, dir: false})
+		c.decisions = append(c.decisions, true)
+		c.take(site, cond, true)
+		return true
+	case satTrue:
+		c.decisions = append(c.decisions, true)
+		c.take(site, cond, true)
+		return true
+	default:
+		c.decisions = append(c.decisions, false)
+		c.take(site, cond, false)
+		return false
+	}
+}
+
+// take commits a branch direction: extends the path condition, the
+// incremental encoding, and coverage.
+func (c *Context) take(site coverage.BranchID, cond *sym.Expr, taken bool) {
+	eff := cond
+	if !taken {
+		eff = sym.LNot(cond)
+	}
+	c.pc = append(c.pc, eff)
+	c.blaster.Assert(eff)
+	c.coverBranch(site, taken)
+}
+
+func (c *Context) coverBranch(site coverage.BranchID, taken bool) {
+	if c.cov != nil && site >= 0 {
+		c.cov.CoverBranch(site, taken)
+	}
+}
+
+// PathCondition returns the conjunction of constraints accumulated so far.
+func (c *Context) PathCondition() *sym.Expr { return sym.LAnd(c.pc...) }
+
+// Path is one completed execution path.
+type Path struct {
+	ID       int
+	PC       []*sym.Expr // conjuncts in branch order
+	Outputs  []any
+	Cov      *coverage.Set
+	Crashed  bool
+	CrashMsg string
+	// Model is a concrete input satisfying PC (a ready-made test case),
+	// populated when Engine.WantModels is set.
+	Model sym.Assignment
+	// Branches is the number of symbolic decisions on the path.
+	Branches int
+}
+
+// Condition returns the path condition as a single expression.
+func (p *Path) Condition() *sym.Expr { return sym.LAnd(p.PC...) }
+
+// ConstraintSize returns the paper's Table 2 metric: the number of boolean
+// operations in the path condition.
+func (p *Path) ConstraintSize() int { return p.Condition().Size() }
+
+// Result is the outcome of exploring a handler exhaustively (or up to the
+// engine's limits).
+type Result struct {
+	Paths []*Path
+	// Cov is cumulative coverage over all explored paths.
+	Cov *coverage.Set
+	// Inputs is the union of symbolic inputs the handler declared.
+	Inputs map[string]*sym.Expr
+	// Elapsed is wall-clock exploration time (the paper's "CPU time"
+	// column; our implementation is single-threaded per experiment, as is
+	// the paper's).
+	Elapsed time.Duration
+	// Infeasible counts abandoned paths (contradictory Assume).
+	Infeasible int
+	// DepthTruncated counts paths cut by MaxDepth.
+	DepthTruncated int
+	// PathsTruncated reports whether MaxPaths stopped exploration early.
+	PathsTruncated bool
+	// BranchQueries counts frontier feasibility decisions.
+	BranchQueries int64
+}
+
+// AvgConstraintSize returns the mean constraint size across paths.
+func (r *Result) AvgConstraintSize() float64 {
+	if len(r.Paths) == 0 {
+		return 0
+	}
+	var sum int64
+	for _, p := range r.Paths {
+		sum += int64(p.ConstraintSize())
+	}
+	return float64(sum) / float64(len(r.Paths))
+}
+
+// MaxConstraintSize returns the largest constraint size across paths.
+func (r *Result) MaxConstraintSize() int {
+	m := 0
+	for _, p := range r.Paths {
+		if s := p.ConstraintSize(); s > m {
+			m = s
+		}
+	}
+	return m
+}
+
+// workItem is a pending path: a decision prefix ending in a flipped branch.
+type workItem struct {
+	decisions []bool
+	site      coverage.BranchID // site of the flipped decision
+	dir       bool              // direction the flipped decision takes
+}
+
+// Engine explores all paths of a Handler.
+type Engine struct {
+	// Solver is used for branch feasibility and model extraction. A nil
+	// Solver gets a fresh one.
+	Solver *solver.Solver
+	// Strategy orders path exploration; nil means NewInterleaved(1), the
+	// Cloud9 default strategy per the paper's §4.1.
+	Strategy Strategy
+	// MaxPaths caps explored paths; 0 means unlimited. The paper notes
+	// SOFT can work with partial path sets.
+	MaxPaths int
+	// MaxDepth caps symbolic decisions per path; 0 means unlimited.
+	MaxDepth int
+	// WantModels extracts a satisfying model per completed path.
+	WantModels bool
+	// CovMap, when set, allocates per-path coverage sets over this universe.
+	CovMap *coverage.Map
+
+	queue         Strategy
+	branchQueries int64
+}
+
+func (e *Engine) enqueue(it *workItem) { e.queue.Push(it) }
+
+// Run explores h and returns all completed paths.
+func (e *Engine) Run(h Handler) *Result {
+	if e.Solver == nil {
+		e.Solver = solver.New()
+	}
+	e.queue = e.Strategy
+	if e.queue == nil {
+		e.queue = NewInterleaved(1)
+	}
+	e.branchQueries = 0
+
+	res := &Result{Inputs: make(map[string]*sym.Expr)}
+	if e.CovMap != nil {
+		res.Cov = e.CovMap.NewSet()
+	}
+
+	start := time.Now()
+	e.enqueue(&workItem{decisions: nil, site: -1})
+	nextID := 0
+	for e.queue.Len() > 0 {
+		if e.MaxPaths > 0 && len(res.Paths) >= e.MaxPaths {
+			res.PathsTruncated = true
+			break
+		}
+		it, ok := e.queue.Pop(res.Cov)
+		if !ok {
+			break
+		}
+		ctx := &Context{
+			eng:       e,
+			blaster:   bitblast.New(),
+			decisions: it.decisions,
+			inputs:    make(map[string]*sym.Expr),
+		}
+		if e.CovMap != nil {
+			ctx.cov = e.CovMap.NewSet()
+		}
+		outcome := runOne(ctx, h)
+		for name, v := range ctx.inputs {
+			res.Inputs[name] = v
+		}
+		switch outcome {
+		case pathCompleted, pathCrashed:
+			p := &Path{
+				ID:       nextID,
+				PC:       ctx.pc,
+				Outputs:  ctx.outputs,
+				Cov:      ctx.cov,
+				Crashed:  ctx.crashed,
+				CrashMsg: ctx.crashMsg,
+				Branches: ctx.depth,
+			}
+			nextID++
+			if e.WantModels {
+				if ctx.blaster.Solve() {
+					p.Model = ctx.blaster.Model()
+				}
+			}
+			res.Paths = append(res.Paths, p)
+			if res.Cov != nil {
+				res.Cov.Merge(ctx.cov)
+			}
+		case pathInfeasible:
+			res.Infeasible++
+		case pathDepthTruncated:
+			res.DepthTruncated++
+			if res.Cov != nil {
+				res.Cov.Merge(ctx.cov)
+			}
+		}
+	}
+	res.Elapsed = time.Since(start)
+	res.BranchQueries = e.branchQueries
+	return res
+}
+
+type pathOutcome int
+
+const (
+	pathCompleted pathOutcome = iota
+	pathCrashed
+	pathInfeasible
+	pathDepthTruncated
+)
+
+func runOne(ctx *Context, h Handler) (out pathOutcome) {
+	defer func() {
+		if r := recover(); r != nil {
+			ab, ok := r.(abortPanic)
+			if !ok {
+				panic(r) // genuine bug in handler or engine
+			}
+			switch ab.kind {
+			case abortCrash:
+				out = pathCrashed
+			case abortInfeasible:
+				out = pathInfeasible
+			case abortDepth:
+				out = pathDepthTruncated
+			}
+		}
+	}()
+	h(ctx)
+	return pathCompleted
+}
