@@ -1,0 +1,29 @@
+# SOFT reproduction — build/verify entry points.
+#
+#   make build   compile everything
+#   make vet     static analysis
+#   make test    full test suite (tier-1 gate: build + test)
+#   make race    race-detector pass over the concurrency-sensitive packages
+#   make bench   the paper's evaluation benches + parallel scaling benches
+#   make check   build + vet + test (what CI should run)
+
+GO ?= go
+
+.PHONY: build vet test race bench check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/symexec/ ./internal/harness/ ./internal/solver/ ./internal/crosscheck/ .
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+check: build vet test

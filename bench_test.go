@@ -10,6 +10,7 @@
 package soft
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
@@ -70,6 +71,60 @@ func BenchmarkTable2SymbolicExecution(b *testing.B) {
 		})
 		b.Run(tn+"/ovs", func(b *testing.B) {
 			benchExplore(b, tn, func() agents.Agent { return ovs.New() }, caps[tn])
+		})
+	}
+}
+
+// benchExploreWorkers measures one (test, agent) exploration at a fixed
+// worker count, reporting paths/sec — the scaling metric for the parallel
+// engine.
+func benchExploreWorkers(b *testing.B, testName string, mk func() agents.Agent, maxPaths, workers int) {
+	t, ok := harness.TestByName(testName)
+	if !ok {
+		b.Fatalf("unknown test %s", testName)
+	}
+	b.ReportAllocs()
+	var paths int
+	for i := 0; i < b.N; i++ {
+		r := harness.Explore(mk(), t, harness.Options{MaxPaths: maxPaths, Workers: workers})
+		paths = len(r.Paths)
+	}
+	b.ReportMetric(float64(paths), "paths")
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(paths)*float64(b.N)/sec, "paths/sec")
+	}
+}
+
+// BenchmarkExploreParallelStatsRequest scales the Table 2 Stats Request row
+// across worker counts. The speedup over workers=1 is the parallel engine's
+// headline number (the paper ran Cloud9 on a cluster for the same reason).
+func BenchmarkExploreParallelStatsRequest(b *testing.B) {
+	for _, w := range []int{1, 2, 4, 8} {
+		w := w
+		b.Run(fmt.Sprintf("workers-%d", w), func(b *testing.B) {
+			benchExploreWorkers(b, "Stats Request", func() agents.Agent { return refswitch.New() }, 0, w)
+		})
+	}
+}
+
+// BenchmarkExploreParallelFlowMod scales the capped FlowMod row — the
+// heaviest Table 2 workload the bench suite runs.
+func BenchmarkExploreParallelFlowMod(b *testing.B) {
+	for _, w := range []int{1, 2, 4, 8} {
+		w := w
+		b.Run(fmt.Sprintf("workers-%d", w), func(b *testing.B) {
+			benchExploreWorkers(b, "FlowMod", func() agents.Agent { return refswitch.New() }, 2000, w)
+		})
+	}
+}
+
+// BenchmarkExploreParallelOVSPacketOut scales the OVS agent on Packet Out,
+// exercising the second agent model under the parallel engine.
+func BenchmarkExploreParallelOVSPacketOut(b *testing.B) {
+	for _, w := range []int{1, 2, 4, 8} {
+		w := w
+		b.Run(fmt.Sprintf("workers-%d", w), func(b *testing.B) {
+			benchExploreWorkers(b, "Packet Out", func() agents.Agent { return ovs.New() }, 0, w)
 		})
 	}
 }

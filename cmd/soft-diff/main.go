@@ -38,9 +38,10 @@ func load(path string) (*group.Result, *harness.SerializedResult) {
 func main() {
 	budget := flag.Duration("budget", 0, "time budget for the check (0 = unlimited)")
 	reproduce := flag.Bool("reproduce", false, "render a reproducer message per inconsistency")
+	workers := flag.Int("workers", 0, "parallel crosscheck workers (0 = GOMAXPROCS, 1 = sequential)")
 	flag.Parse()
 	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: soft-diff [-budget 1m] [-reproduce] a-results.txt b-results.txt")
+		fmt.Fprintln(os.Stderr, "usage: soft-diff [-budget 1m] [-reproduce] [-workers N] a-results.txt b-results.txt")
 		os.Exit(2)
 	}
 	ga, ra := load(flag.Arg(0))
@@ -50,7 +51,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	rep := crosscheck.Run(ga, gb, nil, *budget)
+	rep := crosscheck.RunParallel(ga, gb, nil, *budget, *workers)
 	partial := ""
 	if rep.Partial {
 		partial = " (budget expired: partial)"

@@ -40,6 +40,7 @@ func main() {
 	out := flag.String("o", "", "output file (default stdout)")
 	maxPaths := flag.Int("max-paths", 0, "cap on explored paths (0 = default)")
 	models := flag.Bool("models", true, "extract a concrete input example per path")
+	workers := flag.Int("workers", 0, "parallel exploration workers (0 = GOMAXPROCS, 1 = sequential)")
 	list := flag.Bool("list", false, "list available tests and exit")
 	flag.Parse()
 
@@ -60,7 +61,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	res := harness.Explore(a, t, harness.Options{MaxPaths: *maxPaths, WantModels: *models})
+	res := harness.Explore(a, t, harness.Options{MaxPaths: *maxPaths, WantModels: *models, Workers: *workers})
 	fmt.Fprintf(os.Stderr, "%s / %s: %d paths in %s (coverage %.1f%% instr, %.1f%% branch)\n",
 		res.Agent, res.Test, len(res.Paths), res.Elapsed.Round(time.Millisecond),
 		res.InstrPct, res.BranchPct)

@@ -1,0 +1,3 @@
+module github.com/soft-testing/soft
+
+go 1.21

@@ -14,6 +14,9 @@ package crosscheck
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/soft-testing/soft/internal/group"
@@ -117,47 +120,95 @@ func diffCond(a, b *group.Group) *sym.Expr {
 // same test, so the symbolic input variables coincide). A non-zero budget
 // stops the cross product early and marks the report partial.
 func Run(a, b *group.Result, s *solver.Solver, budget time.Duration) *Report {
+	return RunParallel(a, b, s, budget, 1)
+}
+
+// RunParallel is Run with the solver queries of the cross product fanned
+// out over the given number of workers (0 = GOMAXPROCS). Each (i, j) group
+// pair is an independent satisfiability query, so workers share only the
+// solver's query cache (Solver is safe for concurrent use). Inconsistencies
+// are reported in (i, j) row-major order — the same order Run produces —
+// and because the solver is deterministic per query, a full (non-partial)
+// parallel report is identical to a sequential one.
+func RunParallel(a, b *group.Result, s *solver.Solver, budget time.Duration, workers int) *Report {
 	if s == nil {
 		s = solver.New()
 	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	start := time.Now()
 	rep := &Report{AgentA: a.Agent, AgentB: b.Agent, Test: a.Test}
-outer:
-	for i := range a.Groups {
-		ga := &a.Groups[i]
-		for j := range b.Groups {
-			if budget > 0 && time.Since(start) > budget {
-				rep.Partial = true
-				break outer
+
+	nb := len(b.Groups)
+	total := len(a.Groups) * nb
+	if total == 0 {
+		rep.Elapsed = time.Since(start)
+		return rep
+	}
+	if workers > total {
+		workers = total
+	}
+
+	// Pairs are indexed row-major: pair k = (k/nb, k%nb). Workers claim the
+	// next unclaimed pair, so with one worker the scan order — and the
+	// budget cutoff prefix — matches the historical sequential loop.
+	found := make([]*Inconsistency, total)
+	var next, queries atomic.Int64
+	var partial atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				k := int(next.Add(1) - 1)
+				if k >= total {
+					return
+				}
+				if budget > 0 && time.Since(start) > budget {
+					partial.Store(true)
+					return
+				}
+				i, j := k/nb, k%nb
+				ga, gb := &a.Groups[i], &b.Groups[j]
+				if ga.Canonical == gb.Canonical {
+					// Identical output results are excluded from the cross
+					// product (§2.3).
+					continue
+				}
+				diff := diffCond(ga, gb)
+				if diff.IsFalse() {
+					continue
+				}
+				queries.Add(1)
+				res, model := s.Check(ga.Cond, gb.Cond, diff)
+				if res != solver.Sat {
+					continue
+				}
+				found[k] = &Inconsistency{
+					AIndex:     i,
+					BIndex:     j,
+					ACanonical: ga.Canonical,
+					BCanonical: gb.Canonical,
+					ATemplate:  ga.Template,
+					BTemplate:  gb.Template,
+					Witness:    model,
+					ACrashed:   ga.Crashed,
+					BCrashed:   gb.Crashed,
+				}
 			}
-			gb := &b.Groups[j]
-			if ga.Canonical == gb.Canonical {
-				// Identical output results are excluded from the cross
-				// product (§2.3).
-				continue
-			}
-			diff := diffCond(ga, gb)
-			if diff.IsFalse() {
-				continue
-			}
-			rep.Queries++
-			res, model := s.Check(ga.Cond, gb.Cond, diff)
-			if res != solver.Sat {
-				continue
-			}
-			rep.Inconsistencies = append(rep.Inconsistencies, Inconsistency{
-				AIndex:     i,
-				BIndex:     j,
-				ACanonical: ga.Canonical,
-				BCanonical: gb.Canonical,
-				ATemplate:  ga.Template,
-				BTemplate:  gb.Template,
-				Witness:    model,
-				ACrashed:   ga.Crashed,
-				BCrashed:   gb.Crashed,
-			})
+		}()
+	}
+	wg.Wait()
+
+	for _, inc := range found {
+		if inc != nil {
+			rep.Inconsistencies = append(rep.Inconsistencies, *inc)
 		}
 	}
+	rep.Queries = int(queries.Load())
+	rep.Partial = partial.Load()
 	rep.Elapsed = time.Since(start)
 	return rep
 }

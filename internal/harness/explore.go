@@ -24,6 +24,10 @@ type Options struct {
 	WantModels bool
 	// Solver reuses an existing solver (and its cache) across runs.
 	Solver *solver.Solver
+	// Workers is the number of parallel exploration workers (0 =
+	// GOMAXPROCS, 1 = sequential). Exhaustive explorations produce
+	// identical results for every worker count.
+	Workers int
 }
 
 // DefaultMaxPaths bounds a single exploration.
@@ -109,6 +113,7 @@ func Explore(a agents.Agent, t Test, o Options) *Result {
 		MaxDepth:   o.MaxDepth,
 		WantModels: o.WantModels,
 		CovMap:     a.CovMap(),
+		Workers:    o.Workers,
 	}
 	res := eng.Run(func(ctx *symexec.Context) {
 		in := a.NewInstance()

@@ -242,18 +242,30 @@ func TestReadResultsRejectsGarbage(t *testing.T) {
 func TestReproduceBuildsValidWire(t *testing.T) {
 	tt, _ := TestByName("Packet Out")
 	r := Explore(refswitch.New(), tt, Options{WantModels: true})
-	for _, p := range r.Paths[:min(5, len(r.Paths))] {
+	decoded := 0
+	for _, p := range r.Paths {
 		wires := Reproduce(tt, p.Model)
 		if len(wires) != 1 {
 			t.Fatalf("expected 1 message, got %d", len(wires))
 		}
 		m, err := openflow.Decode(wires[0])
 		if err != nil {
-			t.Fatalf("reproducer does not decode: %v", err)
+			// Witnesses of the agent's malformed-action error paths encode
+			// an action whose symbolic type demands a different wire length
+			// than the pinned slot; the strict decoder rejects exactly those
+			// at the action level. Anything else is a broken reproducer.
+			if !strings.Contains(err.Error(), "action") {
+				t.Fatalf("path %d reproducer does not decode: %v", p.ID, err)
+			}
+			continue
 		}
+		decoded++
 		if m.MsgType() != openflow.TypePacketOut {
-			t.Fatalf("reproducer decodes as %v", m.MsgType())
+			t.Fatalf("path %d reproducer decodes as %v", p.ID, m.MsgType())
 		}
+	}
+	if decoded == 0 {
+		t.Fatal("no reproducer decoded as a full Packet Out message")
 	}
 	desc := DescribeReproducer(Reproduce(tt, sym.Assignment{}))
 	if len(desc) != 1 || desc[0] != "PACKET_OUT" {

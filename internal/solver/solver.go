@@ -49,7 +49,16 @@ type cacheEntry struct {
 	model sym.Assignment
 }
 
-// Solver answers satisfiability queries. It is safe for concurrent use.
+// Solver answers satisfiability queries.
+//
+// Concurrency: a Solver is safe for concurrent use — every query runs on a
+// private bitblast/CDCL instance and the shared cache and statistics are
+// mutex-protected. The mutex is held only around cache and stats access,
+// never during solving, so concurrent callers contend briefly per query.
+// Hot loops that cannot afford even that (the parallel exploration workers)
+// should hold a per-worker instance instead: either a fresh New or a Clone
+// of a warmed solver. Results are deterministic either way — the same query
+// always yields the same answer and model, cached or not.
 type Solver struct {
 	mu    sync.Mutex
 	cache map[string]cacheEntry
@@ -66,6 +75,23 @@ type Solver struct {
 // New returns a Solver with caching and simplification enabled.
 func New() *Solver {
 	return &Solver{cache: make(map[string]cacheEntry)}
+}
+
+// Clone returns an independent Solver with the same configuration and a
+// snapshot of s's query cache, and zeroed statistics. Per-worker clones keep
+// the warm cache without sharing the lock afterwards.
+func (s *Solver) Clone() *Solver {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c := &Solver{
+		cache:           make(map[string]cacheEntry, len(s.cache)),
+		DisableCache:    s.DisableCache,
+		DisableSimplify: s.DisableSimplify,
+	}
+	for k, v := range s.cache {
+		c.cache[k] = v
+	}
+	return c
 }
 
 // Stats returns a snapshot of the accumulated statistics.

@@ -1,0 +1,65 @@
+// Package symexec implements the symbolic execution engine at the core of
+// SOFT's first phase. It substitutes for Cloud9 in the paper's prototype:
+// given a deterministic handler (the OpenFlow agent model driven by the test
+// harness), it explores every feasible execution path, maintaining a path
+// condition per path and recording the outputs the agent produced along it.
+//
+// # Deterministic re-execution
+//
+// The engine uses deterministic re-execution (execution-generated testing):
+// a path is identified by the sequence of decisions taken at branches whose
+// condition depends on symbolic input. To explore an alternative, the engine
+// re-runs the handler from the start, replaying the recorded decision prefix
+// and then diverging. Because agents are deterministic functions of the
+// branch decisions, replay reconstructs exactly the same execution tree a
+// state-forking engine (like Cloud9) would maintain, at the cost of
+// re-execution — which is cheap for agent models — and with none of the
+// state-snapshotting machinery.
+//
+// Branch feasibility is decided per path. Each in-flight path carries an
+// incrementally built SAT encoding of its path condition (a private
+// bitblast.Blaster with its own CDCL core), so a feasibility query at a
+// branch reuses all the encoding and learned clauses accumulated along the
+// path.
+//
+// # Parallel exploration
+//
+// Because paths are independent re-executions, exploration parallelizes at
+// the path granularity. Engine.Workers (default GOMAXPROCS) workers run the
+// following scheme, the reproduction's stand-in for the paper's Cloud9
+// cluster (§3.2):
+//
+//   - Each worker owns a local frontier of unexplored branch-decision
+//     prefixes, ordered by its own instance of the configured search
+//     strategy (WorkerStrategy.ForWorker derives the per-worker instances;
+//     randomized strategies get deterministic per-worker seeds).
+//   - The hot path is share-nothing: path execution uses a path-private
+//     constraint encoding and CDCL core, forks push onto the worker-local
+//     frontier, and the branch-query counter is worker-local. No locks, no
+//     atomics while a path runs.
+//   - A shared steal pool balances load. A worker that drains its local
+//     frontier blocks in the pool; busy workers observe the (lock-free)
+//     idle count at fork time and donate forks — or half their backlog —
+//     when someone is starving. Exploration terminates when every worker is
+//     idle and the pool is empty.
+//
+// # Determinism
+//
+// The execution tree of a deterministic handler is a fixed object: every
+// fork point, every completed path, and every infeasible or depth-truncated
+// prefix is determined by the handler alone, not by the order the tree is
+// walked. An exhaustive exploration therefore discovers the same path set
+// under any strategy, worker count, and scheduling. The engine makes the
+// *reported* result identical too by canonicalizing afterwards: completed
+// paths are sorted by their branch-decision vector (lexicographically,
+// false before true) and path IDs are assigned in that order. Sequential
+// and parallel runs of the same handler produce byte-identical results —
+// the property the determinism regression tests in parallel_test.go and
+// harness's parallel_test.go pin, and the foundation of the paper's
+// no-false-positive guarantee under concurrency.
+//
+// The one caveat is MaxPaths: when the cap truncates exploration, *which*
+// paths were completed first depends on strategy order and, with several
+// workers, on scheduling. Truncated parallel runs keep exactly MaxPaths
+// paths and set PathsTruncated, but the selected subset is not canonical.
+package symexec

@@ -1,0 +1,230 @@
+package symexec
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"github.com/soft-testing/soft/internal/coverage"
+	"github.com/soft-testing/soft/internal/sym"
+)
+
+// frontier is the shared work pool of the parallel engine. Workers keep
+// their own strategy-ordered local frontiers and touch this structure only
+// to donate work when someone is starving, to steal when their local
+// frontier runs dry, and to detect global termination — so the hot path
+// (execute path, fork locally) takes no locks.
+type frontier struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	global []*workItem
+	idle   int // workers currently blocked in steal
+	n      int // total workers
+
+	// idleCount mirrors idle for lock-free reads on the fork hot path.
+	idleCount atomic.Int32
+	// done is set when exploration must stop: either every worker is idle
+	// with no work anywhere, or a path cap fired.
+	done atomic.Bool
+}
+
+func newFrontier(workers int) *frontier {
+	f := &frontier{n: workers}
+	f.cond = sync.NewCond(&f.mu)
+	return f
+}
+
+// donate publishes a work item to the global pool and wakes one idle worker.
+func (f *frontier) donate(it *workItem) {
+	f.mu.Lock()
+	f.global = append(f.global, it)
+	f.mu.Unlock()
+	f.cond.Signal()
+}
+
+// steal blocks until a global work item is available or exploration is
+// finished. The second return is false on termination.
+func (f *frontier) steal() (*workItem, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.idle++
+	f.idleCount.Store(int32(f.idle))
+	defer func() {
+		f.idle--
+		f.idleCount.Store(int32(f.idle))
+	}()
+	for {
+		if f.done.Load() {
+			return nil, false
+		}
+		if n := len(f.global); n > 0 {
+			it := f.global[n-1]
+			f.global[n-1] = nil
+			f.global = f.global[:n-1]
+			return it, true
+		}
+		if f.idle == f.n {
+			// Every worker is here and the pool is empty: local frontiers
+			// are empty too (a worker only steals when drained), so the
+			// execution tree is exhausted.
+			f.done.Store(true)
+			f.cond.Broadcast()
+			return nil, false
+		}
+		f.cond.Wait()
+	}
+}
+
+// halt stops all workers (used when MaxPaths fires). The store happens
+// under f.mu: a worker that observed done == false inside steal holds the
+// mutex until its Wait enqueues it, so the Broadcast that follows cannot be
+// lost between the check and the sleep.
+func (f *frontier) halt() {
+	f.mu.Lock()
+	f.done.Store(true)
+	f.mu.Unlock()
+	f.cond.Broadcast()
+}
+
+// remaining returns the number of undonated items left in the global pool.
+func (f *frontier) remaining() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.global)
+}
+
+// workerState accumulates one worker's private results; merged after join.
+type workerState struct {
+	paths      []*Path
+	infeasible int
+	depthTrunc int
+	queries    int64
+	inputs     map[string]*sym.Expr
+	cov        *coverage.Set // worker-cumulative; feeds coverage-guided Pop
+}
+
+// runParallel explores h with the given number of workers over a shared
+// work-stealing frontier. Workers own every piece of hot-path state — the
+// strategy-ordered local frontier, the per-path constraint encodings, the
+// branch-query counter — and synchronize only to balance work. The merged
+// result is canonicalized by the caller, so for exhaustive runs the output
+// is identical to runSequential's.
+func (e *Engine) runParallel(h Handler, workers int, res *Result) {
+	f := newFrontier(workers)
+	f.global = append(f.global, &workItem{decisions: nil, site: -1})
+
+	maxPaths := int64(e.MaxPaths)
+	var completed, dropped, leftover atomic.Int64
+
+	states := make([]*workerState, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		ws := &workerState{inputs: make(map[string]*sym.Expr)}
+		if e.CovMap != nil {
+			ws.cov = e.CovMap.NewSet()
+		}
+		states[w] = ws
+		local := e.workerStrategy(w)
+
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() { leftover.Add(int64(local.Len())) }()
+			enqueue := func(it *workItem) {
+				// Forks stay local unless someone is starving; donation is
+				// a heuristic, so a stale idleCount read is harmless.
+				if f.idleCount.Load() > 0 {
+					f.donate(it)
+				} else {
+					local.Push(it)
+				}
+			}
+			for {
+				if f.done.Load() {
+					return
+				}
+				// Rebalance: if workers sit idle while this local frontier
+				// holds a backlog, hand half of it over.
+				if f.idleCount.Load() > 0 {
+					for i := local.Len() / 2; i > 0; i-- {
+						it, ok := local.Pop(ws.cov)
+						if !ok {
+							break
+						}
+						f.donate(it)
+					}
+				}
+				it, ok := local.Pop(ws.cov)
+				if !ok {
+					if it, ok = f.steal(); !ok {
+						return
+					}
+				}
+				ctx := e.newContext(it, enqueue, &ws.queries)
+				outcome := runOne(ctx, h)
+				for name, v := range ctx.inputs {
+					ws.inputs[name] = v
+				}
+				switch outcome {
+				case pathCompleted, pathCrashed:
+					if maxPaths > 0 {
+						n := completed.Add(1)
+						if n > maxPaths {
+							// Another worker filled the cap while this path
+							// was in flight; mirror the sequential engine by
+							// keeping exactly MaxPaths paths.
+							dropped.Add(1)
+							f.halt()
+							continue
+						}
+						if n == maxPaths {
+							f.halt()
+						}
+					}
+					ws.paths = append(ws.paths, e.completePath(ctx))
+					if ws.cov != nil {
+						ws.cov.Merge(ctx.cov)
+					}
+				case pathInfeasible:
+					ws.infeasible++
+				case pathDepthTruncated:
+					ws.depthTrunc++
+					if ws.cov != nil {
+						ws.cov.Merge(ctx.cov)
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	for _, ws := range states {
+		res.Paths = append(res.Paths, ws.paths...)
+		res.Infeasible += ws.infeasible
+		res.DepthTruncated += ws.depthTrunc
+		res.BranchQueries += ws.queries
+		for name, v := range ws.inputs {
+			res.Inputs[name] = v
+		}
+		if res.Cov != nil {
+			res.Cov.Merge(ws.cov)
+		}
+	}
+	// Truncated mirrors the sequential flag: the cap fired while unexplored
+	// work remained (a finished-in-flight path was dropped, or frontiers
+	// still held items).
+	if maxPaths > 0 && completed.Load() >= maxPaths &&
+		(dropped.Load() > 0 || leftover.Load() > 0 || f.remaining() > 0) {
+		res.PathsTruncated = true
+	}
+}
+
+// workerStrategy builds worker w's local frontier ordering: a per-worker
+// derivation of the configured strategy, or the default interleaved
+// strategy seeded by the worker index. (Run forces non-WorkerStrategy
+// configurations sequential before this is ever called.)
+func (e *Engine) workerStrategy(w int) Strategy {
+	if ws, ok := e.Strategy.(WorkerStrategy); ok {
+		return ws.ForWorker(w)
+	}
+	return NewInterleaved(int64(w) + 1)
+}

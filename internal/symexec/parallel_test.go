@@ -1,0 +1,341 @@
+package symexec
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"github.com/soft-testing/soft/internal/coverage"
+	"github.com/soft-testing/soft/internal/sym"
+)
+
+// fingerprint renders everything observable about a Result into one string,
+// so two runs can be compared for byte-identical output.
+func fingerprint(res *Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "paths=%d infeasible=%d depthTrunc=%d truncated=%t queries=%d\n",
+		len(res.Paths), res.Infeasible, res.DepthTruncated, res.PathsTruncated, res.BranchQueries)
+	var inputs []string
+	for name, v := range res.Inputs {
+		inputs = append(inputs, fmt.Sprintf("%s:%d", name, v.Width()))
+	}
+	sort.Strings(inputs)
+	fmt.Fprintf(&b, "inputs=%v\n", inputs)
+	if res.Cov != nil {
+		fmt.Fprintf(&b, "cov=%.4f/%.4f\n", res.Cov.InstructionPct(), res.Cov.BranchPct())
+	}
+	for _, p := range res.Paths {
+		fmt.Fprintf(&b, "path %d dec=%v cond=%s outputs=%v crashed=%t msg=%q branches=%d",
+			p.ID, p.Decisions, p.Condition().String(), p.Outputs, p.Crashed, p.CrashMsg, p.Branches)
+		if p.Model != nil {
+			var kv []string
+			for k, v := range p.Model {
+				kv = append(kv, fmt.Sprintf("%s=%d", k, v))
+			}
+			sort.Strings(kv)
+			fmt.Fprintf(&b, " model=%v", kv)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// parallelHandlers is the handler zoo the determinism tests sweep: every
+// engine outcome class is represented (fork, no-fork, crash, infeasible
+// assumption, correlated prune).
+func parallelHandlers() map[string]Handler {
+	return map[string]Handler{
+		"paper-example": paperExample,
+		"exponential-256": func(ctx *Context) {
+			x := ctx.NewSym("x", 8)
+			n := 0
+			for i := 0; i < 8; i++ {
+				if ctx.Branch(sym.EqConst(sym.Extract(x, i, i), 1)) {
+					n++
+				}
+			}
+			ctx.Emit(n)
+		},
+		"crash": func(ctx *Context) {
+			p := ctx.NewSym("port", 16)
+			if ctx.Branch(sym.EqConst(p, 0xfffd)) {
+				ctx.Crash("segfault")
+			}
+			ctx.Emit("ok")
+		},
+		"assume-infeasible": func(ctx *Context) {
+			v := ctx.NewSym("x", 8)
+			if ctx.Branch(sym.Ult(v, sym.Const(8, 16))) {
+				ctx.Assume(sym.EqConst(v, 200)) // contradicts the branch
+				ctx.Emit("unreachable")
+			} else {
+				ctx.Emit("hi")
+			}
+		},
+		"correlated": func(ctx *Context) {
+			a := ctx.NewSym("a", 8)
+			lt10 := ctx.Branch(sym.Ult(a, sym.Const(8, 10)))
+			lt20 := ctx.Branch(sym.Ult(a, sym.Const(8, 20)))
+			ctx.Emit(fmt.Sprintf("%v%v", lt10, lt20))
+		},
+	}
+}
+
+// TestParallelMatchesSequential is the core determinism property: for
+// exhaustive exploration, any worker count produces a byte-identical Result.
+func TestParallelMatchesSequential(t *testing.T) {
+	for name, h := range parallelHandlers() {
+		t.Run(name, func(t *testing.T) {
+			seq := (&Engine{Workers: 1, WantModels: true}).Run(h)
+			want := fingerprint(seq)
+			for _, workers := range []int{2, 4, 8} {
+				par := (&Engine{Workers: workers, WantModels: true}).Run(h)
+				if got := fingerprint(par); got != want {
+					t.Fatalf("workers=%d diverged from sequential:\n--- sequential\n%s--- parallel\n%s",
+						workers, want, got)
+				}
+			}
+		})
+	}
+}
+
+// TestParallelMatchesSequentialAllStrategies checks canonical ordering makes
+// the result independent of both the strategy and the worker count.
+func TestParallelMatchesSequentialAllStrategies(t *testing.T) {
+	mks := map[string]func() Strategy{
+		"dfs":         NewDFS,
+		"bfs":         NewBFS,
+		"random":      func() Strategy { return NewRandom(42) },
+		"cov-opt":     NewCoverageOptimized,
+		"interleaved": func() Strategy { return NewInterleaved(7) },
+	}
+	base := (&Engine{Workers: 1}).Run(paperExample)
+	want := fingerprint(base)
+	for name, mk := range mks {
+		for _, workers := range []int{1, 4} {
+			e := &Engine{Workers: workers, Strategy: mk()}
+			res := e.Run(paperExample)
+			if got := fingerprint(res); got != want {
+				t.Errorf("strategy=%s workers=%d diverged:\n--- want\n%s--- got\n%s",
+					name, workers, want, got)
+			}
+		}
+	}
+}
+
+// TestParallelCoverage checks per-path and cumulative coverage survive the
+// parallel merge.
+func TestParallelCoverage(t *testing.T) {
+	m := coverage.NewMap()
+	bFwd := m.Block("fwd", 5)
+	bErr := m.Block("err", 5)
+	brPort := m.BranchSite("port-range")
+	h := func(ctx *Context) {
+		p := ctx.NewSym("port", 16)
+		if ctx.BranchSite(brPort, sym.Ult(p, sym.Const(16, 25))) {
+			ctx.Cover(bFwd)
+		} else {
+			ctx.Cover(bErr)
+		}
+	}
+	for _, workers := range []int{1, 4} {
+		res := (&Engine{Workers: workers, CovMap: m}).Run(h)
+		if len(res.Paths) != 2 {
+			t.Fatalf("workers=%d: %d paths", workers, len(res.Paths))
+		}
+		if got := res.Cov.InstructionPct(); got != 100 {
+			t.Fatalf("workers=%d: cumulative instruction coverage %v", workers, got)
+		}
+		if got := res.Cov.BranchPct(); got != 100 {
+			t.Fatalf("workers=%d: cumulative branch coverage %v", workers, got)
+		}
+		for _, p := range res.Paths {
+			if p.Cov.InstructionPct() == 100 {
+				t.Fatalf("workers=%d: a single path cannot cover both arms", workers)
+			}
+		}
+	}
+}
+
+// TestParallelMaxPaths: the cap keeps exactly MaxPaths paths and flags
+// truncation, whatever the worker count.
+func TestParallelMaxPaths(t *testing.T) {
+	h := func(ctx *Context) {
+		x := ctx.NewSym("x", 16)
+		for i := 0; i < 10; i++ {
+			ctx.Branch(sym.EqConst(sym.Extract(x, i, i), 1))
+		}
+	}
+	for _, workers := range []int{2, 4, 8} {
+		res := (&Engine{Workers: workers, MaxPaths: 5}).Run(h)
+		if len(res.Paths) != 5 {
+			t.Fatalf("workers=%d: got %d paths, want 5", workers, len(res.Paths))
+		}
+		if !res.PathsTruncated {
+			t.Fatalf("workers=%d: PathsTruncated must be set", workers)
+		}
+	}
+}
+
+// TestParallelMaxDepth: depth truncation counts match sequential.
+func TestParallelMaxDepth(t *testing.T) {
+	h := func(ctx *Context) {
+		x := ctx.NewSym("x", 16)
+		for i := 0; i < 10; i++ {
+			ctx.Branch(sym.EqConst(sym.Extract(x, i, i), 1))
+		}
+		ctx.Emit("done")
+	}
+	seq := (&Engine{Workers: 1, MaxDepth: 3}).Run(h)
+	par := (&Engine{Workers: 4, MaxDepth: 3}).Run(h)
+	if seq.DepthTruncated == 0 {
+		t.Fatal("expected depth-truncated paths")
+	}
+	if fingerprint(seq) != fingerprint(par) {
+		t.Fatalf("depth-limited runs diverged:\n--- seq\n%s--- par\n%s",
+			fingerprint(seq), fingerprint(par))
+	}
+}
+
+// TestParallelRepeatedRuns hammers the work-stealing frontier: many
+// back-to-back parallel explorations of a wide tree must all agree. Run
+// with -race this doubles as the engine's data-race test.
+func TestParallelRepeatedRuns(t *testing.T) {
+	h := func(ctx *Context) {
+		x := ctx.NewSym("x", 16)
+		n := 0
+		for i := 0; i < 10; i++ {
+			if ctx.Branch(sym.EqConst(sym.Extract(x, i, i), 1)) {
+				n++
+			}
+		}
+		ctx.Emit(n)
+	}
+	want := fingerprint((&Engine{Workers: 1}).Run(h))
+	runs := 5
+	if testing.Short() {
+		runs = 2
+	}
+	for i := 0; i < runs; i++ {
+		res := (&Engine{Workers: 8}).Run(h)
+		if len(res.Paths) != 1024 {
+			t.Fatalf("run %d: %d paths, want 1024", i, len(res.Paths))
+		}
+		if got := fingerprint(res); got != want {
+			t.Fatalf("run %d diverged from sequential", i)
+		}
+	}
+}
+
+// TestWorkerStrategyDerivation: every built-in strategy yields independent
+// per-worker instances; randomized ones derive distinct seeds.
+func TestWorkerStrategyDerivation(t *testing.T) {
+	for _, mk := range []func() Strategy{
+		NewDFS, NewBFS,
+		func() Strategy { return NewRandom(3) },
+		NewCoverageOptimized,
+		func() Strategy { return NewInterleaved(3) },
+	} {
+		s := mk()
+		ws, ok := s.(WorkerStrategy)
+		if !ok {
+			t.Fatalf("strategy %s does not implement WorkerStrategy", s.Name())
+		}
+		a, b := ws.ForWorker(0), ws.ForWorker(1)
+		if a == s || b == s || a == b {
+			t.Fatalf("strategy %s: ForWorker must return fresh instances", s.Name())
+		}
+		if a.Name() != s.Name() {
+			t.Fatalf("strategy %s: ForWorker changed kind to %s", s.Name(), a.Name())
+		}
+		// The derived instance must be usable in isolation.
+		a.Push(&workItem{decisions: []bool{true}, site: -1})
+		if it, ok := a.Pop(nil); !ok || len(it.decisions) != 1 {
+			t.Fatalf("strategy %s: derived instance broken", s.Name())
+		}
+	}
+}
+
+// TestInterleavedLenExact: interleaved keeps one backing store behind two
+// views; Len must report the real item count after pops from either view
+// (the parallel rebalance and leftover accounting depend on it).
+func TestInterleavedLenExact(t *testing.T) {
+	s := NewInterleaved(1)
+	for i := 0; i < 4; i++ {
+		s.Push(&workItem{decisions: []bool{true}, site: -1})
+	}
+	for want := 3; want >= 0; want-- {
+		if _, ok := s.Pop(nil); !ok {
+			t.Fatalf("pop failed with %d items left", want+1)
+		}
+		if got := s.Len(); got != want {
+			t.Fatalf("Len() = %d after pop, want %d", got, want)
+		}
+	}
+	if _, ok := s.Pop(nil); ok {
+		t.Fatal("pop succeeded on empty strategy")
+	}
+}
+
+// seqOnlyStrategy is a LIFO Strategy that deliberately does not implement
+// WorkerStrategy (no embedding: promotion would leak ForWorker).
+type seqOnlyStrategy struct {
+	items []*workItem
+	pops  int
+}
+
+func (s *seqOnlyStrategy) Name() string      { return "seq-only" }
+func (s *seqOnlyStrategy) Len() int          { return len(s.items) }
+func (s *seqOnlyStrategy) Push(it *workItem) { s.items = append(s.items, it) }
+func (s *seqOnlyStrategy) Pop(*coverage.Set) (*workItem, bool) {
+	s.pops++
+	if len(s.items) == 0 {
+		return nil, false
+	}
+	it := s.items[len(s.items)-1]
+	s.items = s.items[:len(s.items)-1]
+	return it, true
+}
+
+// TestCustomStrategyForcedSequential: a custom strategy without per-worker
+// derivation must be honored exactly — the engine falls back to sequential
+// exploration instead of silently substituting a different search order.
+func TestCustomStrategyForcedSequential(t *testing.T) {
+	st := &seqOnlyStrategy{}
+	res := (&Engine{Workers: 4, Strategy: st}).Run(paperExample)
+	if len(res.Paths) != 3 {
+		t.Fatalf("got %d paths, want 3", len(res.Paths))
+	}
+	if st.pops == 0 {
+		t.Fatal("custom strategy was bypassed")
+	}
+	if got := fingerprint(res); got != fingerprint((&Engine{Workers: 1}).Run(paperExample)) {
+		t.Fatal("custom-strategy run diverged from canonical result")
+	}
+}
+
+// TestLessDecisions pins the canonical order: lexicographic, false < true,
+// prefix first.
+func TestLessDecisions(t *testing.T) {
+	f, tr := false, true
+	cases := []struct {
+		a, b []bool
+		want bool
+	}{
+		{nil, nil, false},
+		{nil, []bool{f}, true},
+		{[]bool{f}, nil, false},
+		{[]bool{f}, []bool{tr}, true},
+		{[]bool{tr}, []bool{f}, false},
+		{[]bool{f, tr}, []bool{tr}, true},
+		{[]bool{f, tr}, []bool{f, f}, false},
+		{[]bool{f, f}, []bool{f, tr}, true},
+		{[]bool{f, f}, []bool{f, f, tr}, true},
+	}
+	for _, c := range cases {
+		if got := lessDecisions(c.a, c.b); got != c.want {
+			t.Errorf("lessDecisions(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}

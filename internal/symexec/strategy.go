@@ -21,13 +21,29 @@ type Strategy interface {
 	Name() string
 }
 
+// WorkerStrategy is a Strategy that can spawn independent per-worker
+// instances for parallel exploration: worker w orders its local frontier
+// with ForWorker(w) while the engine's shared pool handles stealing. All
+// built-in strategies implement it. Randomized strategies derive a
+// deterministic per-worker seed, keeping each worker's local order
+// reproducible (the final result order is canonical regardless — see
+// doc.go).
+type WorkerStrategy interface {
+	Strategy
+	ForWorker(w int) Strategy
+}
+
+// workerSeed spreads a base seed across workers.
+func workerSeed(seed int64, w int) int64 { return seed + int64(w)*0x9e3779b9 }
+
 // dfs explores depth-first (LIFO).
 type dfs struct{ items []*workItem }
 
 // NewDFS returns a depth-first (LIFO) strategy.
 func NewDFS() Strategy { return &dfs{} }
 
-func (s *dfs) Name() string      { return "dfs" }
+func (s *dfs) Name() string           { return "dfs" }
+func (s *dfs) ForWorker(int) Strategy { return NewDFS() }
 func (s *dfs) Len() int          { return len(s.items) }
 func (s *dfs) Push(it *workItem) { s.items = append(s.items, it) }
 func (s *dfs) Pop(*coverage.Set) (*workItem, bool) {
@@ -48,7 +64,8 @@ type bfs struct {
 // NewBFS returns a breadth-first (FIFO) strategy.
 func NewBFS() Strategy { return &bfs{} }
 
-func (s *bfs) Name() string      { return "bfs" }
+func (s *bfs) Name() string           { return "bfs" }
+func (s *bfs) ForWorker(int) Strategy { return NewBFS() }
 func (s *bfs) Len() int          { return len(s.items) - s.head }
 func (s *bfs) Push(it *workItem) { s.items = append(s.items, it) }
 func (s *bfs) Pop(*coverage.Set) (*workItem, bool) {
@@ -69,15 +86,17 @@ func (s *bfs) Pop(*coverage.Set) (*workItem, bool) {
 type random struct {
 	items []*workItem
 	rng   *rand.Rand
+	seed  int64
 }
 
 // NewRandom returns a random-path strategy with the given seed. The same
 // seed always yields the same exploration order.
 func NewRandom(seed int64) Strategy {
-	return &random{rng: rand.New(rand.NewSource(seed))}
+	return &random{rng: rand.New(rand.NewSource(seed)), seed: seed}
 }
 
-func (s *random) Name() string      { return "random" }
+func (s *random) Name() string             { return "random" }
+func (s *random) ForWorker(w int) Strategy { return NewRandom(workerSeed(s.seed, w)) }
 func (s *random) Len() int          { return len(s.items) }
 func (s *random) Push(it *workItem) { s.items = append(s.items, it) }
 func (s *random) Pop(*coverage.Set) (*workItem, bool) {
@@ -102,7 +121,8 @@ type covOpt struct {
 // into uncovered branch directions.
 func NewCoverageOptimized() Strategy { return &covOpt{} }
 
-func (s *covOpt) Name() string      { return "cov-opt" }
+func (s *covOpt) Name() string           { return "cov-opt" }
+func (s *covOpt) ForWorker(int) Strategy { return NewCoverageOptimized() }
 func (s *covOpt) Len() int          { return len(s.items) }
 func (s *covOpt) Push(it *workItem) { s.items = append(s.items, it) }
 func (s *covOpt) Pop(cov *coverage.Set) (*workItem, bool) {
@@ -135,11 +155,21 @@ type interleaved struct {
 
 // NewInterleaved returns the Cloud9-style interleaved strategy.
 func NewInterleaved(seed int64) Strategy {
-	return &interleaved{rnd: &random{rng: rand.New(rand.NewSource(seed))}, cov: &covOpt{}}
+	return &interleaved{
+		rnd: &random{rng: rand.New(rand.NewSource(seed)), seed: seed},
+		cov: &covOpt{},
+	}
 }
 
 func (s *interleaved) Name() string { return "interleaved" }
-func (s *interleaved) Len() int     { return len(s.rnd.items) + len(s.cov.items) }
+func (s *interleaved) ForWorker(w int) Strategy {
+	return NewInterleaved(workerSeed(s.rnd.seed, w))
+}
+
+// Len reports the single backing store's length. (s.rnd.items is a stale
+// alias of it between random pops and must not be counted: the parallel
+// engine's rebalance and leftover accounting rely on an exact Len.)
+func (s *interleaved) Len() int { return len(s.cov.items) }
 func (s *interleaved) Push(it *workItem) {
 	// Keep one backing store; alternate which view pops.
 	s.cov.items = append(s.cov.items, it)

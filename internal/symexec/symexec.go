@@ -1,27 +1,9 @@
-// Package symexec implements the symbolic execution engine at the core of
-// SOFT's first phase. It substitutes for Cloud9 in the paper's prototype:
-// given a deterministic handler (the OpenFlow agent model driven by the test
-// harness), it explores every feasible execution path, maintaining a path
-// condition per path and recording the outputs the agent produced along it.
-//
-// The engine uses deterministic re-execution (execution-generated testing):
-// a path is identified by the sequence of decisions taken at branches whose
-// condition depends on symbolic input. To explore an alternative, the engine
-// re-runs the handler from the start, replaying the recorded decision prefix
-// and then diverging. Because agents are deterministic functions of the
-// branch decisions, replay reconstructs exactly the same execution tree a
-// state-forking engine (like Cloud9) would maintain, at the cost of
-// re-execution — which is cheap for agent models — and with none of the
-// state-snapshotting machinery.
-//
-// Branch feasibility is decided by the solver package. Each in-flight path
-// carries an incrementally built SAT encoding of its path condition, so a
-// feasibility query at a branch reuses all the encoding and learned clauses
-// accumulated along the path.
 package symexec
 
 import (
 	"fmt"
+	"runtime"
+	"sort"
 	"time"
 
 	"github.com/soft-testing/soft/internal/bitblast"
@@ -50,9 +32,14 @@ type abortPanic struct {
 }
 
 // Context is the per-path execution context handed to the Handler. It is
-// valid only for the duration of one handler invocation.
+// valid only for the duration of one handler invocation. A Context holds no
+// reference to shared engine state: forks go through the enqueue callback
+// and feasibility queries run against the path-private blaster, so parallel
+// workers execute paths without locking on the hot path.
 type Context struct {
-	eng       *Engine
+	maxDepth  int
+	enqueue   func(*workItem)
+	queries   *int64 // owned by the executing worker; no atomics needed
 	blaster   *bitblast.Blaster
 	decisions []bool // prescribed prefix (replay), then grown by new decisions
 	sites     []coverage.BranchID
@@ -142,7 +129,7 @@ func (c *Context) BranchSite(site coverage.BranchID, cond *sym.Expr) bool {
 
 	idx := c.depth
 	c.depth++
-	if c.eng.MaxDepth > 0 && idx >= c.eng.MaxDepth {
+	if c.maxDepth > 0 && idx >= c.maxDepth {
 		panic(abortPanic{kind: abortDepth, msg: "maximum branch depth exceeded"})
 	}
 
@@ -154,7 +141,7 @@ func (c *Context) BranchSite(site coverage.BranchID, cond *sym.Expr) bool {
 	}
 
 	// Frontier: decide which arms are feasible.
-	c.eng.branchQueries++
+	*c.queries++
 	satTrue := c.blaster.SolveAssuming(cond)
 	var satFalse bool
 	if !satTrue {
@@ -170,7 +157,7 @@ func (c *Context) BranchSite(site coverage.BranchID, cond *sym.Expr) bool {
 		alt := make([]bool, idx+1)
 		copy(alt, c.decisions)
 		alt[idx] = false
-		c.eng.enqueue(&workItem{decisions: alt, site: site, dir: false})
+		c.enqueue(&workItem{decisions: alt, site: site, dir: false})
 		c.decisions = append(c.decisions, true)
 		c.take(site, cond, true)
 		return true
@@ -208,6 +195,10 @@ func (c *Context) PathCondition() *sym.Expr { return sym.LAnd(c.pc...) }
 
 // Path is one completed execution path.
 type Path struct {
+	// ID is the path's index in canonical decision-prefix order (see
+	// Decisions): IDs are assigned after exploration by sorting the decision
+	// vectors lexicographically (false < true), so the same handler always
+	// yields the same IDs regardless of search strategy or worker count.
 	ID       int
 	PC       []*sym.Expr // conjuncts in branch order
 	Outputs  []any
@@ -219,6 +210,10 @@ type Path struct {
 	Model sym.Assignment
 	// Branches is the number of symbolic decisions on the path.
 	Branches int
+	// Decisions is the branch-decision vector identifying the path in the
+	// execution tree. Completed paths are prefix-free, so the vector is a
+	// unique canonical key.
+	Decisions []bool
 }
 
 // Condition returns the path condition as a single expression.
@@ -229,7 +224,9 @@ func (p *Path) Condition() *sym.Expr { return sym.LAnd(p.PC...) }
 func (p *Path) ConstraintSize() int { return p.Condition().Size() }
 
 // Result is the outcome of exploring a handler exhaustively (or up to the
-// engine's limits).
+// engine's limits). Paths are in canonical decision-prefix order, so for
+// exhaustive runs the Result is identical whatever the search strategy or
+// worker count.
 type Result struct {
 	Paths []*Path
 	// Cov is cumulative coverage over all explored paths.
@@ -237,8 +234,7 @@ type Result struct {
 	// Inputs is the union of symbolic inputs the handler declared.
 	Inputs map[string]*sym.Expr
 	// Elapsed is wall-clock exploration time (the paper's "CPU time"
-	// column; our implementation is single-threaded per experiment, as is
-	// the paper's).
+	// column; with Workers > 1 the CPU time is up to Workers × Elapsed).
 	Elapsed time.Duration
 	// Infeasible counts abandoned paths (contradictory Assume).
 	Infeasible int
@@ -282,14 +278,22 @@ type workItem struct {
 
 // Engine explores all paths of a Handler.
 type Engine struct {
-	// Solver is used for branch feasibility and model extraction. A nil
-	// Solver gets a fresh one.
+	// Solver is the constraint-solving façade reserved for engine-level
+	// queries. Path feasibility and model extraction run on path-private
+	// bitblast instances instead, so the engine never contends on it; a nil
+	// Solver gets a fresh one. See solver.Solver's concurrency notes.
 	Solver *solver.Solver
 	// Strategy orders path exploration; nil means NewInterleaved(1), the
-	// Cloud9 default strategy per the paper's §4.1.
+	// Cloud9 default strategy per the paper's §4.1. Parallel exploration
+	// needs per-worker frontier instances, so a non-nil Strategy that does
+	// not implement WorkerStrategy (the built-in strategies all do) forces
+	// the run sequential — the configured search order is honored exactly
+	// rather than silently replaced.
 	Strategy Strategy
 	// MaxPaths caps explored paths; 0 means unlimited. The paper notes
-	// SOFT can work with partial path sets.
+	// SOFT can work with partial path sets. When the cap truncates a run,
+	// the set of explored paths depends on strategy order (and, with
+	// Workers > 1, on scheduling); only exhaustive runs are canonical.
 	MaxPaths int
 	// MaxDepth caps symbolic decisions per path; 0 means unlimited.
 	MaxDepth int
@@ -297,23 +301,32 @@ type Engine struct {
 	WantModels bool
 	// CovMap, when set, allocates per-path coverage sets over this universe.
 	CovMap *coverage.Map
+	// Workers is the number of parallel exploration workers. 0 means
+	// GOMAXPROCS; 1 forces sequential exploration. Exhaustive runs produce
+	// identical Results for every worker count (see doc.go).
+	Workers int
 
 	queue         Strategy
 	branchQueries int64
 }
 
-func (e *Engine) enqueue(it *workItem) { e.queue.Push(it) }
-
-// Run explores h and returns all completed paths.
+// Run explores h and returns all completed paths in canonical
+// decision-prefix order.
 func (e *Engine) Run(h Handler) *Result {
 	if e.Solver == nil {
 		e.Solver = solver.New()
 	}
-	e.queue = e.Strategy
-	if e.queue == nil {
-		e.queue = NewInterleaved(1)
+	workers := e.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
-	e.branchQueries = 0
+	if e.Strategy != nil {
+		if _, ok := e.Strategy.(WorkerStrategy); !ok {
+			// A custom strategy without per-worker derivation cannot be
+			// split across frontiers; honor its exact order sequentially.
+			workers = 1
+		}
+	}
 
 	res := &Result{Inputs: make(map[string]*sym.Expr)}
 	if e.CovMap != nil {
@@ -321,8 +334,62 @@ func (e *Engine) Run(h Handler) *Result {
 	}
 
 	start := time.Now()
-	e.enqueue(&workItem{decisions: nil, site: -1})
-	nextID := 0
+	if workers == 1 {
+		e.runSequential(h, res)
+	} else {
+		e.runParallel(h, workers, res)
+	}
+	canonicalizePaths(res.Paths)
+	res.Elapsed = time.Since(start)
+	return res
+}
+
+// newContext builds the execution context for one path attempt.
+func (e *Engine) newContext(it *workItem, enqueue func(*workItem), queries *int64) *Context {
+	ctx := &Context{
+		maxDepth:  e.MaxDepth,
+		enqueue:   enqueue,
+		queries:   queries,
+		blaster:   bitblast.New(),
+		decisions: it.decisions,
+		inputs:    make(map[string]*sym.Expr),
+	}
+	if e.CovMap != nil {
+		ctx.cov = e.CovMap.NewSet()
+	}
+	return ctx
+}
+
+// completePath turns a finished context into a Path (with model extraction
+// when requested).
+func (e *Engine) completePath(ctx *Context) *Path {
+	p := &Path{
+		PC:        ctx.pc,
+		Outputs:   ctx.outputs,
+		Cov:       ctx.cov,
+		Crashed:   ctx.crashed,
+		CrashMsg:  ctx.crashMsg,
+		Branches:  ctx.depth,
+		Decisions: ctx.decisions,
+	}
+	if e.WantModels {
+		if ctx.blaster.Solve() {
+			p.Model = ctx.blaster.Model()
+		}
+	}
+	return p
+}
+
+// runSequential is the single-threaded exploration loop.
+func (e *Engine) runSequential(h Handler, res *Result) {
+	e.queue = e.Strategy
+	if e.queue == nil {
+		e.queue = NewInterleaved(1)
+	}
+	e.branchQueries = 0
+
+	enqueue := func(it *workItem) { e.queue.Push(it) }
+	e.queue.Push(&workItem{decisions: nil, site: -1})
 	for e.queue.Len() > 0 {
 		if e.MaxPaths > 0 && len(res.Paths) >= e.MaxPaths {
 			res.PathsTruncated = true
@@ -332,37 +399,14 @@ func (e *Engine) Run(h Handler) *Result {
 		if !ok {
 			break
 		}
-		ctx := &Context{
-			eng:       e,
-			blaster:   bitblast.New(),
-			decisions: it.decisions,
-			inputs:    make(map[string]*sym.Expr),
-		}
-		if e.CovMap != nil {
-			ctx.cov = e.CovMap.NewSet()
-		}
+		ctx := e.newContext(it, enqueue, &e.branchQueries)
 		outcome := runOne(ctx, h)
 		for name, v := range ctx.inputs {
 			res.Inputs[name] = v
 		}
 		switch outcome {
 		case pathCompleted, pathCrashed:
-			p := &Path{
-				ID:       nextID,
-				PC:       ctx.pc,
-				Outputs:  ctx.outputs,
-				Cov:      ctx.cov,
-				Crashed:  ctx.crashed,
-				CrashMsg: ctx.crashMsg,
-				Branches: ctx.depth,
-			}
-			nextID++
-			if e.WantModels {
-				if ctx.blaster.Solve() {
-					p.Model = ctx.blaster.Model()
-				}
-			}
-			res.Paths = append(res.Paths, p)
+			res.Paths = append(res.Paths, e.completePath(ctx))
 			if res.Cov != nil {
 				res.Cov.Merge(ctx.cov)
 			}
@@ -375,9 +419,33 @@ func (e *Engine) Run(h Handler) *Result {
 			}
 		}
 	}
-	res.Elapsed = time.Since(start)
 	res.BranchQueries = e.branchQueries
-	return res
+}
+
+// lessDecisions orders decision vectors lexicographically with false < true;
+// a proper prefix sorts before its extensions.
+func lessDecisions(a, b []bool) bool {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return !a[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+// canonicalizePaths sorts paths into canonical decision-prefix order and
+// assigns IDs, making results independent of exploration order.
+func canonicalizePaths(paths []*Path) {
+	sort.Slice(paths, func(i, j int) bool {
+		return lessDecisions(paths[i].Decisions, paths[j].Decisions)
+	})
+	for i, p := range paths {
+		p.ID = i
+	}
 }
 
 type pathOutcome int
