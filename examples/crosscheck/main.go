@@ -1,42 +1,58 @@
 // The crosscheck example reproduces the paper's headline experiment
-// (§5.1.2): it runs the Table 1 suite's fast tests over the Reference
-// Switch and Open vSwitch models, crosschecks the results, and prints each
-// inconsistency class with a concrete reproducer — the same findings the
-// paper reports (crashes, silent drops, missing error messages, validation
-// order, missing features).
+// (§5.1.2) against the public soft API: it runs the Table 1 suite's fast
+// tests over the Reference Switch and Open vSwitch models, crosschecks the
+// results, and prints each inconsistency class with a concrete reproducer
+// — the same findings the paper reports (crashes, silent drops, missing
+// error messages, validation order, missing features).
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 	"time"
 
-	"github.com/soft-testing/soft/internal/agents/ovs"
-	"github.com/soft-testing/soft/internal/agents/refswitch"
-	"github.com/soft-testing/soft/internal/crosscheck"
-	"github.com/soft-testing/soft/internal/group"
-	"github.com/soft-testing/soft/internal/harness"
-	"github.com/soft-testing/soft/internal/report"
-	"github.com/soft-testing/soft/internal/solver"
+	"github.com/soft-testing/soft"
 )
 
 func main() {
-	ref, ov := refswitch.New(), ovs.New()
-	s := solver.New()
+	ctx := context.Background()
+	ref, err := soft.AgentByName("ref")
+	if err != nil {
+		log.Fatal(err)
+	}
+	ov, err := soft.AgentByName("ovs")
+	if err != nil {
+		log.Fatal(err)
+	}
+	// One shared solver: its query cache carries over between explorations
+	// and the crosschecks.
+	s := soft.NewSolver()
 	tests := []string{"Packet Out", "Stats Request", "Set Config", "Short Symb"}
 
 	classTotals := map[string]int{}
-	classExample := map[string]crosscheck.Inconsistency{}
+	classExample := map[string]soft.Inconsistency{}
 	classTest := map[string]string{}
 	for _, name := range tests {
-		t, _ := harness.TestByName(name)
+		t, _ := soft.TestByName(name)
 		fmt.Printf("exploring %-14s ", name)
-		ra := harness.Explore(ref, t, harness.Options{Solver: s, WantModels: true})
-		rb := harness.Explore(ov, t, harness.Options{Solver: s, WantModels: true})
-		rep := crosscheck.Run(group.Paths(ra.Serialized()), group.Paths(rb.Serialized()), s, time.Minute)
+		ra, err := soft.Explore(ctx, ref, t, soft.WithSolver(s), soft.WithModels(true))
+		if err != nil {
+			log.Fatal(err)
+		}
+		rb, err := soft.Explore(ctx, ov, t, soft.WithSolver(s), soft.WithModels(true))
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep, err := soft.CrossCheck(ctx, soft.Group(ra), soft.Group(rb),
+			soft.WithSolver(s), soft.WithBudget(time.Minute))
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("ref %4d paths, ovs %4d paths -> %3d inconsistencies (~%d root causes)\n",
 			len(ra.Paths), len(rb.Paths), len(rep.Inconsistencies), rep.RootCauses())
 		for _, inc := range rep.Inconsistencies {
-			c := report.Classify(inc)
+			c := soft.Classify(inc)
 			classTotals[c]++
 			if _, ok := classExample[c]; !ok {
 				classExample[c] = inc
@@ -51,9 +67,8 @@ func main() {
 		inc := classExample[c]
 		fmt.Printf("    Reference Switch: %s\n", firstLine(inc.ACanonical))
 		fmt.Printf("    Open vSwitch:     %s\n", firstLine(inc.BCanonical))
-		t, _ := harness.TestByName(classTest[c])
-		wires := harness.Reproduce(t, inc.Witness)
-		for i, w := range wires {
+		t, _ := soft.TestByName(classTest[c])
+		for i, w := range soft.Reproduce(t, inc.Witness) {
 			fmt.Printf("    reproducer input %d: %x\n", i, w)
 		}
 	}

@@ -1,23 +1,23 @@
-// The injected example reproduces §5.1.1: team members injected seven
-// behavior modifications into the Reference Switch; SOFT pinpoints five
-// and structurally cannot see two (the concrete Hello handshake and the
-// untriggerable idle-timeout timer). The example prints each modification,
-// whether the suite detected it, and why the misses are misses.
+// The injected example reproduces §5.1.1 through the public soft API:
+// team members injected seven behavior modifications into the Reference
+// Switch; SOFT pinpoints five and structurally cannot see two (the
+// concrete Hello handshake and the untriggerable idle-timeout timer). The
+// example prints each modification, whether the suite detected it, and why
+// the misses are misses.
 package main
 
 import (
 	"fmt"
 	"time"
 
-	"github.com/soft-testing/soft/internal/agents/modified"
-	"github.com/soft-testing/soft/internal/report"
+	"github.com/soft-testing/soft"
 )
 
 func main() {
 	fmt.Printf("Modified Switch carries %d injected changes; %d are reachable by SOFT's tests.\n\n",
-		modified.TotalModifications, modified.DetectableModifications)
+		soft.InjectedModifications, soft.DetectableInjectedModifications)
 
-	findings := report.InjectedData(report.Options{CheckBudget: time.Minute})
+	findings := soft.InjectedFindings(soft.WithBudget(time.Minute))
 	detected := 0
 	for _, f := range findings {
 		mark := "MISSED  "

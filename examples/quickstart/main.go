@@ -1,28 +1,32 @@
 // The quickstart example walks through the paper's §2.3 worked example
-// using the public pipeline pieces directly: two toy Packet Out handlers
-// (Figure 1's Agent 1 and Agent 2) are symbolically executed, their input
-// spaces partitioned, the partitions grouped by output, and the crosscheck
-// finds the single inconsistency — Agent 1 sends port OFPP_CONTROLLER to
-// the controller while Agent 2 rejects it — and produces the concrete
-// witness p = 0xfffd.
+// against the public soft API: two toy Packet Out handlers (Figure 1's
+// Agent 1 and Agent 2) are symbolically executed with soft.ExploreHandler,
+// their paths grouped by output behavior, and soft.CrossCheck finds the
+// single inconsistency — Agent 1 sends port OFPP_CONTROLLER to the
+// controller while Agent 2 rejects it — and produces the concrete witness
+// p = 0xfffd.
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 
-	"github.com/soft-testing/soft/internal/openflow"
-	"github.com/soft-testing/soft/internal/solver"
-	"github.com/soft-testing/soft/internal/sym"
-	"github.com/soft-testing/soft/internal/symexec"
+	"github.com/soft-testing/soft"
 )
 
+// Keep in sync with cmd/soft/quickstart.go: the `soft quickstart`
+// subcommand runs the same golden flow; this copy stays self-contained
+// (public API only) so it doubles as copy-pasteable documentation. Both
+// are pinned to the 0xfffd witness by the test/verify gates.
+
 // agent1 is Figure 1's left handler: it supports the controller port.
-func agent1(ctx *symexec.Context) {
+func agent1(ctx *soft.ExecContext) {
 	p := ctx.NewSym("port", 16)
 	switch {
-	case ctx.Branch(sym.EqConst(p, uint64(openflow.PortController))):
+	case ctx.Branch(soft.EqConst(p, 0xfffd)): // OFPP_CONTROLLER
 		ctx.Emit("CTRL")
-	case ctx.Branch(sym.Ult(p, sym.Const(16, 25))):
+	case ctx.Branch(soft.Ult(p, soft.Const(16, 25))):
 		ctx.Emit("FWD")
 	default:
 		ctx.Emit("ERR")
@@ -30,58 +34,54 @@ func agent1(ctx *symexec.Context) {
 }
 
 // agent2 is Figure 1's right handler: no controller-port support.
-func agent2(ctx *symexec.Context) {
+func agent2(ctx *soft.ExecContext) {
 	p := ctx.NewSym("port", 16)
-	if ctx.Branch(sym.Ult(p, sym.Const(16, 25))) {
+	if ctx.Branch(soft.Ult(p, soft.Const(16, 25))) {
 		ctx.Emit("FWD")
 	} else {
 		ctx.Emit("ERR")
 	}
 }
 
-func explore(name string, h symexec.Handler) map[string]*sym.Expr {
-	eng := &symexec.Engine{}
-	res := eng.Run(h)
+// explore runs one toy handler and shapes its paths into the phase-1
+// result form the grouping and crosscheck stages consume: the emitted
+// string is the normalized trace, the path condition travels alongside.
+func explore(ctx context.Context, name string, h soft.Handler) *soft.Grouped {
+	res, err := soft.ExploreHandler(ctx, h, soft.WithModels(true))
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("%s: %d paths\n", name, len(res.Paths))
-	// Group paths by output result (§3.4): here each path has exactly one
-	// output string.
-	groups := map[string]*sym.Expr{}
+	sr := &soft.SerializedResult{Agent: name, Test: "Figure 1"}
 	for _, p := range res.Paths {
 		out := p.Outputs[0].(string)
-		cond := p.Condition()
-		if prev, ok := groups[out]; ok {
-			cond = sym.LOr(prev, cond)
-		}
-		groups[out] = cond
 		fmt.Printf("  path: output=%-4s condition=%v\n", out, p.Condition())
+		sr.Paths = append(sr.Paths, soft.SerializedPath{
+			ID: p.ID, Cond: p.Condition(), Template: out, Canonical: out, Model: p.Model,
+		})
 	}
-	return groups
+	return soft.GroupSerialized(sr)
 }
 
 func main() {
 	fmt.Println("SOFT quickstart: the paper's Figure 1 / Figure 2 example.")
 	fmt.Println()
-	g1 := explore("Agent 1", agent1)
-	g2 := explore("Agent 2", agent2)
+	ctx := context.Background()
+	g1 := explore(ctx, "Agent 1", agent1)
+	g2 := explore(ctx, "Agent 2", agent2)
 
 	fmt.Println("\nCrosschecking result groups (different outputs, intersecting subspaces):")
-	s := solver.New()
-	found := 0
-	for out1, c1 := range g1 {
-		for out2, c2 := range g2 {
-			if out1 == out2 {
-				continue
-			}
-			if res, model := s.Check(c1, c2); res == solver.Sat {
-				found++
-				fmt.Printf("  inconsistency: Agent1=%s Agent2=%s at port=%#x\n",
-					out1, out2, model["port"])
-			}
-		}
+	rep, err := soft.CrossCheck(ctx, g1, g2)
+	if err != nil {
+		log.Fatal(err)
 	}
-	if found == 0 {
+	if len(rep.Inconsistencies) == 0 {
 		fmt.Println("  none found")
 		return
+	}
+	for _, inc := range rep.Inconsistencies {
+		fmt.Printf("  inconsistency: Agent1=%s Agent2=%s at port=%#x\n",
+			inc.ACanonical, inc.BCanonical, inc.Witness["port"])
 	}
 	fmt.Println("\nAs in the paper: the only inconsistency is the controller port (0xfffd).")
 }

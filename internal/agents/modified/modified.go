@@ -9,7 +9,14 @@
 //     execution engine cannot trigger.
 package modified
 
-import "github.com/soft-testing/soft/internal/agents/refswitch"
+import (
+	"github.com/soft-testing/soft/internal/agents"
+	"github.com/soft-testing/soft/internal/agents/refswitch"
+)
+
+func init() {
+	agents.Register("modified", func() agents.Agent { return New() }, "mod")
+}
 
 // DetectableModifications is how many of the injected changes SOFT's test
 // suite can observe (5 of 7, as in the paper).

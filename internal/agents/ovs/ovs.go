@@ -76,6 +76,10 @@ type blocks struct {
 	brConn, brPktParse                                             coverage.BranchID
 }
 
+func init() {
+	agents.Register("ovs", func() agents.Agent { return New() }, "openvswitch")
+}
+
 // New returns the Open vSwitch 1.0.0 model.
 func New() *Switch {
 	s := &Switch{cov: coverage.NewMap()}

@@ -111,6 +111,10 @@ type blocks struct {
 	brOutInPort, brConn, brPktParse                                coverage.BranchID
 }
 
+func init() {
+	agents.Register("ref", func() agents.Agent { return New() }, "reference")
+}
+
 // New returns the stock Reference Switch model.
 func New() *Switch { return NewWithOptions("Reference Switch", Options{}) }
 

@@ -1,0 +1,68 @@
+package agents
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Factory constructs a fresh Agent. Factories are registered once (usually
+// from an agent package's init) and invoked per lookup, so every caller
+// gets an agent with isolated coverage state.
+type Factory func() Agent
+
+var (
+	regMu     sync.RWMutex
+	factories = map[string]Factory{} // canonical names and aliases
+	canonical []string               // canonical names, registration order
+)
+
+// Register adds an agent factory under a canonical name plus optional
+// aliases. It replaces the agentByName switch that used to be duplicated
+// across every cmd and example. Register panics on a duplicate name: two
+// implementations claiming one name is a programmer error, not a runtime
+// condition.
+func Register(name string, factory Factory, aliases ...string) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	for _, n := range append([]string{name}, aliases...) {
+		if _, dup := factories[n]; dup {
+			panic(fmt.Sprintf("agents: duplicate registration of %q", n))
+		}
+		factories[n] = factory
+	}
+	canonical = append(canonical, name)
+}
+
+// ByName instantiates the registered agent with the given name or alias.
+// The error for an unknown name lists every registered canonical name.
+func ByName(name string) (Agent, error) {
+	regMu.RLock()
+	f, ok := factories[name]
+	regMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("unknown agent %q (registered: %s)",
+			name, strings.Join(Names(), ", "))
+	}
+	return f(), nil
+}
+
+// MustByName is ByName for names the caller knows are registered.
+func MustByName(name string) Agent {
+	a, err := ByName(name)
+	if err != nil {
+		panic("agents: " + err.Error())
+	}
+	return a
+}
+
+// Names returns the registered canonical agent names, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, len(canonical))
+	copy(out, canonical)
+	sort.Strings(out)
+	return out
+}

@@ -13,6 +13,7 @@
 package crosscheck
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -79,9 +80,13 @@ type Report struct {
 	Queries int
 	// Elapsed is the Table 3 "Inconsist. checking" time.
 	Elapsed time.Duration
-	// Partial reports that the time budget expired before the cross
-	// product was exhausted (the paper's ">28h / >=8" CS FlowMods row).
+	// Partial reports that the time budget expired or the context was
+	// cancelled before the cross product was exhausted (the paper's
+	// ">28h / >=8" CS FlowMods row).
 	Partial bool
+	// Cancelled reports that the run's context was cancelled (Partial is
+	// also set).
+	Cancelled bool
 }
 
 // RootCauses returns the number of distinct (template A, template B)
@@ -116,27 +121,54 @@ func diffCond(a, b *group.Group) *sym.Expr {
 	return sym.LOr(dis...)
 }
 
+// Opts tunes a crosscheck run.
+type Opts struct {
+	// Solver runs the satisfiability queries (nil gets a fresh one). It is
+	// shared by all workers; solver.Solver is safe for concurrent use.
+	Solver *solver.Solver
+	// Budget, when non-zero, stops the cross product early and marks the
+	// report partial.
+	Budget time.Duration
+	// Workers fans the independent (i, j) queries out over this many
+	// goroutines (0 = GOMAXPROCS, 1 = sequential).
+	Workers int
+	// Progress, when set, is called as each group pair is claimed, with
+	// (done, total) counts. With Workers > 1 it runs on worker goroutines
+	// and must be safe for concurrent use.
+	Progress func(done, total int)
+}
+
 // Run crosschecks two grouped phase-1 results (which must come from the
 // same test, so the symbolic input variables coincide). A non-zero budget
 // stops the cross product early and marks the report partial.
 func Run(a, b *group.Result, s *solver.Solver, budget time.Duration) *Report {
-	return RunParallel(a, b, s, budget, 1)
+	return RunOpts(context.Background(), a, b, Opts{Solver: s, Budget: budget, Workers: 1})
 }
 
 // RunParallel is Run with the solver queries of the cross product fanned
-// out over the given number of workers (0 = GOMAXPROCS). Each (i, j) group
-// pair is an independent satisfiability query, so workers share only the
-// solver's query cache (Solver is safe for concurrent use). Inconsistencies
-// are reported in (i, j) row-major order — the same order Run produces —
-// and because the solver is deterministic per query, a full (non-partial)
-// parallel report is identical to a sequential one.
+// out over the given number of workers (0 = GOMAXPROCS).
 func RunParallel(a, b *group.Result, s *solver.Solver, budget time.Duration, workers int) *Report {
+	return RunOpts(context.Background(), a, b, Opts{Solver: s, Budget: budget, Workers: workers})
+}
+
+// RunOpts is the full-control entry point: crosscheck a against b under
+// ctx. Each (i, j) group pair is an independent satisfiability query, so
+// workers share only the solver's query cache. Inconsistencies are
+// reported in (i, j) row-major order — the same order a sequential run
+// produces — and because the solver is deterministic per query, a full
+// (non-partial) parallel report is identical to a sequential one.
+// Cancelling ctx stops the scan at the next pair boundary and marks the
+// report Partial and Cancelled.
+func RunOpts(ctx context.Context, a, b *group.Result, o Opts) *Report {
+	s := o.Solver
 	if s == nil {
 		s = solver.New()
 	}
+	workers := o.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	budget := o.Budget
 	start := time.Now()
 	rep := &Report{AgentA: a.Agent, AgentB: b.Agent, Test: a.Test}
 
@@ -154,8 +186,8 @@ func RunParallel(a, b *group.Result, s *solver.Solver, budget time.Duration, wor
 	// next unclaimed pair, so with one worker the scan order — and the
 	// budget cutoff prefix — matches the historical sequential loop.
 	found := make([]*Inconsistency, total)
-	var next, queries atomic.Int64
-	var partial atomic.Bool
+	var next, queries, done atomic.Int64
+	var partial, cancelled atomic.Bool
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -166,9 +198,17 @@ func RunParallel(a, b *group.Result, s *solver.Solver, budget time.Duration, wor
 				if k >= total {
 					return
 				}
+				if ctx.Err() != nil {
+					cancelled.Store(true)
+					partial.Store(true)
+					return
+				}
 				if budget > 0 && time.Since(start) > budget {
 					partial.Store(true)
 					return
+				}
+				if o.Progress != nil {
+					o.Progress(int(done.Add(1)), total)
 				}
 				i, j := k/nb, k%nb
 				ga, gb := &a.Groups[i], &b.Groups[j]
@@ -209,6 +249,7 @@ func RunParallel(a, b *group.Result, s *solver.Solver, budget time.Duration, wor
 	}
 	rep.Queries = int(queries.Load())
 	rep.Partial = partial.Load()
+	rep.Cancelled = cancelled.Load()
 	rep.Elapsed = time.Since(start)
 	return rep
 }

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"time"
 
 	"github.com/soft-testing/soft/internal/agents"
@@ -28,6 +29,10 @@ type Options struct {
 	// GOMAXPROCS, 1 = sequential). Exhaustive explorations produce
 	// identical results for every worker count.
 	Workers int
+	// Progress, when set, is called after each completed path with the
+	// cumulative path count. With Workers > 1 it runs on worker goroutines
+	// and must be safe for concurrent use.
+	Progress func(pathsDone int)
 }
 
 // DefaultMaxPaths bounds a single exploration.
@@ -58,10 +63,15 @@ type Result struct {
 
 	Paths []PathResult
 
-	Elapsed        time.Duration
-	InstrPct       float64
-	BranchPct      float64
-	Truncated      bool
+	Elapsed   time.Duration
+	InstrPct  float64
+	BranchPct float64
+	// Truncated reports a partial path set: MaxPaths fired or the run was
+	// cancelled before the execution tree was exhausted.
+	Truncated bool
+	// Cancelled reports that the exploration context was cancelled (its
+	// paths are the partial set completed before the cancellation).
+	Cancelled      bool
 	Infeasible     int
 	DepthTruncated int
 	BranchQueries  int64
@@ -94,6 +104,13 @@ func (r *Result) MaxConstraintOps() int {
 // Explore symbolically executes agent a on test t: the whole of SOFT's
 // phase 1 for one (agent, test) pair.
 func Explore(a agents.Agent, t Test, o Options) *Result {
+	return ExploreContext(context.Background(), a, t, o)
+}
+
+// ExploreContext is Explore with cancellation: when ctx is cancelled the
+// engine stops at the next path boundary and the Result comes back with
+// Cancelled and Truncated set, carrying the paths completed so far.
+func ExploreContext(ctx context.Context, a agents.Agent, t Test, o Options) *Result {
 	if o.MaxPaths == 0 {
 		o.MaxPaths = DefaultMaxPaths
 	}
@@ -114,8 +131,9 @@ func Explore(a agents.Agent, t Test, o Options) *Result {
 		WantModels: o.WantModels,
 		CovMap:     a.CovMap(),
 		Workers:    o.Workers,
+		Progress:   o.Progress,
 	}
-	res := eng.Run(func(ctx *symexec.Context) {
+	res := eng.RunContext(ctx, func(ctx *symexec.Context) {
 		in := a.NewInstance()
 		in.Handshake(ctx)
 		for _, input := range t.Inputs(ctx.NewSym) {
@@ -133,6 +151,7 @@ func Explore(a agents.Agent, t Test, o Options) *Result {
 		MsgCount:       t.MsgCount,
 		Elapsed:        res.Elapsed,
 		Truncated:      res.PathsTruncated,
+		Cancelled:      res.Cancelled,
 		Infeasible:     res.Infeasible,
 		DepthTruncated: res.DepthTruncated,
 		BranchQueries:  res.BranchQueries,

@@ -19,17 +19,35 @@ import (
 // trace expressions are canonical sym s-expressions, templates and
 // canonicals are quoted strings.
 
-const resultsMagic = "soft-results v1"
+// resultsMagic is the header of exhaustive results files — the original
+// format, byte-identical across worker counts. resultsMagicV2 marks files
+// that carry the "partial" line (truncated or cancelled explorations);
+// pre-v2 readers reject them with a version mismatch instead of silently
+// treating a partial path set as complete.
+const (
+	resultsMagic   = "soft-results v1"
+	resultsMagicV2 = "soft-results v2"
+)
 
 // Write serializes r to the results file format.
 func (r *Result) Write(w io.Writer) error {
 	bw := bufio.NewWriter(w)
-	fmt.Fprintln(bw, resultsMagic)
+	if r.Truncated || r.Cancelled {
+		fmt.Fprintln(bw, resultsMagicV2)
+	} else {
+		fmt.Fprintln(bw, resultsMagic)
+	}
 	fmt.Fprintf(bw, "agent %q\n", r.Agent)
 	fmt.Fprintf(bw, "test %q\n", r.Test)
 	fmt.Fprintf(bw, "msgcount %d\n", r.MsgCount)
 	fmt.Fprintf(bw, "elapsed %d\n", r.Elapsed.Nanoseconds())
 	fmt.Fprintf(bw, "coverage %f %f\n", r.InstrPct, r.BranchPct)
+	if r.Truncated || r.Cancelled {
+		// Written only for partial results, so exhaustive runs keep the
+		// historical byte layout (and the cross-worker-count determinism
+		// guarantee, which applies to exhaustive runs only).
+		fmt.Fprintf(bw, "partial truncated=%t cancelled=%t\n", r.Truncated, r.Cancelled)
+	}
 	fmt.Fprintf(bw, "paths %d\n", len(r.Paths))
 	for i := range r.Paths {
 		p := &r.Paths[i]
@@ -82,6 +100,11 @@ type SerializedResult struct {
 	Elapsed   time.Duration
 	InstrPct  float64
 	BranchPct float64
+	// Truncated/Cancelled mirror the source Result's partial-run flags, so
+	// the crosscheck phase can tell a partial path set from an exhaustive
+	// one (inconsistencies on unexplored paths are invisible).
+	Truncated bool
+	Cancelled bool
 	Paths     []SerializedPath
 }
 
@@ -91,6 +114,7 @@ func (r *Result) Serialized() *SerializedResult {
 	out := &SerializedResult{
 		Agent: r.Agent, Test: r.Test, MsgCount: r.MsgCount,
 		Elapsed: r.Elapsed, InstrPct: r.InstrPct, BranchPct: r.BranchPct,
+		Truncated: r.Truncated, Cancelled: r.Cancelled,
 	}
 	for i := range r.Paths {
 		p := &r.Paths[i]
@@ -119,8 +143,12 @@ func ReadResults(r io.Reader) (*SerializedResult, error) {
 		return sc.Text(), true
 	}
 	l, ok := line()
-	if !ok || l != resultsMagic {
-		return nil, fmt.Errorf("harness: not a results file (got %q)", l)
+	if !ok {
+		return nil, fmt.Errorf("harness: not a results file: empty input, expected %q header", resultsMagic)
+	}
+	if l != resultsMagic && l != resultsMagicV2 {
+		return nil, fmt.Errorf("harness: not a results file: expected %q (or %q) header, got %q",
+			resultsMagic, resultsMagicV2, l)
 	}
 	out := &SerializedResult{}
 	var cur *SerializedPath
@@ -149,6 +177,8 @@ func ReadResults(r io.Reader) (*SerializedResult, error) {
 			out.Elapsed = time.Duration(ns)
 		case "coverage":
 			fmt.Sscanf(rest, "%f %f", &out.InstrPct, &out.BranchPct)
+		case "partial":
+			fmt.Sscanf(rest, "truncated=%t cancelled=%t", &out.Truncated, &out.Cancelled)
 		case "paths":
 			n, _ := strconv.Atoi(rest)
 			out.Paths = make([]SerializedPath, 0, n)

@@ -18,9 +18,9 @@ import (
 	"time"
 
 	"github.com/soft-testing/soft/internal/agents"
-	"github.com/soft-testing/soft/internal/agents/modified"
-	"github.com/soft-testing/soft/internal/agents/ovs"
-	"github.com/soft-testing/soft/internal/agents/refswitch"
+	_ "github.com/soft-testing/soft/internal/agents/modified"  // register "modified"
+	_ "github.com/soft-testing/soft/internal/agents/ovs"       // register "ovs"
+	_ "github.com/soft-testing/soft/internal/agents/refswitch" // register "ref"
 	"github.com/soft-testing/soft/internal/crosscheck"
 	"github.com/soft-testing/soft/internal/group"
 	"github.com/soft-testing/soft/internal/harness"
@@ -45,9 +45,14 @@ func (o *Options) checkBudget() time.Duration {
 	return o.CheckBudget
 }
 
-// Agents returns the three agents of the evaluation in table order.
+// Agents returns the three agents of the evaluation in table order,
+// instantiated through the shared agent registry.
 func Agents() []agents.Agent {
-	return []agents.Agent{refswitch.New(), modified.New(), ovs.New()}
+	return []agents.Agent{
+		agents.MustByName("ref"),
+		agents.MustByName("modified"),
+		agents.MustByName("ovs"),
+	}
 }
 
 // quickSkip lists the slow tests excluded in Quick mode.
@@ -160,7 +165,7 @@ var table3Tests = []string{
 
 // Table3Data runs grouping and crosschecking for the Table 3 tests.
 func Table3Data(o Options) []Row3 {
-	ref, ov := refswitch.New(), ovs.New()
+	ref, ov := agents.MustByName("ref"), agents.MustByName("ovs")
 	s := solver.New()
 	var rows []Row3
 	for _, name := range table3Tests {
@@ -221,7 +226,7 @@ type Row4 struct {
 // Table4Data measures instruction and branch coverage per test, plus the
 // handshake-only "No Message" baseline.
 func Table4Data(o Options) []Row4 {
-	ref, ov := refswitch.New(), ovs.New()
+	ref, ov := agents.MustByName("ref"), agents.MustByName("ovs")
 	var rows []Row4
 
 	noMsg := harness.Test{
@@ -269,7 +274,7 @@ type Row5 struct {
 
 // Table5Data runs the concretization ablation on the reference switch.
 func Table5Data(o Options) []Row5 {
-	ref := refswitch.New()
+	ref := agents.MustByName("ref")
 	var rows []Row5
 	for _, t := range harness.AblationTests() {
 		r := harness.Explore(ref, t, harness.Options{MaxPaths: o.MaxPaths})
@@ -299,7 +304,7 @@ func Table5(o Options) string {
 // Figure4Data measures reference switch coverage for 1..3 symbolic
 // messages.
 func Figure4Data(o Options) []float64 {
-	ref := refswitch.New()
+	ref := agents.MustByName("ref")
 	var out []float64
 	for n := 1; n <= 3; n++ {
 		r := harness.Explore(ref, harness.CoverageSequence(n), harness.Options{MaxPaths: o.MaxPaths})
@@ -333,7 +338,7 @@ type InjectedFinding struct {
 // InjectedData runs the full suite Modified Switch vs Reference Switch and
 // reports which of the 7 injected modifications were pinpointed.
 func InjectedData(o Options) []InjectedFinding {
-	ref, mod := refswitch.New(), modified.New()
+	ref, mod := agents.MustByName("ref"), agents.MustByName("modified")
 	s := solver.New()
 	var all []crosscheck.Inconsistency
 	// The full FlowMod test subsumes Priority FlowMod but costs orders of
@@ -465,7 +470,7 @@ func Classify(inc crosscheck.Inconsistency) string {
 // InconsistencyClasses runs ref vs ovs over the suite and tallies the
 // §5.1.2 classes.
 func InconsistencyClasses(o Options) []ClassifiedInconsistency {
-	ref, ov := refswitch.New(), ovs.New()
+	ref, ov := agents.MustByName("ref"), agents.MustByName("ovs")
 	s := solver.New()
 	counts := map[string]int{}
 	for _, t := range harness.Tests() {

@@ -1,6 +1,7 @@
 package symexec
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 
@@ -25,6 +26,10 @@ type frontier struct {
 	// done is set when exploration must stop: either every worker is idle
 	// with no work anywhere, or a path cap fired.
 	done atomic.Bool
+	// exhausted is set only on natural termination (every worker idle, no
+	// work left): it distinguishes a finished run from a halted one when a
+	// late context cancellation races with the end of exploration.
+	exhausted atomic.Bool
 }
 
 func newFrontier(workers int) *frontier {
@@ -66,6 +71,7 @@ func (f *frontier) steal() (*workItem, bool) {
 			// Every worker is here and the pool is empty: local frontiers
 			// are empty too (a worker only steals when drained), so the
 			// execution tree is exhausted.
+			f.exhausted.Store(true)
 			f.done.Store(true)
 			f.cond.Broadcast()
 			return nil, false
@@ -108,12 +114,30 @@ type workerState struct {
 // branch-query counter — and synchronize only to balance work. The merged
 // result is canonicalized by the caller, so for exhaustive runs the output
 // is identical to runSequential's.
-func (e *Engine) runParallel(h Handler, workers int, res *Result) {
+//
+// Cancellation reuses the MaxPaths halt path: a watcher goroutine observes
+// cancel.Done() and calls frontier.halt(), which wakes blocked stealers and
+// makes every worker exit at its next loop check. Paths already completed
+// are kept, so a cancelled run returns the partial set explored so far.
+func (e *Engine) runParallel(cancel context.Context, h Handler, workers int, res *Result) {
 	f := newFrontier(workers)
 	f.global = append(f.global, &workItem{decisions: nil, site: -1})
 
 	maxPaths := int64(e.MaxPaths)
-	var completed, dropped, leftover atomic.Int64
+	var completed, dropped, leftover, progressDone atomic.Int64
+	var cancelled atomic.Bool
+	if done := cancel.Done(); done != nil {
+		stop := make(chan struct{})
+		defer close(stop)
+		go func() {
+			select {
+			case <-done:
+				cancelled.Store(true)
+				f.halt()
+			case <-stop:
+			}
+		}()
+	}
 
 	states := make([]*workerState, workers)
 	var wg sync.WaitGroup
@@ -184,6 +208,9 @@ func (e *Engine) runParallel(h Handler, workers int, res *Result) {
 					if ws.cov != nil {
 						ws.cov.Merge(ctx.cov)
 					}
+					if e.Progress != nil {
+						e.Progress(int(progressDone.Add(1)))
+					}
 				case pathInfeasible:
 					ws.infeasible++
 				case pathDepthTruncated:
@@ -215,6 +242,9 @@ func (e *Engine) runParallel(h Handler, workers int, res *Result) {
 	if maxPaths > 0 && completed.Load() >= maxPaths &&
 		(dropped.Load() > 0 || leftover.Load() > 0 || f.remaining() > 0) {
 		res.PathsTruncated = true
+	}
+	if cancelled.Load() && !f.exhausted.Load() {
+		res.Cancelled = true
 	}
 }
 

@@ -1,6 +1,7 @@
 package symexec
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -240,8 +241,12 @@ type Result struct {
 	Infeasible int
 	// DepthTruncated counts paths cut by MaxDepth.
 	DepthTruncated int
-	// PathsTruncated reports whether MaxPaths stopped exploration early.
+	// PathsTruncated reports whether exploration stopped early — MaxPaths
+	// fired or the run's context was cancelled — so Paths is a partial set.
 	PathsTruncated bool
+	// Cancelled reports that the context passed to RunContext was cancelled
+	// (or its deadline expired) before the execution tree was exhausted.
+	Cancelled bool
 	// BranchQueries counts frontier feasibility decisions.
 	BranchQueries int64
 }
@@ -305,6 +310,13 @@ type Engine struct {
 	// GOMAXPROCS; 1 forces sequential exploration. Exhaustive runs produce
 	// identical Results for every worker count (see doc.go).
 	Workers int
+	// Progress, when set, is invoked after each completed path with the
+	// cumulative number of paths kept so far. With Workers > 1 it is called
+	// from worker goroutines and must be safe for concurrent use; counts are
+	// monotonically increasing but may arrive out of order. The callback
+	// must not retain or mutate engine state — it exists to drive progress
+	// reporting for long runs and has no effect on exploration.
+	Progress func(pathsDone int)
 
 	queue         Strategy
 	branchQueries int64
@@ -313,6 +325,16 @@ type Engine struct {
 // Run explores h and returns all completed paths in canonical
 // decision-prefix order.
 func (e *Engine) Run(h Handler) *Result {
+	return e.RunContext(context.Background(), h)
+}
+
+// RunContext is Run with cancellation: when ctx is cancelled (or its
+// deadline expires) exploration stops at the next path boundary and the
+// partial result comes back with Cancelled and PathsTruncated set. Paths
+// completed before the cancellation are kept and canonicalized as usual;
+// only exhaustive (non-cancelled, non-truncated) runs are byte-identical
+// across worker counts.
+func (e *Engine) RunContext(ctx context.Context, h Handler) *Result {
 	if e.Solver == nil {
 		e.Solver = solver.New()
 	}
@@ -335,11 +357,14 @@ func (e *Engine) Run(h Handler) *Result {
 
 	start := time.Now()
 	if workers == 1 {
-		e.runSequential(h, res)
+		e.runSequential(ctx, h, res)
 	} else {
-		e.runParallel(h, workers, res)
+		e.runParallel(ctx, h, workers, res)
 	}
 	canonicalizePaths(res.Paths)
+	if res.Cancelled {
+		res.PathsTruncated = true
+	}
 	res.Elapsed = time.Since(start)
 	return res
 }
@@ -380,8 +405,10 @@ func (e *Engine) completePath(ctx *Context) *Path {
 	return p
 }
 
-// runSequential is the single-threaded exploration loop.
-func (e *Engine) runSequential(h Handler, res *Result) {
+// runSequential is the single-threaded exploration loop. cancel is the
+// run's context.Context (named to keep ctx free for the per-path execution
+// Context).
+func (e *Engine) runSequential(cancel context.Context, h Handler, res *Result) {
 	e.queue = e.Strategy
 	if e.queue == nil {
 		e.queue = NewInterleaved(1)
@@ -391,6 +418,10 @@ func (e *Engine) runSequential(h Handler, res *Result) {
 	enqueue := func(it *workItem) { e.queue.Push(it) }
 	e.queue.Push(&workItem{decisions: nil, site: -1})
 	for e.queue.Len() > 0 {
+		if cancel.Err() != nil {
+			res.Cancelled = true
+			break
+		}
 		if e.MaxPaths > 0 && len(res.Paths) >= e.MaxPaths {
 			res.PathsTruncated = true
 			break
@@ -409,6 +440,9 @@ func (e *Engine) runSequential(h Handler, res *Result) {
 			res.Paths = append(res.Paths, e.completePath(ctx))
 			if res.Cov != nil {
 				res.Cov.Merge(ctx.cov)
+			}
+			if e.Progress != nil {
+				e.Progress(len(res.Paths))
 			}
 		case pathInfeasible:
 			res.Infeasible++

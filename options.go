@@ -1,0 +1,122 @@
+package soft
+
+import (
+	"time"
+
+	"github.com/soft-testing/soft/internal/symexec"
+)
+
+// Option tunes Explore, ExploreHandler, CrossCheck, or InjectedFindings.
+// Options irrelevant to a call are ignored (WithBudget by Explore,
+// WithMaxPaths by CrossCheck, ...), so one option list can be shared by a
+// whole pipeline run.
+type Option func(*config)
+
+type config struct {
+	maxPaths int
+	maxDepth int
+	workers  int
+	models   bool
+	budget   time.Duration
+	strategy Strategy
+	solver   *Solver
+	progress func(Event)
+}
+
+func newConfig(opts []Option) *config {
+	cfg := &config{}
+	for _, o := range opts {
+		o(cfg)
+	}
+	return cfg
+}
+
+// WithWorkers sets the number of parallel workers: exploration workers for
+// Explore/ExploreHandler, solver-query workers for CrossCheck (0 =
+// GOMAXPROCS, 1 = sequential). Exhaustive explorations and full
+// crosschecks are deterministic for every worker count.
+func WithWorkers(n int) Option { return func(c *config) { c.workers = n } }
+
+// WithMaxPaths caps the number of explored paths (0 = the harness
+// default). The paper notes SOFT works with partial path sets too; a
+// truncated run sets Result.Truncated.
+func WithMaxPaths(n int) Option { return func(c *config) { c.maxPaths = n } }
+
+// WithMaxDepth caps symbolic decisions per path (0 = the harness default).
+func WithMaxDepth(n int) Option { return func(c *config) { c.maxDepth = n } }
+
+// WithBudget bounds a crosscheck's wall-clock time; an expired budget
+// stops the cross product and marks the Report partial (the paper's
+// ">28h" CS FlowMods row). For hard deadlines on exploration use a
+// context.WithTimeout instead — contexts cancel promptly, the budget is
+// only checked between solver queries.
+func WithBudget(d time.Duration) Option { return func(c *config) { c.budget = d } }
+
+// WithStrategy overrides the engine's search strategy (default:
+// Interleaved(1), the Cloud9 default per §4.1). Exhaustive runs produce
+// the same result for every strategy; partial runs explore
+// strategy-dependent prefixes.
+func WithStrategy(s Strategy) Option { return func(c *config) { c.strategy = s } }
+
+// WithModels extracts a concrete input example per explored path. Models
+// make results self-contained test suites but cost one extra solver call
+// per path.
+func WithModels(want bool) Option { return func(c *config) { c.models = want } }
+
+// WithSolver reuses an existing solver (and its query cache) across
+// pipeline stages; nil means a fresh solver per call.
+func WithSolver(s *Solver) Option { return func(c *config) { c.solver = s } }
+
+// WithProgress streams progress events from long runs to fn. The callback
+// may be invoked concurrently when the run uses multiple workers, and must
+// not block for long — it runs on the hot path's completion edge. Events
+// are advisory: they never affect results.
+func WithProgress(fn func(Event)) Option { return func(c *config) { c.progress = fn } }
+
+// Phase identifies which pipeline stage emitted an Event.
+type Phase string
+
+// Pipeline stages reported through WithProgress.
+const (
+	PhaseExplore    Phase = "explore"
+	PhaseCrossCheck Phase = "crosscheck"
+)
+
+// Event is one progress report from a running pipeline stage.
+type Event struct {
+	Phase Phase
+	// Agent is the exploring agent (PhaseExplore, empty for
+	// ExploreHandler) or the crosscheck's first agent (PhaseCrossCheck).
+	Agent string
+	// AgentB is the crosscheck's second agent.
+	AgentB string
+	// Test is the test under exploration or crosscheck.
+	Test string
+	// Done counts completed paths (PhaseExplore) or claimed group pairs
+	// (PhaseCrossCheck). Counts are monotonically increasing but may be
+	// observed out of order under concurrency.
+	Done int
+	// Total is the known amount of work (group pairs for PhaseCrossCheck;
+	// 0 for PhaseExplore, where the path count is not known in advance).
+	Total int
+}
+
+// Search strategies for WithStrategy. All built-ins support parallel
+// exploration (per-worker frontier instances with deterministic seeds).
+
+// DFS explores depth-first.
+func DFS() Strategy { return symexec.NewDFS() }
+
+// BFS explores breadth-first.
+func BFS() Strategy { return symexec.NewBFS() }
+
+// RandomStrategy explores in deterministic pseudo-random order.
+func RandomStrategy(seed int64) Strategy { return symexec.NewRandom(seed) }
+
+// CoverageOptimized prioritizes paths whose pending branch direction is
+// not yet covered.
+func CoverageOptimized() Strategy { return symexec.NewCoverageOptimized() }
+
+// Interleaved alternates coverage-optimized and random selection — the
+// engine's default, mirroring Cloud9's (§4.1).
+func Interleaved(seed int64) Strategy { return symexec.NewInterleaved(seed) }
