@@ -1,15 +1,19 @@
 # SOFT reproduction — build/verify entry points.
 #
-#   make build   compile everything
-#   make vet     static analysis
-#   make test    full test suite (tier-1 gate: build + test)
-#   make race    race-detector pass over the concurrency-sensitive packages
-#   make bench   the paper's evaluation benches + parallel scaling benches
-#   make check   build + vet + test (what CI should run)
+#   make build         compile everything
+#   make vet           static analysis
+#   make test          full test suite (tier-1 gate: build + test)
+#   make race          race-detector pass over the concurrency-sensitive packages
+#   make bench         the paper's evaluation benches + parallel scaling benches
+#   make bench-solver  solver-stack scaling benches (parallel explore, clause
+#                      sharing, sharded-cache crosscheck) — run on multicore
+#                      hardware for meaningful numbers
+#   make bench-smoke   every scaling bench once (CI bit-rot guard, no timing value)
+#   make check         build + vet + test (what CI should run)
 
 GO ?= go
 
-.PHONY: build vet test race bench check
+.PHONY: build vet test race bench bench-solver bench-smoke check
 
 build:
 	$(GO) build ./...
@@ -21,9 +25,15 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/symexec/ ./internal/harness/ ./internal/solver/ ./internal/crosscheck/ .
+	$(GO) test -race ./internal/sat/ ./internal/bitblast/ ./internal/symexec/ ./internal/harness/ ./internal/solver/ ./internal/crosscheck/ .
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+bench-solver:
+	$(GO) test -run NONE -bench 'ExploreParallel|CrossCheck' -benchmem .
+
+bench-smoke:
+	$(GO) test -run NONE -bench 'ExploreParallel|CrossCheck' -benchtime=1x .
 
 check: build vet test

@@ -53,7 +53,9 @@ func runDiff(e *env, args []string) error {
 	budget := fs.Duration("budget", 0, "time budget for the check (0 = unlimited)")
 	reproduce := fs.Bool("reproduce", false, "render a reproducer message per inconsistency")
 	workers := fs.Int("workers", 0, "parallel crosscheck workers (0 = GOMAXPROCS, 1 = sequential)")
+	sharedCache := fs.Bool("shared-cache", true, "workers share one sharded query cache (false: per-worker copy-on-write clones)")
 	timeout := fs.Duration("timeout", 0, "hard wall-clock limit; on expiry the partial report is still printed")
+	verbose := fs.Bool("v", false, "report solver statistics (queries, cache hits, clause exchange)")
 	if err := parse(fs, args); err != nil {
 		return err
 	}
@@ -79,7 +81,8 @@ func runDiff(e *env, args []string) error {
 		defer cancel()
 	}
 	rep, err := soft.CrossCheck(ctx, ga, gb,
-		soft.WithBudget(*budget), soft.WithWorkers(*workers))
+		soft.WithBudget(*budget), soft.WithWorkers(*workers),
+		soft.WithSharedCache(*sharedCache))
 	if err != nil {
 		return usageError{err}
 	}
@@ -93,6 +96,9 @@ func runDiff(e *env, args []string) error {
 	fmt.Fprintf(e.stdout, "%s vs %s on %s: %d inconsistencies, ~%d root causes, %d solver queries in %s%s\n",
 		rep.AgentA, rep.AgentB, rep.Test, len(rep.Inconsistencies), rep.RootCauses(),
 		rep.Queries, rep.Elapsed.Round(time.Millisecond), partial)
+	if *verbose {
+		fmt.Fprintf(e.stderr, "soft diff: %s\n", describeStats(rep.SolverStats, -1))
+	}
 	for k, inc := range rep.Inconsistencies {
 		fmt.Fprintf(e.stdout, "\n#%d %s\n", k, inc)
 		if *reproduce {

@@ -26,8 +26,10 @@ func runExplore(e *env, args []string) error {
 	maxPaths := fs.Int("max-paths", 0, "cap on explored paths (0 = default)")
 	models := fs.Bool("models", true, "extract a concrete input example per path")
 	workers := fs.Int("workers", 0, "parallel exploration workers (0 = GOMAXPROCS, 1 = sequential)")
+	clauseSharing := fs.Bool("clause-sharing", false, "share short learned clauses between path solvers (results are byte-identical either way)")
 	timeout := fs.Duration("timeout", 0, "wall-clock limit; on expiry the partial result is still written")
 	progress := fs.Bool("progress", false, "report exploration progress on stderr")
+	verbose := fs.Bool("v", false, "report solver statistics (queries, cache hits, clause exchange) on stderr")
 	if err := parse(fs, args); err != nil {
 		return err
 	}
@@ -54,6 +56,7 @@ func runExplore(e *env, args []string) error {
 		soft.WithMaxPaths(*maxPaths),
 		soft.WithModels(*models),
 		soft.WithWorkers(*workers),
+		soft.WithClauseSharing(*clauseSharing),
 	}
 	if *progress {
 		// Throttle by time, not path count: short runs still get feedback
@@ -85,6 +88,9 @@ func runExplore(e *env, args []string) error {
 	fmt.Fprintf(e.stderr, "%s / %s: %d paths in %s (coverage %.1f%% instr, %.1f%% branch)%s\n",
 		res.Agent, res.Test, len(res.Paths), res.Elapsed.Round(time.Millisecond),
 		res.InstrPct, res.BranchPct, mark)
+	if *verbose {
+		fmt.Fprintf(e.stderr, "soft explore: %s\n", describeStats(res.SolverStats, res.BranchQueries))
+	}
 
 	if *out == "" {
 		return soft.WriteResults(e.stdout, res)

@@ -58,6 +58,37 @@ func TestExploreDiffE2E(t *testing.T) {
 		}
 	}
 
+	// The diff report must be byte-identical across worker counts and cache
+	// modes (the summary line carries wall-clock time, so compare from the
+	// first inconsistency on).
+	body := func(out string) string {
+		if i := strings.Index(out, "\n"); i >= 0 {
+			return out[i:]
+		}
+		return out
+	}
+	wantBody := body(stdout)
+	if wantBody == "" || !strings.Contains(wantBody, "witness") {
+		t.Fatalf("diff body empty or witness-free:\n%s", stdout)
+	}
+	for _, args := range [][]string{
+		{"diff", "-workers", "1", refOut, modOut},
+		{"diff", "-workers", "4", refOut, modOut},
+		{"diff", "-workers", "4", "-shared-cache=false", "-v", refOut, modOut},
+	} {
+		out2, stderr2, code2 := runCLI(t, args...)
+		if code2 != 0 {
+			t.Fatalf("soft %v: exit %d, stderr:\n%s", args, code2, stderr2)
+		}
+		if got := body(out2); got != wantBody {
+			t.Errorf("soft %v diverged from the canonical report:\n--- want\n%s\n--- got\n%s",
+				args, wantBody, got)
+		}
+		if args[len(args)-3] == "-v" && !strings.Contains(stderr2, "solver:") {
+			t.Errorf("soft diff -v reported no solver statistics: %q", stderr2)
+		}
+	}
+
 	// soft group renders the same results file's distinct behaviors.
 	stdout, stderr, code = runCLI(t, "group", refOut)
 	if code != 0 {
@@ -65,6 +96,58 @@ func TestExploreDiffE2E(t *testing.T) {
 	}
 	if !strings.Contains(stdout, "distinct output results") {
 		t.Errorf("group summary missing:\n%s", stdout)
+	}
+}
+
+// normalizeElapsed blanks the results file's only wall-clock-dependent
+// line so runs can be compared byte for byte.
+func normalizeElapsed(t *testing.T, data []byte) []byte {
+	t.Helper()
+	lines := bytes.Split(data, []byte("\n"))
+	found := false
+	for i, l := range lines {
+		if bytes.HasPrefix(l, []byte("elapsed ")) {
+			lines[i] = []byte("elapsed 0")
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("results file has no elapsed line")
+	}
+	return bytes.Join(lines, []byte("\n"))
+}
+
+// TestExploreDeterminismFlags is the CLI acceptance check for the shared
+// solver stack: `soft explore` output must be byte-identical (modulo the
+// elapsed line) across every combination of -workers and -clause-sharing.
+func TestExploreDeterminismFlags(t *testing.T) {
+	dir := t.TempDir()
+	var want []byte
+	for _, workers := range []string{"1", "4"} {
+		for _, sharing := range []string{"false", "true"} {
+			out := filepath.Join(dir, "w"+workers+"s"+sharing+".txt")
+			_, stderr, code := runCLI(t, "explore", "-agent", "ref", "-test", "Packet Out",
+				"-workers", workers, "-clause-sharing="+sharing, "-v", "-o", out)
+			if code != 0 {
+				t.Fatalf("soft explore -workers %s -clause-sharing=%s: exit %d, stderr:\n%s",
+					workers, sharing, code, stderr)
+			}
+			if !strings.Contains(stderr, "solver:") || !strings.Contains(stderr, "clause exchange:") {
+				t.Errorf("-v did not report solver statistics: %q", stderr)
+			}
+			data, err := os.ReadFile(out)
+			if err != nil {
+				t.Fatal(err)
+			}
+			data = normalizeElapsed(t, data)
+			if want == nil {
+				want = data
+				continue
+			}
+			if !bytes.Equal(data, want) {
+				t.Fatalf("-workers %s -clause-sharing=%s produced different result bytes", workers, sharing)
+			}
+		}
 	}
 }
 

@@ -12,6 +12,7 @@ package bitblast
 
 import (
 	"fmt"
+	"sort"
 
 	"github.com/soft-testing/soft/internal/sat"
 	"github.com/soft-testing/soft/internal/sym"
@@ -20,11 +21,38 @@ import (
 // Blaster incrementally encodes expressions into a sat.Solver. A single
 // Blaster owns its solver; create a fresh Blaster per query batch, or reuse
 // it for several Assert calls followed by one Solve.
+//
+// Variable numbering is canonical: named variables are numbered by a stable
+// pre-order traversal of each asserted expression, before any auxiliary
+// Tseitin variables for that expression — never by gate-allocation order.
+// Two Blasters asserting the same expression sequence therefore emit
+// byte-identical CNF (TestCanonicalCNF pins this), and Blasters attached to
+// a shared Space additionally agree on the absolute indices of all shared
+// input bits, the invariant inter-worker clause exchange relies on.
 type Blaster struct {
 	S     *sat.Solver
 	vars  map[string][]sat.Lit // bitvector variable -> bit literals (LSB first)
 	memo  map[*sym.Expr][]sat.Lit
 	ltrue sat.Lit // literal constrained to true
+
+	// space, when non-nil, supplies canonical indices for named variables
+	// and Tseitin gates. While synced, this Blaster's variable layout is a
+	// lazy mirror of the space's: local index == canonical index for every
+	// variable below sharedLimit (== the local variable count), with index
+	// gaps left unconstrained for structure other paths own. The first
+	// fallback to private numbering (shared region full, or a hash
+	// collision claiming an index twice) freezes sharedLimit: indices below
+	// it stay canonical, everything above is private.
+	space       *Space
+	sharedLimit int
+	synced      bool
+	usedShared  []bool // canonical indices already claimed by this Blaster
+
+	// nodeHash/nodeSeq form the encoding stack for canonical gate
+	// numbering: the structural hash of each expression node being encoded,
+	// and the ordinal of the next gate within that node.
+	nodeHash []uint64
+	nodeSeq  []int
 
 	// Clauses counts CNF clauses added; Aux counts auxiliary variables.
 	Clauses int
@@ -43,8 +71,69 @@ func New() *Blaster {
 	return b
 }
 
+// NewShared creates a Blaster whose variables follow sp's canonical
+// numbering and whose SAT core exchanges short learned clauses through sp's
+// ring. A nil space degrades to New.
+func NewShared(sp *Space) *Blaster {
+	b := New()
+	if sp == nil {
+		return b
+	}
+	b.space = sp
+	b.synced = true
+	b.sharedLimit = b.S.NumVars() // just the constant-true variable so far
+	b.S.Share(sp.ring, b.sharedLimit)
+	return b
+}
+
+// claimShared makes the canonical index range [base, base+w) usable in this
+// Blaster: inside the mirrored prefix it checks the indices are unclaimed
+// (a structural-hash collision would otherwise alias two distinct gates,
+// corrupting local answers); beyond it, a still-synced Blaster grows its
+// mirror, allocating gap variables that stay unconstrained. Returns false
+// — and freezes the mirror — when the range cannot be claimed.
+func (b *Blaster) claimShared(base, w int) bool {
+	if base+w > b.sharedLimit {
+		if !b.synced {
+			return false
+		}
+		for b.S.NumVars() < base+w {
+			b.S.NewVar()
+		}
+		b.sharedLimit = b.S.NumVars()
+		b.S.SetShareLimit(b.sharedLimit)
+	}
+	for len(b.usedShared) < base+w {
+		b.usedShared = append(b.usedShared, false)
+	}
+	for i := base; i < base+w; i++ {
+		if b.usedShared[i] {
+			b.synced = false
+			return false
+		}
+	}
+	for i := base; i < base+w; i++ {
+		b.usedShared[i] = true
+	}
+	return true
+}
+
 func (b *Blaster) newLit() sat.Lit {
 	b.Aux++
+	if b.space != nil && len(b.nodeHash) > 0 {
+		// Canonical gate numbering: key the auxiliary variable by the node
+		// being encoded and the gate's ordinal within it.
+		top := len(b.nodeSeq) - 1
+		k := gateKey{hash: b.nodeHash[top], ord: b.nodeSeq[top]}
+		b.nodeSeq[top]++
+		if v, ok := b.space.reserveGate(k); ok {
+			if b.claimShared(v, 1) {
+				return sat.MkLit(v, false)
+			}
+		} else {
+			b.synced = false
+		}
+	}
 	return sat.MkLit(b.S.NewVar(), false)
 }
 
@@ -61,13 +150,30 @@ func (b *Blaster) constLit(v bool) sat.Lit {
 }
 
 // VarBits returns (creating on first use) the bit literals of the named
-// bitvector variable.
+// bitvector variable. With a shared Space the bits are the variable's
+// canonical indices when the name was registered before this Blaster was
+// created; names first seen later are registered for future Blasters but
+// numbered privately here (and so excluded from clause exchange).
 func (b *Blaster) VarBits(name string, w int) []sat.Lit {
 	if bits, ok := b.vars[name]; ok {
 		if len(bits) != w {
 			panic(fmt.Sprintf("bitblast: variable %q used with widths %d and %d", name, len(bits), w))
 		}
 		return bits
+	}
+	if b.space != nil {
+		if base, ok := b.space.reserve(name, w); ok {
+			if b.claimShared(base, w) {
+				bits := make([]sat.Lit, w)
+				for i := range bits {
+					bits[i] = sat.MkLit(base+i, false)
+				}
+				b.vars[name] = bits
+				return bits
+			}
+		} else {
+			b.synced = false
+		}
 	}
 	bits := make([]sat.Lit, w)
 	for i := range bits {
@@ -77,16 +183,45 @@ func (b *Blaster) VarBits(name string, w int) []sat.Lit {
 	return bits
 }
 
+// reserveVars numbers every named variable of e in stable pre-order
+// traversal position (first occurrence wins), before any auxiliary
+// variables of e's encoding are allocated. This is what keeps variable
+// numbering a function of the asserted expressions rather than of gate
+// construction order.
+func (b *Blaster) reserveVars(e *sym.Expr) {
+	seen := make(map[*sym.Expr]bool)
+	var walk func(e *sym.Expr)
+	walk = func(e *sym.Expr) {
+		if seen[e] {
+			return
+		}
+		seen[e] = true
+		if e.Op == sym.OpVar {
+			b.VarBits(e.Name, int(e.W))
+			return
+		}
+		for _, k := range e.Kids {
+			walk(k)
+		}
+	}
+	walk(e)
+}
+
 // Assert adds the boolean expression e as a hard constraint.
 func (b *Blaster) Assert(e *sym.Expr) {
 	if !e.IsBool() {
 		panic("bitblast: Assert requires a boolean expression")
 	}
+	b.reserveVars(e)
+	b.assert(e)
+}
+
+func (b *Blaster) assert(e *sym.Expr) {
 	// Top-level conjunctions decompose into independent asserts, which keeps
 	// clauses shorter than funnelling through a single Tseitin output.
 	if e.Op == sym.OpLAnd {
 		for _, k := range e.Kids {
-			b.Assert(k)
+			b.assert(k)
 		}
 		return
 	}
@@ -101,6 +236,7 @@ func (b *Blaster) Solve() bool { return b.S.Solve() }
 func (b *Blaster) SolveAssuming(es ...*sym.Expr) bool {
 	lits := make([]sat.Lit, len(es))
 	for i, e := range es {
+		b.reserveVars(e)
 		lits[i] = b.enc1(e)
 	}
 	return b.S.Solve(lits...)
@@ -126,12 +262,54 @@ func (b *Blaster) Model() sym.Assignment {
 	return m
 }
 
+// CanonicalModel extracts the canonical witness of the asserted
+// constraints: the satisfying assignment with the numerically smallest
+// values, minimized variable by variable in name order (each variable's
+// bits are fixed MSB first). Unlike Model, whose
+// values depend on the CDCL search trajectory (and hence on learned-clause
+// imports, restarts, and encoding layout), the canonical model is a pure
+// function of the constraint semantics — the property the pipeline's
+// byte-for-byte determinism guarantees rest on. Must be called immediately
+// after a successful assumption-free Solve: minimization starts from the
+// model that solve produced rather than paying a redundant re-solve.
+func (b *Blaster) CanonicalModel() sym.Assignment {
+	names := make([]string, 0, len(b.vars))
+	for n := range b.vars {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	// Invariant: the solver's last model satisfies every literal in fixed.
+	// A bit the current model already reads as 0 is therefore 0-feasible
+	// for free; only 1-bits cost a solve. A failed solve leaves the
+	// previous model in place, which must read the bit as 1 (otherwise it
+	// would have witnessed satisfiability), so the invariant holds on both
+	// branches and the final model needs no extra solving.
+	var fixed []sat.Lit
+	for _, n := range names {
+		bits := b.vars[n]
+		for i := len(bits) - 1; i >= 0; i-- {
+			l := bits[i]
+			if b.S.Value(l.Var()) == l.Neg() { // current model reads 0
+				fixed = append(fixed, l.Not())
+				continue
+			}
+			fixed = append(fixed, l.Not())
+			if !b.S.Solve(fixed...) {
+				fixed[len(fixed)-1] = l
+			}
+		}
+	}
+	return b.Model()
+}
+
 // enc encodes a bitvector expression to its bit literals (booleans to a
 // single literal via enc1).
 func (b *Blaster) enc(e *sym.Expr) []sat.Lit {
 	if bits, ok := b.memo[e]; ok {
 		return bits
 	}
+	b.pushNode(e)
+	defer b.popNode()
 	var bits []sat.Lit
 	switch e.Op {
 	case sym.OpConst:
@@ -221,6 +399,8 @@ func (b *Blaster) enc1(e *sym.Expr) sat.Lit {
 	if bits, ok := b.memo[e]; ok {
 		return bits[0]
 	}
+	b.pushNode(e)
+	defer b.popNode()
 	var l sat.Lit
 	switch e.Op {
 	case sym.OpBool:
@@ -259,6 +439,26 @@ func (b *Blaster) enc1(e *sym.Expr) sat.Lit {
 	}
 	b.memo[e] = []sat.Lit{l}
 	return l
+}
+
+// pushNode/popNode maintain the encoding stack so newLit can attribute
+// auxiliary variables to the expression node whose encoding allocates them.
+// The gates of a node are emitted deterministically from its children's
+// literals, so (node hash, ordinal) is a stable cross-worker key.
+func (b *Blaster) pushNode(e *sym.Expr) {
+	if b.space == nil {
+		return
+	}
+	b.nodeHash = append(b.nodeHash, e.Hash())
+	b.nodeSeq = append(b.nodeSeq, 0)
+}
+
+func (b *Blaster) popNode() {
+	if b.space == nil {
+		return
+	}
+	b.nodeHash = b.nodeHash[:len(b.nodeHash)-1]
+	b.nodeSeq = b.nodeSeq[:len(b.nodeSeq)-1]
 }
 
 // andGate returns a literal g with g <-> x AND y.

@@ -1,0 +1,114 @@
+package bitblast
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/soft-testing/soft/internal/sat"
+)
+
+// maxSharedVars bounds the canonically numbered region. Beyond it, blasters
+// fall back to private numbering (sharing degrades gracefully; answers
+// never depend on it).
+const maxSharedVars = 1 << 18
+
+// gateKey identifies one auxiliary (Tseitin) variable canonically: the
+// structural hash of the expression node being encoded plus the ordinal of
+// the gate within that node's deterministic gate emission sequence.
+type gateKey struct {
+	hash uint64
+	ord  int
+}
+
+// Space gives a set of Blasters one canonical SAT-variable numbering — for
+// named input variables and for Tseitin gate variables — plus a shared
+// learned-clause exchange.
+//
+// Numbering invariant: SAT variable 0 is the constant-true literal in every
+// Blaster. A named variable's bits occupy the contiguous range fixed at the
+// name's first registration, and an auxiliary variable is keyed by
+// (structural hash of its expression node, gate ordinal); the encoding of a
+// node is a deterministic function of its children's literals, so every
+// synced Blaster that encodes a node allocates the same gates in the same
+// order and maps them to the same canonical indices. A literal below a
+// Blaster's shared limit therefore denotes the same proposition in every
+// other synced Blaster, which is what makes exchanged clauses meaningful
+// across workers.
+//
+// The invariant is an optimization, not a soundness requirement: importers
+// re-prove every candidate clause against their own database before
+// adopting it (see sat.Solver), so a stale or colliding mapping can only
+// waste a candidate, never corrupt an answer. The one local hazard — two
+// distinct nodes in one Blaster colliding on the same 64-bit hash and
+// claiming the same canonical index — is guarded by the Blaster's
+// used-index set, which diverts the second claimant to private numbering.
+//
+// A Space is safe for concurrent use: gate lookups (the hot path — one per
+// first encode of each node per Blaster) go through a lock-free-read
+// sync.Map; the mutex is taken only to allocate fresh indices.
+type Space struct {
+	mu    sync.Mutex
+	base  map[string]int
+	width map[string]int
+	next  int // next unassigned shared variable index
+
+	gates sync.Map // gateKey -> int
+
+	ring *sat.Exchange
+}
+
+// NewSpace creates an empty Space whose clause ring holds ringSize slots
+// (<= 0 picks sat.DefaultExchangeSize).
+func NewSpace(ringSize int) *Space {
+	return &Space{
+		base:  make(map[string]int),
+		width: make(map[string]int),
+		next:  1, // index 0 is every Blaster's constant-true variable
+		ring:  sat.NewExchange(ringSize),
+	}
+}
+
+// reserve returns the canonical base index for the named variable,
+// registering it on first use. ok is false when the shared region is full.
+func (sp *Space) reserve(name string, w int) (int, bool) {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	if b, exists := sp.base[name]; exists {
+		if sp.width[name] != w {
+			panic(fmt.Sprintf("bitblast: shared variable %q used with widths %d and %d",
+				name, sp.width[name], w))
+		}
+		return b, true
+	}
+	if sp.next+w > maxSharedVars {
+		return 0, false
+	}
+	b := sp.next
+	sp.next += w
+	sp.base[name] = b
+	sp.width[name] = w
+	return b, true
+}
+
+// reserveGate returns the canonical index of one auxiliary variable,
+// allocating it on first use. ok is false when the shared region is full.
+func (sp *Space) reserveGate(k gateKey) (int, bool) {
+	if v, ok := sp.gates.Load(k); ok {
+		return v.(int), true
+	}
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	if v, ok := sp.gates.Load(k); ok { // lost the allocation race
+		return v.(int), true
+	}
+	if sp.next >= maxSharedVars {
+		return 0, false
+	}
+	v := sp.next
+	sp.next++
+	sp.gates.Store(k, v)
+	return v, true
+}
+
+// Stats reports the clause-exchange traffic so far.
+func (sp *Space) Stats() sat.ExchangeStats { return sp.ring.Stats() }

@@ -29,6 +29,10 @@ type Options struct {
 	// GOMAXPROCS, 1 = sequential). Exhaustive explorations produce
 	// identical results for every worker count.
 	Workers int
+	// ClauseSharing enables the bounded learned-clause exchange between the
+	// per-path SAT cores (see symexec.Engine.ClauseSharing). Exhaustive
+	// results are byte-identical with sharing on or off.
+	ClauseSharing bool
 	// Progress, when set, is called after each completed path with the
 	// cumulative path count. With Workers > 1 it runs on worker goroutines
 	// and must be safe for concurrent use.
@@ -124,14 +128,15 @@ func ExploreContext(ctx context.Context, a agents.Agent, t Test, o Options) *Res
 	statsBefore := s.Stats()
 
 	eng := &symexec.Engine{
-		Solver:     s,
-		Strategy:   o.Strategy,
-		MaxPaths:   o.MaxPaths,
-		MaxDepth:   o.MaxDepth,
-		WantModels: o.WantModels,
-		CovMap:     a.CovMap(),
-		Workers:    o.Workers,
-		Progress:   o.Progress,
+		Solver:        s,
+		Strategy:      o.Strategy,
+		MaxPaths:      o.MaxPaths,
+		MaxDepth:      o.MaxDepth,
+		WantModels:    o.WantModels,
+		CovMap:        a.CovMap(),
+		Workers:       o.Workers,
+		ClauseSharing: o.ClauseSharing,
+		Progress:      o.Progress,
 	}
 	res := eng.RunContext(ctx, func(ctx *symexec.Context) {
 		in := a.NewInstance()
@@ -160,14 +165,9 @@ func ExploreContext(ctx context.Context, a agents.Agent, t Test, o Options) *Res
 		out.InstrPct = res.Cov.InstructionPct()
 		out.BranchPct = res.Cov.BranchPct()
 	}
-	after := s.Stats()
-	out.SolverStats = solver.Stats{
-		Queries:      after.Queries - statsBefore.Queries,
-		CacheHits:    after.CacheHits - statsBefore.CacheHits,
-		SatQueries:   after.SatQueries - statsBefore.SatQueries,
-		UnsatQueries: after.UnsatQueries - statsBefore.UnsatQueries,
-		SolveTime:    after.SolveTime - statsBefore.SolveTime,
-	}
+	out.SolverStats = s.Stats().Sub(statsBefore)
+	out.SolverStats.ClauseExports = res.ClauseExports
+	out.SolverStats.ClauseImports = res.ClauseImports
 	for _, p := range res.Paths {
 		cond := p.Condition()
 		out.Paths = append(out.Paths, PathResult{

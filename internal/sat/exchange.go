@@ -1,0 +1,117 @@
+package sat
+
+import "sync/atomic"
+
+// Exchange is a bounded, lock-free ring of short learned clauses shared
+// between solver instances — the reproduction's stand-in for learned-clause
+// sharing between the workers of a portfolio/cluster setup. Exporters
+// publish clauses of at most two literals whose variables all lie in the
+// canonically numbered shared region (see bitblast.Space); importers poll
+// the ring and adopt clauses only after validating them against their own
+// clause database (see Solver.importShared).
+//
+// The ring is a fixed array of atomically published slots plus a monotone
+// write cursor. Publishing never blocks and never allocates; when the ring
+// wraps, the oldest clauses are overwritten (clause sharing is best-effort
+// by design — a lost clause costs duplicated conflict work, never
+// correctness). Readers keep a private cursor and observe each slot with a
+// single atomic load, so a torn view is impossible: every non-zero slot
+// value decodes to some clause that was genuinely published.
+type Exchange struct {
+	slots []atomic.Uint64
+	mask  uint64
+	head  atomic.Uint64 // next sequence number to write
+
+	exported atomic.Int64 // clauses published by exporters
+	imported atomic.Int64 // clauses adopted by importers after validation
+	rejected atomic.Int64 // candidates that failed importer-side validation
+}
+
+// DefaultExchangeSize is the ring capacity used when NewExchange is given a
+// non-positive size. Short clauses are small and validation is the
+// expensive step, so a few hundred slots cover the useful working set.
+const DefaultExchangeSize = 256
+
+// NewExchange creates a ring with capacity rounded up to a power of two.
+func NewExchange(size int) *Exchange {
+	if size <= 0 {
+		size = DefaultExchangeSize
+	}
+	n := 1
+	for n < size {
+		n <<= 1
+	}
+	return &Exchange{slots: make([]atomic.Uint64, n), mask: uint64(n - 1)}
+}
+
+// ExchangeStats is a snapshot of the ring's traffic counters.
+type ExchangeStats struct {
+	Exported int64 // clauses published
+	Imported int64 // clauses adopted by importers
+	Rejected int64 // candidates rejected by importer validation
+}
+
+// Stats returns a snapshot of the exchange counters.
+func (x *Exchange) Stats() ExchangeStats {
+	return ExchangeStats{
+		Exported: x.exported.Load(),
+		Imported: x.imported.Load(),
+		Rejected: x.rejected.Load(),
+	}
+}
+
+// packClause encodes a 1- or 2-literal clause into a non-zero uint64: each
+// literal is stored biased by one so that the zero word stays reserved for
+// "slot not yet published", and a unit clause carries 0 in the second half.
+func packClause(a, b Lit, unit bool) uint64 {
+	lo := uint64(uint32(b + 1))
+	if unit {
+		lo = 0
+	}
+	return uint64(uint32(a+1))<<32 | lo
+}
+
+func unpackClause(v uint64) (a, b Lit, unit bool) {
+	a = Lit(uint32(v>>32)) - 1
+	lo := uint32(v)
+	if lo == 0 {
+		return a, 0, true
+	}
+	return a, Lit(lo) - 1, false
+}
+
+// publish appends a clause to the ring, overwriting the oldest slot when
+// full.
+func (x *Exchange) publish(a, b Lit, unit bool) {
+	x.publishPacked(packClause(a, b, unit))
+}
+
+// publishPacked is publish for an already-encoded clause word.
+func (x *Exchange) publishPacked(v uint64) {
+	i := x.head.Add(1) - 1
+	x.slots[i&x.mask].Store(v)
+	x.exported.Add(1)
+}
+
+// collect visits every clause published since the caller's cursor and
+// returns the advanced cursor. When the reader has been lapped, it resumes
+// from the oldest still-live slot. A slot can read as zero when its
+// publisher has claimed the sequence number but not yet stored the value;
+// collect stops there — advancing past it would drop that clause for this
+// reader forever — and a later collect resumes from the same cursor once
+// the store has landed.
+func (x *Exchange) collect(cursor uint64, visit func(a, b Lit, unit bool)) uint64 {
+	head := x.head.Load()
+	if n := uint64(len(x.slots)); head-cursor > n {
+		cursor = head - n
+	}
+	for ; cursor < head; cursor++ {
+		v := x.slots[cursor&x.mask].Load()
+		if v == 0 {
+			break
+		}
+		a, b, unit := unpackClause(v)
+		visit(a, b, unit)
+	}
+	return cursor
+}

@@ -1,0 +1,276 @@
+package sat
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestExchangePackRoundTrip pins the slot encoding: every packed clause is
+// non-zero (zero marks an unpublished slot) and round-trips exactly.
+func TestExchangePackRoundTrip(t *testing.T) {
+	cases := []struct {
+		a, b Lit
+		unit bool
+	}{
+		{MkLit(0, false), 0, true},
+		{MkLit(0, true), 0, true},
+		{MkLit(0, false), MkLit(0, true), false},
+		{MkLit(7, true), MkLit(123, false), false},
+		{MkLit(1<<20, false), MkLit(3, true), false},
+	}
+	for _, c := range cases {
+		v := packClause(c.a, c.b, c.unit)
+		if v == 0 {
+			t.Fatalf("pack(%v,%v,%t) = 0, collides with the empty-slot marker", c.a, c.b, c.unit)
+		}
+		a, b, unit := unpackClause(v)
+		if a != c.a || unit != c.unit || (!unit && b != c.b) {
+			t.Fatalf("round trip (%v,%v,%t) -> (%v,%v,%t)", c.a, c.b, c.unit, a, b, unit)
+		}
+	}
+}
+
+// TestExchangeCollect: a reader sees every published clause exactly once
+// while keeping its cursor, and a lapped reader resumes from the oldest
+// live slot instead of re-reading overwritten history.
+func TestExchangeCollect(t *testing.T) {
+	x := NewExchange(4)
+	x.publish(MkLit(1, false), MkLit(2, true), false)
+	x.publish(MkLit(3, false), 0, true)
+
+	var got [][3]int
+	cur := x.collect(0, func(a, b Lit, unit bool) {
+		u := 0
+		if unit {
+			u = 1
+		}
+		got = append(got, [3]int{int(a), int(b), u})
+	})
+	if len(got) != 2 {
+		t.Fatalf("collected %d clauses, want 2", len(got))
+	}
+	if cur != 2 {
+		t.Fatalf("cursor = %d, want 2", cur)
+	}
+	// Nothing new: no visits, cursor unchanged.
+	n := 0
+	if cur = x.collect(cur, func(a, b Lit, unit bool) { n++ }); n != 0 || cur != 2 {
+		t.Fatalf("idle collect visited %d, cursor %d", n, cur)
+	}
+	// Overflow the ring: a stale cursor must resume at head-size, not replay.
+	for i := 0; i < 10; i++ {
+		x.publish(MkLit(10+i, false), 0, true)
+	}
+	n = 0
+	x.collect(cur, func(a, b Lit, unit bool) { n++ })
+	if n != 4 {
+		t.Fatalf("lapped reader visited %d clauses, want ring size 4", n)
+	}
+}
+
+// TestExchangeConcurrent hammers the ring from parallel publishers and
+// readers under -race; every observed slot must decode to a clause some
+// publisher actually sent.
+func TestExchangeConcurrent(t *testing.T) {
+	x := NewExchange(64)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				x.publish(MkLit(w*1000+i, i%2 == 0), MkLit(i, false), false)
+			}
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var cur uint64
+			for i := 0; i < 200; i++ {
+				cur = x.collect(cur, func(a, b Lit, unit bool) {
+					if unit {
+						t.Error("no unit clauses were published")
+					}
+					if a.Var()%1000 >= 500 {
+						t.Errorf("decoded clause %v %v never published", a, b)
+					}
+				})
+			}
+		}()
+	}
+	wg.Wait()
+	if st := x.Stats(); st.Exported != 2000 {
+		t.Fatalf("Exported = %d, want 2000", st.Exported)
+	}
+}
+
+// TestSolverClauseSharing: two solvers over an identically numbered
+// variable space exchange a short clause; the importer validates it against
+// its own database, adopting it only when implied locally.
+func TestSolverClauseSharing(t *testing.T) {
+	x := NewExchange(16)
+
+	// Exporter: variables 0..3, with constraints forcing a conflict that
+	// learns a short clause over the shared prefix.
+	a := New()
+	for i := 0; i < 4; i++ {
+		a.NewVar()
+	}
+	a.Share(x, 4)
+	// (0 | 1) & (0 | !1) & (!0 | 2) & (!0 | !2 | 3) & (!0 | !2 | !3)
+	a.AddClause(MkLit(0, false), MkLit(1, false))
+	a.AddClause(MkLit(0, false), MkLit(1, true))
+	a.AddClause(MkLit(0, true), MkLit(2, false))
+	a.AddClause(MkLit(0, true), MkLit(2, true), MkLit(3, false))
+	a.AddClause(MkLit(0, true), MkLit(2, true), MkLit(3, true))
+	if a.Solve() {
+		t.Fatal("exporter formula should be unsat")
+	}
+	if x.Stats().Exported == 0 {
+		t.Fatal("unsat proof learned no shareable short clauses")
+	}
+
+	// Importer with the same clauses: everything in the ring is implied, so
+	// validation adopts at least one clause and answers stay correct.
+	b := New()
+	for i := 0; i < 4; i++ {
+		b.NewVar()
+	}
+	b.Share(x, 4)
+	b.AddClause(MkLit(0, false), MkLit(1, false))
+	b.AddClause(MkLit(0, false), MkLit(1, true))
+	b.AddClause(MkLit(0, true), MkLit(2, false))
+	b.AddClause(MkLit(0, true), MkLit(2, true), MkLit(3, false))
+	b.AddClause(MkLit(0, true), MkLit(2, true), MkLit(3, true))
+	if b.Solve() {
+		t.Fatal("importer formula should be unsat")
+	}
+
+	// A solver whose database CONTRADICTS the ring's clauses must reject
+	// them and keep its own (satisfiable) answers intact.
+	c := New()
+	for i := 0; i < 4; i++ {
+		c.NewVar()
+	}
+	c.Share(x, 4)
+	c.AddClause(MkLit(0, false)) // var0 = true, the opposite of a's lesson
+	if !c.Solve() {
+		t.Fatal("contradicting importer must stay sat")
+	}
+	if !c.Value(0) {
+		t.Fatal("imported clauses corrupted the model")
+	}
+}
+
+// TestImportRejectionPreservesModel pins the model-transparency invariant
+// of the import path: a rejected candidate's validation solve finds a model
+// (that is what rejection means), and that throwaway model must not leak
+// into the solver's snapshot — the canonical-model minimizer relies on a
+// failed Solve leaving the previous model intact.
+func TestImportRejectionPreservesModel(t *testing.T) {
+	x := NewExchange(16)
+	s := New()
+	for i := 0; i < 3; i++ {
+		s.NewVar()
+	}
+	s.Share(x, 3)
+	s.AddClause(MkLit(0, false)) // v0 = true
+	if !s.Solve() {
+		t.Fatal("must be sat")
+	}
+	if s.Value(1) || s.Value(2) {
+		t.Fatal("unconstrained vars must default to false in the model")
+	}
+	// A candidate not implied by s's database: (v1 | v2). Validation solves
+	// DB ∧ ¬v1 ∧ ¬v2, finds it SAT, and rejects — without restoration that
+	// solve's model (v1/v2 still false here, so use the inverse clause
+	// whose validation assumes v1 and v2 TRUE) would leak.
+	x.publish(MkLit(1, true), MkLit(2, true), false) // (¬v1 | ¬v2): validation assumes v1, v2
+	if !s.Solve(MkLit(0, false)) {
+		t.Fatal("compatible assumption must stay sat")
+	}
+	// Now fail a solve outright: assuming ¬v0 contradicts the unit clause,
+	// and a fresh non-implied candidate sits in the ring so the failing
+	// Solve's import pass runs a rejecting validation (whose throwaway SAT
+	// model sets v1 true). The model from the last successful solve must
+	// survive both the rejection and the failure untouched.
+	x.publish(MkLit(1, true), MkLit(0, true), false) // (¬v1 | ¬v0): validation assumes v1
+	before := []bool{s.Value(0), s.Value(1), s.Value(2)}
+	if s.Solve(MkLit(0, true)) {
+		t.Fatal("assuming ¬v0 must be unsat")
+	}
+	after := []bool{s.Value(0), s.Value(1), s.Value(2)}
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatalf("failed solve changed model var %d: %v -> %v", i, before[i], after[i])
+		}
+	}
+	if st := x.Stats(); st.Imported != 0 {
+		t.Fatalf("non-implied clause was imported (%d)", st.Imported)
+	}
+}
+
+// TestNoSelfImport: a solver must not round-trip its own exports — the
+// clause is already in its database, and re-validating it would waste a
+// solve and inflate the import counters.
+func TestNoSelfImport(t *testing.T) {
+	x := NewExchange(16)
+	s := New()
+	s.NewVar()
+	s.NewVar()
+	s.Share(x, 2)
+	// Assuming v0 propagates v1 and ¬v1: the conflict learns the unit ¬v0
+	// (exported), while the formula itself stays satisfiable.
+	s.AddClause(MkLit(0, true), MkLit(1, false))
+	s.AddClause(MkLit(0, true), MkLit(1, true))
+	if s.Solve(MkLit(0, false)) {
+		t.Fatal("assuming v0 must fail")
+	}
+	if x.Stats().Exported == 0 {
+		t.Fatal("conflict learned no shareable clause")
+	}
+	// The ring holds only s's own lesson; the next solve must not
+	// round-trip it back in.
+	if !s.Solve() {
+		t.Fatal("formula must be satisfiable without the assumption")
+	}
+	if st := x.Stats(); st.Imported != 0 {
+		t.Fatalf("solver imported %d of its own clauses", st.Imported)
+	}
+	if s.Stats.ClauseImports != 0 {
+		t.Fatalf("ClauseImports = %d on self-exports", s.Stats.ClauseImports)
+	}
+}
+
+// TestSolverSharingUnaffectedAnswers: for a pool of random-ish formulas,
+// answers with sharing on must equal answers with sharing off.
+func TestSolverSharingUnaffectedAnswers(t *testing.T) {
+	build := func(attach *Exchange) []bool {
+		var outs []bool
+		for f := 0; f < 8; f++ {
+			s := New()
+			for i := 0; i < 6; i++ {
+				s.NewVar()
+			}
+			if attach != nil {
+				s.Share(attach, 6)
+			}
+			// Formula f: chain implications plus an f-dependent unit.
+			for i := 0; i < 5; i++ {
+				s.AddClause(MkLit(i, true), MkLit(i+1, false))
+			}
+			s.AddClause(MkLit(0, f%2 == 0))
+			s.AddClause(MkLit(5, f%3 == 0), MkLit(4, false))
+			outs = append(outs, s.Solve())
+		}
+		return outs
+	}
+	plain := build(nil)
+	shared := build(NewExchange(32))
+	for i := range plain {
+		if plain[i] != shared[i] {
+			t.Fatalf("formula %d: sharing flipped the answer %t -> %t", i, plain[i], shared[i])
+		}
+	}
+}

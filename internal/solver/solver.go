@@ -3,12 +3,14 @@
 // expressions. It wraps the bit-blasting encoder and the CDCL SAT core —
 // the reproduction's substitute for STP — and adds what the SOFT pipeline
 // needs around a raw decision procedure: simplification before encoding, a
-// query cache (crosschecking issues many structurally equal queries), and
-// per-query statistics matching what the paper's evaluation reports.
+// sharded query cache (crosschecking issues many structurally equal
+// queries, often from many workers at once), and per-query statistics
+// matching what the paper's evaluation reports.
 package solver
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/soft-testing/soft/internal/bitblast"
@@ -42,26 +44,101 @@ type Stats struct {
 	ClausesTotal  int64
 	AuxVarsTotal  int64
 	FastPathConst int64 // queries answered by simplification alone
+	// ClauseExports/ClauseImports count learned clauses crossing the
+	// inter-worker exchange during exploration with clause sharing on (the
+	// exploration engine fills them in; plain Check queries never share).
+	ClauseExports int64
+	ClauseImports int64
 }
 
+// Add accumulates other into s (used to merge per-worker solver stats).
+func (s *Stats) Add(other Stats) {
+	s.Queries += other.Queries
+	s.CacheHits += other.CacheHits
+	s.SatQueries += other.SatQueries
+	s.UnsatQueries += other.UnsatQueries
+	s.SolveTime += other.SolveTime
+	if other.MaxQuerySize > s.MaxQuerySize {
+		s.MaxQuerySize = other.MaxQuerySize
+	}
+	s.ClausesTotal += other.ClausesTotal
+	s.AuxVarsTotal += other.AuxVarsTotal
+	s.FastPathConst += other.FastPathConst
+	s.ClauseExports += other.ClauseExports
+	s.ClauseImports += other.ClauseImports
+}
+
+// Sub returns the difference s - earlier (a per-stage delta of cumulative
+// snapshots).
+func (s Stats) Sub(earlier Stats) Stats {
+	return Stats{
+		Queries:       s.Queries - earlier.Queries,
+		CacheHits:     s.CacheHits - earlier.CacheHits,
+		SatQueries:    s.SatQueries - earlier.SatQueries,
+		UnsatQueries:  s.UnsatQueries - earlier.UnsatQueries,
+		SolveTime:     s.SolveTime - earlier.SolveTime,
+		MaxQuerySize:  s.MaxQuerySize,
+		ClausesTotal:  s.ClausesTotal - earlier.ClausesTotal,
+		AuxVarsTotal:  s.AuxVarsTotal - earlier.AuxVarsTotal,
+		FastPathConst: s.FastPathConst - earlier.FastPathConst,
+		ClauseExports: s.ClauseExports - earlier.ClauseExports,
+		ClauseImports: s.ClauseImports - earlier.ClauseImports,
+	}
+}
+
+// cacheEntry is a single-flight cache slot: the first goroutine to claim a
+// key solves it and closes done; later goroutines for the same key block on
+// done instead of duplicating the solve. failed marks an entry whose solve
+// panicked — waiters treat it as a miss instead of reading bogus zero
+// values (and instead of blocking forever on a never-closed channel).
 type cacheEntry struct {
-	res   Result
-	model sym.Assignment
+	done   chan struct{}
+	failed bool
+	res    Result
+	model  sym.Assignment
+}
+
+// numShards is the cache fan-out. Queries hash to a shard by FNV-1a of
+// their canonical string, so concurrent crosscheck workers contend only
+// when they touch the same 1/16th of the key space.
+const numShards = 16
+
+// shard is one cache partition. live holds entries written since the last
+// Clone; frozen is a chain of read-only maps inherited through Clone
+// (newest first). Frozen maps are never written again, so clones can share
+// them without copying or locking.
+type shard struct {
+	mu     sync.Mutex
+	live   map[string]*cacheEntry
+	frozen []map[string]*cacheEntry
+}
+
+// lookup finds a cache entry under the shard lock.
+func (sh *shard) lookup(key string) *cacheEntry {
+	if e, ok := sh.live[key]; ok {
+		return e
+	}
+	for _, m := range sh.frozen {
+		if e, ok := m[key]; ok {
+			return e
+		}
+	}
+	return nil
 }
 
 // Solver answers satisfiability queries.
 //
 // Concurrency: a Solver is safe for concurrent use — every query runs on a
-// private bitblast/CDCL instance and the shared cache and statistics are
-// mutex-protected. The mutex is held only around cache and stats access,
-// never during solving, so concurrent callers contend briefly per query.
-// Hot loops that cannot afford even that (the parallel exploration workers)
-// should hold a per-worker instance instead: either a fresh New or a Clone
-// of a warmed solver. Results are deterministic either way — the same query
-// always yields the same answer and model, cached or not.
+// private bitblast/CDCL instance; the cache is sharded 16 ways and each
+// shard's lock is held only around map access, never during solving.
+// Concurrent structurally equal queries are deduplicated (single-flight):
+// one goroutine solves, the others reuse its result and count a cache hit,
+// which keeps CacheHits accounting exact under any interleaving. Statistics
+// are atomic counters. Results are deterministic — the same query always
+// yields the same answer and the same canonical model, cached or not,
+// shared or cloned.
 type Solver struct {
-	mu    sync.Mutex
-	cache map[string]cacheEntry
+	shards [numShards]shard
 
 	// DisableCache turns off result caching (ablation: Table 5 companion
 	// bench BenchmarkAblationSolver).
@@ -69,122 +146,201 @@ type Solver struct {
 	// DisableSimplify turns off pre-encoding simplification (ablation).
 	DisableSimplify bool
 
-	stats Stats
+	queries       atomic.Int64
+	cacheHits     atomic.Int64
+	satQueries    atomic.Int64
+	unsatQueries  atomic.Int64
+	solveNanos    atomic.Int64
+	maxQuerySize  atomic.Int64
+	clausesTotal  atomic.Int64
+	auxVarsTotal  atomic.Int64
+	fastPathConst atomic.Int64
 }
 
 // New returns a Solver with caching and simplification enabled.
 func New() *Solver {
-	return &Solver{cache: make(map[string]cacheEntry)}
+	s := &Solver{}
+	for i := range s.shards {
+		s.shards[i].live = make(map[string]*cacheEntry)
+	}
+	return s
 }
 
-// Clone returns an independent Solver with the same configuration and a
-// snapshot of s's query cache, and zeroed statistics. Per-worker clones keep
-// the warm cache without sharing the lock afterwards.
+// Clone returns an independent Solver with the same configuration, a
+// copy-on-write snapshot of s's query cache, and zeroed statistics. The
+// snapshot is O(shards), not O(entries): each shard's live map is frozen
+// (it becomes read-only and shared by parent and clone) and both sides
+// start new live maps, so per-worker clones keep the warm cache without
+// sharing a lock afterwards. When DisableCache is set there is nothing
+// worth carrying over and the cache snapshot is skipped entirely.
 func (s *Solver) Clone() *Solver {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	c := &Solver{
-		cache:           make(map[string]cacheEntry, len(s.cache)),
-		DisableCache:    s.DisableCache,
-		DisableSimplify: s.DisableSimplify,
+	c := New()
+	c.DisableCache = s.DisableCache
+	c.DisableSimplify = s.DisableSimplify
+	if s.DisableCache {
+		return c
 	}
-	for k, v := range s.cache {
-		c.cache[k] = v
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		if len(sh.live) > 0 {
+			sh.frozen = append([]map[string]*cacheEntry{sh.live}, sh.frozen...)
+			sh.live = make(map[string]*cacheEntry)
+		}
+		c.shards[i].frozen = append([]map[string]*cacheEntry(nil), sh.frozen...)
+		sh.mu.Unlock()
 	}
 	return c
 }
 
 // Stats returns a snapshot of the accumulated statistics.
 func (s *Solver) Stats() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.stats
+	return Stats{
+		Queries:       s.queries.Load(),
+		CacheHits:     s.cacheHits.Load(),
+		SatQueries:    s.satQueries.Load(),
+		UnsatQueries:  s.unsatQueries.Load(),
+		SolveTime:     time.Duration(s.solveNanos.Load()),
+		MaxQuerySize:  s.maxQuerySize.Load(),
+		ClausesTotal:  s.clausesTotal.Load(),
+		AuxVarsTotal:  s.auxVarsTotal.Load(),
+		FastPathConst: s.fastPathConst.Load(),
+	}
 }
 
 // ResetStats zeroes the accumulated statistics (the cache is kept).
 func (s *Solver) ResetStats() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.stats = Stats{}
+	s.queries.Store(0)
+	s.cacheHits.Store(0)
+	s.satQueries.Store(0)
+	s.unsatQueries.Store(0)
+	s.solveNanos.Store(0)
+	s.maxQuerySize.Store(0)
+	s.clausesTotal.Store(0)
+	s.auxVarsTotal.Store(0)
+	s.fastPathConst.Store(0)
+}
+
+func (s *Solver) noteResult(r Result) {
+	if r == Sat {
+		s.satQueries.Add(1)
+	} else {
+		s.unsatQueries.Add(1)
+	}
+}
+
+func (s *Solver) bumpMaxQuery(sz int64) {
+	for {
+		cur := s.maxQuerySize.Load()
+		if sz <= cur || s.maxQuerySize.CompareAndSwap(cur, sz) {
+			return
+		}
+	}
+}
+
+// shardFor picks the cache shard for a key by FNV-1a, inlined to avoid
+// copying the (potentially large) canonical query string on the hot path.
+func (s *Solver) shardFor(key string) *shard {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h = (h ^ uint32(key[i])) * 16777619
+	}
+	return &s.shards[h%numShards]
 }
 
 // Check decides satisfiability of the conjunction of the given boolean
-// expressions. When satisfiable it returns a model assigning every variable
-// that occurs in the constraints; evaluating the constraints under the model
-// yields true (the soundness property TestModelsSatisfy verifies).
+// expressions. When satisfiable it returns the canonical model: a witness
+// assigning every variable that occurs in the constraints, minimized so the
+// same query yields the same model whatever solved it first. Evaluating the
+// constraints under the model yields true (the soundness property
+// TestModelsSatisfy verifies).
 func (s *Solver) Check(constraints ...*sym.Expr) (Result, sym.Assignment) {
 	e := sym.LAnd(constraints...)
 	if !s.DisableSimplify {
 		e = sym.Simplify(e)
 	}
 
-	s.mu.Lock()
-	s.stats.Queries++
-	if sz := int64(e.Size()); sz > s.stats.MaxQuerySize {
-		s.stats.MaxQuerySize = sz
-	}
-	s.mu.Unlock()
+	s.queries.Add(1)
+	s.bumpMaxQuery(int64(e.Size()))
 
 	// Fast path: simplification decided the query.
 	if e.IsTrue() {
-		s.mu.Lock()
-		s.stats.FastPathConst++
-		s.stats.SatQueries++
-		s.mu.Unlock()
+		s.fastPathConst.Add(1)
+		s.satQueries.Add(1)
 		return Sat, sym.Assignment{}
 	}
 	if e.IsFalse() {
-		s.mu.Lock()
-		s.stats.FastPathConst++
-		s.stats.UnsatQueries++
-		s.mu.Unlock()
+		s.fastPathConst.Add(1)
+		s.unsatQueries.Add(1)
 		return Unsat, nil
 	}
 
-	var key string
-	if !s.DisableCache {
-		key = e.String()
-		s.mu.Lock()
-		if ent, ok := s.cache[key]; ok {
-			s.stats.CacheHits++
-			if ent.res == Sat {
-				s.stats.SatQueries++
-			} else {
-				s.stats.UnsatQueries++
-			}
-			s.mu.Unlock()
-			return ent.res, cloneModel(ent.model)
-		}
-		s.mu.Unlock()
+	if s.DisableCache {
+		res, model := s.solve(e)
+		s.noteResult(res)
+		return res, cloneModel(model)
 	}
 
+	key := e.String()
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	if ent := sh.lookup(key); ent != nil {
+		sh.mu.Unlock()
+		<-ent.done // single-flight: wait out an in-progress solve
+		if !ent.failed {
+			s.cacheHits.Add(1)
+			s.noteResult(ent.res)
+			return ent.res, cloneModel(ent.model)
+		}
+		// The claimant panicked (e.g. a malformed query). Solve uncached:
+		// a query that panics does so for every caller, and the panic must
+		// surface here too rather than hang or alias a zero result.
+		res, model := s.solve(e)
+		s.noteResult(res)
+		return res, cloneModel(model)
+	}
+	ent := &cacheEntry{done: make(chan struct{})}
+	sh.live[key] = ent
+	sh.mu.Unlock()
+
+	done := false
+	defer func() {
+		if !done {
+			// Panicking out of solve: poison the entry, evict it so future
+			// Checks retry, and release the waiters before unwinding.
+			ent.failed = true
+			sh.mu.Lock()
+			if sh.live[key] == ent {
+				delete(sh.live, key)
+			}
+			sh.mu.Unlock()
+			close(ent.done)
+		}
+	}()
+	ent.res, ent.model = s.solve(e)
+	done = true
+	close(ent.done)
+	s.noteResult(ent.res)
+	return ent.res, cloneModel(ent.model)
+}
+
+// solve runs the bitblast + CDCL decision procedure for one query.
+func (s *Solver) solve(e *sym.Expr) (Result, sym.Assignment) {
 	start := time.Now()
 	b := bitblast.New()
 	b.Assert(e)
 	satisfiable := b.Solve()
-	elapsed := time.Since(start)
 
 	var res Result
 	var model sym.Assignment
 	if satisfiable {
 		res = Sat
-		model = b.Model()
+		model = b.CanonicalModel()
 	}
-
-	s.mu.Lock()
-	s.stats.SolveTime += elapsed
-	s.stats.ClausesTotal += int64(b.Clauses)
-	s.stats.AuxVarsTotal += int64(b.Aux)
-	if satisfiable {
-		s.stats.SatQueries++
-	} else {
-		s.stats.UnsatQueries++
-	}
-	if !s.DisableCache {
-		s.cache[key] = cacheEntry{res: res, model: model}
-	}
-	s.mu.Unlock()
-	return res, cloneModel(model)
+	s.solveNanos.Add(int64(time.Since(start)))
+	s.clausesTotal.Add(int64(b.Clauses))
+	s.auxVarsTotal.Add(int64(b.Aux))
+	return res, model
 }
 
 // Sat reports whether the conjunction of the constraints is satisfiable.

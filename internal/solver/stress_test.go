@@ -1,0 +1,179 @@
+package solver
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"github.com/soft-testing/soft/internal/sym"
+)
+
+// TestSharedSolverStress hammers one shared solver from 8 goroutines with
+// overlapping, structurally equal queries (run it under -race via `make
+// race`). Every answer and model must equal the sequential oracle's, and —
+// because structurally equal queries are single-flighted — the cache
+// accounting must be exact: each distinct query is solved exactly once, so
+// with G goroutines issuing the same N queries, Queries = G*N and
+// CacheHits = G*N - N.
+func TestSharedSolverStress(t *testing.T) {
+	x := sym.Var("x", 16)
+	y := sym.Var("y", 8)
+	var queries []*sym.Expr
+	for i := 0; i < 12; i++ {
+		q := sym.LAnd(
+			sym.Ult(x, sym.Const(16, uint64(100+i*37))),
+			sym.Ugt(x, sym.Const(16, uint64(i*31))),
+			sym.EqConst(sym.And(y, sym.Const(8, 0x0f)), uint64(i%16)),
+		)
+		if i%3 == 0 {
+			// Mix in unsatisfiable shapes.
+			q = sym.LAnd(q, sym.EqConst(x, uint64(i)), sym.EqConst(x, uint64(i+1)))
+		}
+		queries = append(queries, q)
+	}
+
+	// Sequential oracle: answers and canonical models per query.
+	oracle := New()
+	type verdict struct {
+		res   Result
+		model sym.Assignment
+	}
+	want := make([]verdict, len(queries))
+	for i, q := range queries {
+		r, m := oracle.Check(q)
+		want[i] = verdict{r, m}
+	}
+
+	const goroutines = 8
+	shared := New()
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := range queries {
+				// Each goroutine walks the same query set in a different
+				// rotation, maximizing same-key overlap mid-flight.
+				i := (k + g*5) % len(queries)
+				r, m := shared.Check(queries[i])
+				if r != want[i].res {
+					errs <- fmt.Errorf("goroutine %d query %d: %v, oracle says %v", g, i, r, want[i].res)
+					return
+				}
+				if !reflect.DeepEqual(m, want[i].model) {
+					errs <- fmt.Errorf("goroutine %d query %d: model %v, oracle %v", g, i, m, want[i].model)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	st := shared.Stats()
+	wantQueries := int64(goroutines * len(queries))
+	wantHits := wantQueries - int64(len(queries))
+	if st.Queries != wantQueries {
+		t.Fatalf("Queries = %d, want %d", st.Queries, wantQueries)
+	}
+	if st.CacheHits != wantHits {
+		t.Fatalf("CacheHits = %d, want exactly %d (single-flight dedup)", st.CacheHits, wantHits)
+	}
+	if st.SatQueries+st.UnsatQueries != wantQueries {
+		t.Fatalf("Sat+Unsat = %d, want %d", st.SatQueries+st.UnsatQueries, wantQueries)
+	}
+}
+
+// TestCheckPanicDoesNotPoisonCache: a query whose encoding panics (same
+// variable at two widths) must propagate the panic to every caller — the
+// single-flight entry may neither hang waiters on a never-closed channel
+// nor serve them a bogus zero result — and must leave the solver usable.
+func TestCheckPanicDoesNotPoisonCache(t *testing.T) {
+	s := New()
+	bad := sym.LAnd(
+		sym.EqConst(sym.Var("w", 8), 1),
+		sym.EqConst(sym.Var("w", 16), 2),
+	)
+	check := func() (panicked bool) {
+		defer func() { panicked = recover() != nil }()
+		s.Check(bad)
+		return
+	}
+	const callers = 4
+	panics := make([]bool, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			panics[i] = check()
+		}()
+	}
+	wg.Wait()
+	for i, p := range panics {
+		if !p {
+			t.Fatalf("caller %d did not observe the encoding panic", i)
+		}
+	}
+	// The poisoned entry was evicted; unrelated queries still work.
+	x := sym.Var("x", 8)
+	if r, m := s.Check(sym.EqConst(x, 5)); r != Sat || m["x"] != 5 {
+		t.Fatalf("solver unusable after panic: %v %v", r, m)
+	}
+}
+
+// TestCloneStress: concurrent clones taking copy-on-write snapshots while
+// the parent keeps solving must neither race nor lose entries.
+func TestCloneStress(t *testing.T) {
+	x := sym.Var("x", 16)
+	parent := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				parent.Check(sym.EqConst(x, uint64(g*100+i)))
+				c := parent.Clone()
+				if r, m := c.Check(sym.EqConst(x, uint64(g*100+i))); r != Sat || m["x"] != uint64(g*100+i) {
+					t.Errorf("clone lost warm entry for x==%d", g*100+i)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestCloneSkipsCopyWhenCacheDisabled pins the satellite fix: cloning a
+// DisableCache solver must not snapshot (or resurrect) cache state.
+func TestCloneSkipsCopyWhenCacheDisabled(t *testing.T) {
+	s := New()
+	x := sym.Var("x", 8)
+	s.Check(sym.EqConst(x, 1)) // warm an entry while caching is on
+	s.DisableCache = true
+	c := s.Clone()
+	if !c.DisableCache {
+		t.Fatal("Clone lost DisableCache")
+	}
+	for i := range c.shards {
+		if len(c.shards[i].frozen) != 0 || len(c.shards[i].live) != 0 {
+			t.Fatal("Clone of a DisableCache solver carried cache state")
+		}
+	}
+	// And it still answers correctly, uncached.
+	if r, m := c.Check(sym.EqConst(x, 1)); r != Sat || m["x"] != 1 {
+		t.Fatalf("clone answered %v %v", r, m)
+	}
+	if st := c.Stats(); st.CacheHits != 0 {
+		t.Fatalf("CacheHits = %d on a cache-disabled clone", st.CacheHits)
+	}
+}

@@ -43,6 +43,49 @@
 //     when someone is starving. Exploration terminates when every worker is
 //     idle and the pool is empty.
 //
+// # Shared solver stack
+//
+// With Engine.ClauseSharing, workers stop being fully share-nothing at the
+// solver level and start trading learned clauses. Three mechanisms make
+// that sound and deterministic:
+//
+//   - Canonical variable numbering (bitblast.Space). SAT variable indices
+//     are a function of what is encoded, not of allocation order: named
+//     input variables get one contiguous index range fixed at first
+//     registration, and each Tseitin gate is keyed by (structural hash of
+//     its expression node, gate ordinal) — a node's gates are emitted
+//     deterministically from its children's literals, so every synced
+//     blaster maps the same structure to the same indices. A path blaster
+//     lazily mirrors the space's layout, leaving index gaps for structure
+//     other paths own; gap variables are unconstrained and are skipped by
+//     the CDCL branching heuristic.
+//
+//   - Bounded lock-free clause exchange (sat.Exchange). When a worker's
+//     CDCL core learns a clause of at most two literals entirely over its
+//     canonically numbered prefix, it publishes the clause to a fixed-size
+//     atomic ring (overwriting the oldest entry when full — sharing is
+//     best-effort). Publishing never blocks and the ring is the only
+//     cross-worker state on the solving path.
+//
+//   - Importer-side validation. A clause learned on path A is implied by
+//     A's clause database (conflict resolution never uses decisions or
+//     assumptions as axioms), but NOT necessarily by path B's. An importer
+//     therefore first checks the candidate against its own level-0
+//     assignment, then proves it locally: assume the negation of every
+//     literal and solve — UNSAT means the clause is a consequence of the
+//     importer's own database, so adopting it cannot change any answer,
+//     only shortcut future conflicts. Candidates that fail are dropped.
+//     Soundness never depends on the canonical numbering; a stale or
+//     colliding index mapping only wastes a candidate.
+//
+// Because adopted clauses are locally implied, every satisfiability answer
+// — and hence the explored path set — is identical with sharing on or off.
+// Witness models are kept identical too by extracting the canonical model
+// (bitblast.CanonicalModel): the numerically smallest satisfying
+// assignment, a pure function of the path condition rather than of the
+// CDCL search trajectory. Sequential runs may also enable sharing; clauses
+// then flow between successive paths of the same run.
+//
 // # Determinism
 //
 // The execution tree of a deterministic handler is a fixed object: every
@@ -57,6 +100,12 @@
 // the property the determinism regression tests in parallel_test.go and
 // harness's parallel_test.go pin, and the foundation of the paper's
 // no-false-positive guarantee under concurrency.
+//
+// The determinism guarantee extends across solver configuration: clause
+// sharing on or off, shared or private caches, any worker count — an
+// exhaustive run serializes to the same bytes (pinned by
+// TestClauseSharingDeterminism here and the harness and CLI determinism
+// tests downstream).
 //
 // The one caveat is MaxPaths: when the cap truncates exploration, *which*
 // paths were completed first depends on strategy order and, with several

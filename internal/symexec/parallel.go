@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"github.com/soft-testing/soft/internal/bitblast"
 	"github.com/soft-testing/soft/internal/coverage"
 	"github.com/soft-testing/soft/internal/sym"
 )
@@ -119,7 +120,7 @@ type workerState struct {
 // cancel.Done() and calls frontier.halt(), which wakes blocked stealers and
 // makes every worker exit at its next loop check. Paths already completed
 // are kept, so a cancelled run returns the partial set explored so far.
-func (e *Engine) runParallel(cancel context.Context, h Handler, workers int, res *Result) {
+func (e *Engine) runParallel(cancel context.Context, h Handler, workers int, share *bitblast.Space, res *Result) {
 	f := newFrontier(workers)
 	f.global = append(f.global, &workItem{decisions: nil, site: -1})
 
@@ -183,7 +184,7 @@ func (e *Engine) runParallel(cancel context.Context, h Handler, workers int, res
 						return
 					}
 				}
-				ctx := e.newContext(it, enqueue, &ws.queries)
+				ctx := e.newContext(it, enqueue, &ws.queries, share)
 				outcome := runOne(ctx, h)
 				for name, v := range ctx.inputs {
 					ws.inputs[name] = v

@@ -1,0 +1,98 @@
+package symexec
+
+import (
+	"testing"
+
+	"github.com/soft-testing/soft/internal/sym"
+)
+
+// TestClauseSharingDeterminism is the acceptance property for the shared
+// solver stack: exhaustive exploration must produce byte-identical results
+// across every combination of worker count and clause sharing — imported
+// clauses may only shortcut conflicts, never change an answer, and witness
+// models are canonical rather than trajectory-dependent.
+func TestClauseSharingDeterminism(t *testing.T) {
+	for name, h := range parallelHandlers() {
+		t.Run(name, func(t *testing.T) {
+			want := fingerprint((&Engine{Workers: 1, WantModels: true}).Run(h))
+			for _, workers := range []int{1, 4} {
+				for _, sharing := range []bool{false, true} {
+					e := &Engine{Workers: workers, WantModels: true, ClauseSharing: sharing}
+					if got := fingerprint(e.Run(h)); got != want {
+						t.Fatalf("workers=%d sharing=%t diverged:\n--- want\n%s--- got\n%s",
+							workers, sharing, want, got)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestClauseSharingTraffic checks the exchange actually carries clauses on
+// a workload with dense shared structure, and that the engine reports the
+// traffic (so users can see whether sharing does anything on their agent).
+func TestClauseSharingTraffic(t *testing.T) {
+	// Handler with heavy correlated structure: every path re-derives the
+	// same hard multiplication relation, so its conflicts repeat across
+	// paths and short learned clauses are worth exchanging.
+	h := func(ctx *Context) {
+		x := ctx.NewSym("x", 16)
+		y := ctx.NewSym("y", 16)
+		n := 0
+		for i := 0; i < 3; i++ {
+			if ctx.Branch(sym.EqConst(sym.Extract(x, i, i), 1)) {
+				n++
+			}
+		}
+		if ctx.Branch(sym.Eq(sym.Mul(x, y), sym.Const(16, 12345))) {
+			ctx.Emit("hit")
+		} else {
+			ctx.Emit(n)
+		}
+	}
+	res := (&Engine{Workers: 4, ClauseSharing: true}).Run(h)
+	if len(res.Paths) == 0 {
+		t.Fatal("no paths explored")
+	}
+	if res.ClauseExports == 0 {
+		t.Fatal("clause sharing on, but no clauses were ever exported")
+	}
+	if res.ClauseImports == 0 {
+		t.Fatal("clauses were exported but none survived import validation")
+	}
+	t.Logf("clause exchange: %d exported, %d imported over %d paths",
+		res.ClauseExports, res.ClauseImports, len(res.Paths))
+
+	// Sharing off must report zero traffic.
+	res = (&Engine{Workers: 4}).Run(h)
+	if res.ClauseExports != 0 || res.ClauseImports != 0 {
+		t.Fatalf("sharing off but traffic reported: %d/%d", res.ClauseExports, res.ClauseImports)
+	}
+}
+
+// TestClauseSharingRepeatedRuns hammers the shared-space path under -race:
+// repeated parallel explorations with sharing on must all agree with the
+// sequential unshared run.
+func TestClauseSharingRepeatedRuns(t *testing.T) {
+	h := func(ctx *Context) {
+		x := ctx.NewSym("x", 16)
+		n := 0
+		for i := 0; i < 8; i++ {
+			if ctx.Branch(sym.EqConst(sym.Extract(x, i, i), 1)) {
+				n++
+			}
+		}
+		ctx.Emit(n)
+	}
+	want := fingerprint((&Engine{Workers: 1, WantModels: true}).Run(h))
+	runs := 4
+	if testing.Short() {
+		runs = 2
+	}
+	for i := 0; i < runs; i++ {
+		res := (&Engine{Workers: 8, WantModels: true, ClauseSharing: true}).Run(h)
+		if got := fingerprint(res); got != want {
+			t.Fatalf("run %d diverged from sequential:\n--- want\n%s--- got\n%s", i, want, got)
+		}
+	}
+}

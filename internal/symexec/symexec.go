@@ -249,6 +249,10 @@ type Result struct {
 	Cancelled bool
 	// BranchQueries counts frontier feasibility decisions.
 	BranchQueries int64
+	// ClauseExports/ClauseImports count learned clauses published to and
+	// adopted from the inter-path exchange (zero unless ClauseSharing).
+	ClauseExports int64
+	ClauseImports int64
 }
 
 // AvgConstraintSize returns the mean constraint size across paths.
@@ -310,6 +314,16 @@ type Engine struct {
 	// GOMAXPROCS; 1 forces sequential exploration. Exhaustive runs produce
 	// identical Results for every worker count (see doc.go).
 	Workers int
+	// ClauseSharing wires every path's SAT core into one bounded
+	// learned-clause exchange: input variables get canonical indices from a
+	// shared bitblast.Space, short learned clauses (≤ 2 literals over shared
+	// inputs) are published to a lock-free ring, and importers adopt a
+	// candidate only after proving it implied by their own clause database.
+	// Sharing therefore never changes an answer, and witness models are
+	// canonical (see bitblast.CanonicalModel), so exhaustive Results stay
+	// byte-identical with sharing on or off — it only shortcuts repeated
+	// conflict work across structurally similar paths. See doc.go.
+	ClauseSharing bool
 	// Progress, when set, is invoked after each completed path with the
 	// cumulative number of paths kept so far. With Workers > 1 it is called
 	// from worker goroutines and must be safe for concurrent use; counts are
@@ -354,12 +368,24 @@ func (e *Engine) RunContext(ctx context.Context, h Handler) *Result {
 	if e.CovMap != nil {
 		res.Cov = e.CovMap.NewSet()
 	}
+	var share *bitblast.Space
+	if e.ClauseSharing {
+		// One space per run: canonical input numbering plus the clause ring.
+		// Sequential runs share too — clauses learned on one path shortcut
+		// conflicts on later paths of the same handler.
+		share = bitblast.NewSpace(0)
+	}
 
 	start := time.Now()
 	if workers == 1 {
-		e.runSequential(ctx, h, res)
+		e.runSequential(ctx, h, share, res)
 	} else {
-		e.runParallel(ctx, h, workers, res)
+		e.runParallel(ctx, h, workers, share, res)
+	}
+	if share != nil {
+		st := share.Stats()
+		res.ClauseExports = st.Exported
+		res.ClauseImports = st.Imported
 	}
 	canonicalizePaths(res.Paths)
 	if res.Cancelled {
@@ -369,13 +395,15 @@ func (e *Engine) RunContext(ctx context.Context, h Handler) *Result {
 	return res
 }
 
-// newContext builds the execution context for one path attempt.
-func (e *Engine) newContext(it *workItem, enqueue func(*workItem), queries *int64) *Context {
+// newContext builds the execution context for one path attempt. With
+// clause sharing, the path's blaster joins the run's shared space (a nil
+// share degrades to a private blaster).
+func (e *Engine) newContext(it *workItem, enqueue func(*workItem), queries *int64, share *bitblast.Space) *Context {
 	ctx := &Context{
 		maxDepth:  e.MaxDepth,
 		enqueue:   enqueue,
 		queries:   queries,
-		blaster:   bitblast.New(),
+		blaster:   bitblast.NewShared(share),
 		decisions: it.decisions,
 		inputs:    make(map[string]*sym.Expr),
 	}
@@ -399,7 +427,11 @@ func (e *Engine) completePath(ctx *Context) *Path {
 	}
 	if e.WantModels {
 		if ctx.blaster.Solve() {
-			p.Model = ctx.blaster.Model()
+			// Canonical extraction keeps the model a pure function of the
+			// path condition: the same path yields the same witness bytes
+			// whatever the worker count, encoding layout, or clause imports
+			// did to the CDCL search trajectory.
+			p.Model = ctx.blaster.CanonicalModel()
 		}
 	}
 	return p
@@ -408,7 +440,7 @@ func (e *Engine) completePath(ctx *Context) *Path {
 // runSequential is the single-threaded exploration loop. cancel is the
 // run's context.Context (named to keep ctx free for the per-path execution
 // Context).
-func (e *Engine) runSequential(cancel context.Context, h Handler, res *Result) {
+func (e *Engine) runSequential(cancel context.Context, h Handler, share *bitblast.Space, res *Result) {
 	e.queue = e.Strategy
 	if e.queue == nil {
 		e.queue = NewInterleaved(1)
@@ -430,7 +462,7 @@ func (e *Engine) runSequential(cancel context.Context, h Handler, res *Result) {
 		if !ok {
 			break
 		}
-		ctx := e.newContext(it, enqueue, &e.branchQueries)
+		ctx := e.newContext(it, enqueue, &e.branchQueries, share)
 		outcome := runOne(ctx, h)
 		for name, v := range ctx.inputs {
 			res.Inputs[name] = v

@@ -13,18 +13,20 @@ import (
 type Option func(*config)
 
 type config struct {
-	maxPaths int
-	maxDepth int
-	workers  int
-	models   bool
-	budget   time.Duration
-	strategy Strategy
-	solver   *Solver
-	progress func(Event)
+	maxPaths      int
+	maxDepth      int
+	workers       int
+	models        bool
+	budget        time.Duration
+	strategy      Strategy
+	solver        *Solver
+	progress      func(Event)
+	clauseSharing bool
+	sharedCache   bool
 }
 
 func newConfig(opts []Option) *config {
-	cfg := &config{}
+	cfg := &config{sharedCache: true}
 	for _, o := range opts {
 		o(cfg)
 	}
@@ -67,6 +69,24 @@ func WithModels(want bool) Option { return func(c *config) { c.models = want } }
 // pipeline stages; nil means a fresh solver per call.
 func WithSolver(s *Solver) Option { return func(c *config) { c.solver = s } }
 
+// WithClauseSharing enables learned-clause sharing between the SAT cores
+// of an exploration's paths (Explore and ExploreHandler; CrossCheck
+// ignores it): input variables get one canonical numbering, short learned
+// clauses flow through a bounded lock-free ring, and every import is
+// re-validated against the importer's own clause database. Results are
+// byte-identical with sharing on or off — sharing only cuts repeated
+// conflict work on structurally similar paths. Default off.
+func WithClauseSharing(on bool) Option { return func(c *config) { c.clauseSharing = on } }
+
+// WithSharedCache controls how CrossCheck workers use the solver's query
+// cache (Explore ignores it — path feasibility runs on path-private SAT
+// cores). True, the default, shares one sharded single-flight cache across
+// all workers: structurally equal queries are solved once per run. False
+// hands each worker a copy-on-write clone — zero cross-worker contention
+// at the cost of re-solving overlapping queries per worker. The report is
+// identical either way.
+func WithSharedCache(on bool) Option { return func(c *config) { c.sharedCache = on } }
+
 // WithProgress streams progress events from long runs to fn. The callback
 // may be invoked concurrently when the run uses multiple workers, and must
 // not block for long — it runs on the hot path's completion edge. Events
@@ -99,6 +119,10 @@ type Event struct {
 	// Total is the known amount of work (group pairs for PhaseCrossCheck;
 	// 0 for PhaseExplore, where the path count is not known in advance).
 	Total int
+	// Stats carries the stage's solver statistics (queries, cache hits,
+	// learned-clause exports/imports). It is set only on the final event a
+	// stage emits, after its work completed; nil on incremental events.
+	Stats *SolverStats
 }
 
 // Search strategies for WithStrategy. All built-ins support parallel

@@ -40,6 +40,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync/atomic"
 
 	"github.com/soft-testing/soft/internal/agents"
 	"github.com/soft-testing/soft/internal/agents/modified"
@@ -111,8 +112,15 @@ type (
 	Strategy = symexec.Strategy
 
 	// Solver is the constraint-solving façade shared across pipeline
-	// stages; it is safe for concurrent use and caches query results.
+	// stages; it is safe for concurrent use and caches query results in a
+	// sharded, single-flight cache.
 	Solver = solver.Solver
+
+	// SolverStats aggregates solver work for one pipeline stage: queries,
+	// cache hits, solve time, and — with clause sharing on — learned-clause
+	// exports and imports. Carried by Result.SolverStats, Report.SolverStats
+	// and the final progress Event of each stage.
+	SolverStats = solver.Stats
 
 	// MsgBuffer is a symbolic OpenFlow message under construction; Packet
 	// is a data plane probe. Both appear in the Instance interface.
@@ -168,20 +176,34 @@ func Explore(ctx context.Context, a Agent, t Test, opts ...Option) (*Result, err
 	}
 	cfg := newConfig(opts)
 	ho := harness.Options{
-		MaxPaths:   cfg.maxPaths,
-		MaxDepth:   cfg.maxDepth,
-		Strategy:   cfg.strategy,
-		WantModels: cfg.models,
-		Solver:     cfg.solver,
-		Workers:    cfg.workers,
+		MaxPaths:      cfg.maxPaths,
+		MaxDepth:      cfg.maxDepth,
+		Strategy:      cfg.strategy,
+		WantModels:    cfg.models,
+		Solver:        cfg.solver,
+		Workers:       cfg.workers,
+		ClauseSharing: cfg.clauseSharing,
 	}
+	agent, test := a.Name(), t.Name
 	if cfg.progress != nil {
-		progress, agent, test := cfg.progress, a.Name(), t.Name
+		progress := cfg.progress
 		ho.Progress = func(n int) {
 			progress(Event{Phase: PhaseExplore, Agent: agent, Test: test, Done: n})
 		}
 	}
-	return harness.ExploreContext(ctx, a, t, ho), nil
+	res := harness.ExploreContext(ctx, a, t, ho)
+	if cfg.progress != nil {
+		// Final event: the stage's solver statistics, for observability of
+		// cache and clause-sharing efficacy without a profiler. Total stays
+		// 0 per the PhaseExplore contract (the workload is never known in
+		// advance, and a truncated run completed only part of it).
+		cfg.progress(Event{
+			Phase: PhaseExplore, Agent: agent, Test: test,
+			Done:  len(res.Paths),
+			Stats: &res.SolverStats,
+		})
+	}
+	return res, nil
 }
 
 // ExploreHandler symbolically executes an arbitrary handler — the phase-1
@@ -194,12 +216,13 @@ func ExploreHandler(ctx context.Context, h Handler, opts ...Option) (*HandlerRes
 	}
 	cfg := newConfig(opts)
 	eng := &symexec.Engine{
-		Solver:     cfg.solver,
-		Strategy:   cfg.strategy,
-		MaxPaths:   cfg.maxPaths,
-		MaxDepth:   cfg.maxDepth,
-		WantModels: cfg.models,
-		Workers:    cfg.workers,
+		Solver:        cfg.solver,
+		Strategy:      cfg.strategy,
+		MaxPaths:      cfg.maxPaths,
+		MaxDepth:      cfg.maxDepth,
+		WantModels:    cfg.models,
+		Workers:       cfg.workers,
+		ClauseSharing: cfg.clauseSharing,
 	}
 	if cfg.progress != nil {
 		progress := cfg.progress
@@ -207,7 +230,22 @@ func ExploreHandler(ctx context.Context, h Handler, opts ...Option) (*HandlerRes
 			progress(Event{Phase: PhaseExplore, Done: n})
 		}
 	}
-	return eng.RunContext(ctx, h), nil
+	res := eng.RunContext(ctx, h)
+	if cfg.progress != nil {
+		// Queries stays zero: a raw handler run never touches the solver
+		// façade (feasibility runs on path-private SAT cores and is
+		// reported separately as HandlerResult.BranchQueries), and the
+		// field must mean the same thing here as in Explore's final event.
+		cfg.progress(Event{
+			Phase: PhaseExplore,
+			Done:  len(res.Paths),
+			Stats: &SolverStats{
+				ClauseExports: res.ClauseExports,
+				ClauseImports: res.ClauseImports,
+			},
+		})
+	}
+	return res, nil
 }
 
 // Group merges a phase-1 result's paths by distinct output behavior: all
@@ -235,20 +273,38 @@ func CrossCheck(ctx context.Context, a, b *Grouped, opts ...Option) (*Report, er
 	}
 	cfg := newConfig(opts)
 	co := crosscheck.Opts{
-		Solver:  cfg.solver,
-		Budget:  cfg.budget,
-		Workers: cfg.workers,
+		Solver:        cfg.solver,
+		Budget:        cfg.budget,
+		Workers:       cfg.workers,
+		PrivateCaches: !cfg.sharedCache,
 	}
+	var maxDone, lastTotal atomic.Int64
 	if cfg.progress != nil {
 		progress, agentA, agentB, test := cfg.progress, a.Agent, b.Agent, a.Test
 		co.Progress = func(done, total int) {
+			for { // track the high-water mark; counts may arrive out of order
+				cur := maxDone.Load()
+				if int64(done) <= cur || maxDone.CompareAndSwap(cur, int64(done)) {
+					break
+				}
+			}
+			lastTotal.Store(int64(total))
 			progress(Event{
 				Phase: PhaseCrossCheck, Agent: agentA, AgentB: agentB,
 				Test: test, Done: done, Total: total,
 			})
 		}
 	}
-	return crosscheck.RunOpts(ctx, a, b, co), nil
+	rep := crosscheck.RunOpts(ctx, a, b, co)
+	if cfg.progress != nil {
+		// Final event: the stage's aggregated solver statistics.
+		cfg.progress(Event{
+			Phase: PhaseCrossCheck, Agent: a.Agent, AgentB: b.Agent,
+			Test: a.Test, Done: int(maxDone.Load()), Total: int(lastTotal.Load()),
+			Stats: &rep.SolverStats,
+		})
+	}
+	return rep, nil
 }
 
 // ReadResults parses a serialized phase-1 results file (the soft-results

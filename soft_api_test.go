@@ -300,6 +300,59 @@ func TestCrossCheckProgressAndCancellation(t *testing.T) {
 	}
 }
 
+// TestProgressEventStats: each stage's final progress event carries its
+// solver statistics, so embedders can observe cache and clause-sharing
+// efficacy without a profiler.
+func TestProgressEventStats(t *testing.T) {
+	ctx := context.Background()
+	ref, _ := AgentByName("ref")
+	mod, _ := AgentByName("modified")
+	test, _ := TestByName("Packet Out")
+
+	var lastExplore *SolverStats
+	ra, err := Explore(ctx, ref, test, WithModels(true), WithClauseSharing(true),
+		WithProgress(func(ev Event) {
+			if ev.Stats != nil {
+				lastExplore = ev.Stats
+			}
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lastExplore == nil {
+		t.Fatal("explore emitted no stats event")
+	}
+	if lastExplore.Queries != ra.SolverStats.Queries ||
+		lastExplore.ClauseExports != ra.SolverStats.ClauseExports {
+		t.Fatalf("stats event %+v does not match Result.SolverStats %+v", lastExplore, ra.SolverStats)
+	}
+
+	rb, err := Explore(ctx, mod, test, WithModels(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lastCheck *SolverStats
+	rep, err := CrossCheck(ctx, Group(ra), Group(rb),
+		WithProgress(func(ev Event) {
+			if ev.Stats != nil {
+				lastCheck = ev.Stats
+			}
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lastCheck == nil {
+		t.Fatal("crosscheck emitted no stats event")
+	}
+	if lastCheck.Queries != rep.SolverStats.Queries {
+		t.Fatalf("stats event queries %d, report says %d", lastCheck.Queries, rep.SolverStats.Queries)
+	}
+	if rep.SolverStats.Queries != int64(rep.Queries) {
+		t.Fatalf("report SolverStats.Queries = %d, want the %d crosscheck queries",
+			rep.SolverStats.Queries, rep.Queries)
+	}
+}
+
 // TestExploreHandlerTimeout exercises deadline-based cancellation (the
 // form a coordinator would use): a deadline in the past must return
 // immediately with an empty truncated result rather than exploring.
