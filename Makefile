@@ -4,6 +4,9 @@
 #   make vet           static analysis
 #   make test          full test suite (tier-1 gate: build + test)
 #   make race          race-detector pass over the concurrency-sensitive packages
+#   make e2e-dist      multi-process distributed exploration e2e (coordinator +
+#                      2 workers + worker kill, byte-identity vs -workers 4)
+#   make dist-demo     run a coordinator and two workers locally for a quick look
 #   make bench         the paper's evaluation benches + parallel scaling benches
 #   make bench-solver  solver-stack scaling benches (parallel explore, clause
 #                      sharing, sharded-cache crosscheck) — run on multicore
@@ -13,7 +16,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race bench bench-solver bench-smoke check
+.PHONY: build vet test race e2e-dist dist-demo bench bench-solver bench-smoke check
 
 build:
 	$(GO) build ./...
@@ -25,7 +28,27 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/sat/ ./internal/bitblast/ ./internal/symexec/ ./internal/harness/ ./internal/solver/ ./internal/crosscheck/ .
+	$(GO) test -race ./internal/sat/ ./internal/bitblast/ ./internal/symexec/ ./internal/harness/ ./internal/solver/ ./internal/crosscheck/ ./internal/dist/ .
+
+e2e-dist:
+	$(GO) test -run TestDistE2E -v ./cmd/soft/
+
+# A 10-second look at distributed exploration on one machine: coordinator on
+# an ephemeral-ish port, two workers, result on stdout-adjacent files under
+# /tmp. The serve process exits once both workers have drained the shards.
+DIST_DEMO_ADDR ?= 127.0.0.1:7473
+dist-demo:
+	$(GO) build -o /tmp/soft-dist-demo ./cmd/soft
+	@echo "== coordinator on $(DIST_DEMO_ADDR), 2 workers, agent=ref test='Packet Out' =="
+	@/tmp/soft-dist-demo serve -addr $(DIST_DEMO_ADDR) -agent ref -test "Packet Out" \
+		-shard-depth 4 -progress -v -timeout 2m -o /tmp/soft-dist-demo.results & \
+	sleep 0.3; \
+	/tmp/soft-dist-demo work -addr $(DIST_DEMO_ADDR) -name demo-worker-1 -v & \
+	/tmp/soft-dist-demo work -addr $(DIST_DEMO_ADDR) -name demo-worker-2 -v & \
+	wait
+	@echo "== merged results =="
+	@head -n 6 /tmp/soft-dist-demo.results
+	@echo "   ... (full file: /tmp/soft-dist-demo.results)"
 
 bench:
 	$(GO) test -bench=. -benchmem .

@@ -27,6 +27,7 @@ func runExplore(e *env, args []string) error {
 	models := fs.Bool("models", true, "extract a concrete input example per path")
 	workers := fs.Int("workers", 0, "parallel exploration workers (0 = GOMAXPROCS, 1 = sequential)")
 	clauseSharing := fs.Bool("clause-sharing", false, "share short learned clauses between path solvers (results are byte-identical either way)")
+	canonicalCut := fs.Bool("canonical-cut", false, "make max-paths truncation canonical: keep the canonically smallest paths so truncated runs are reproducible across worker counts")
 	timeout := fs.Duration("timeout", 0, "wall-clock limit; on expiry the partial result is still written")
 	progress := fs.Bool("progress", false, "report exploration progress on stderr")
 	verbose := fs.Bool("v", false, "report solver statistics (queries, cache hits, clause exchange) on stderr")
@@ -57,6 +58,7 @@ func runExplore(e *env, args []string) error {
 		soft.WithModels(*models),
 		soft.WithWorkers(*workers),
 		soft.WithClauseSharing(*clauseSharing),
+		soft.WithCanonicalCut(*canonicalCut),
 	}
 	if *progress {
 		// Throttle by time, not path count: short runs still get feedback

@@ -4,6 +4,8 @@
 // conventions:
 //
 //	soft explore     run phase 1 for one agent and one test
+//	soft serve       coordinate a distributed phase-1 run across workers
+//	soft work        explore shard leases for a serve coordinator
 //	soft group       group a results file by output behavior
 //	soft diff        crosscheck two results files (phase 2)
 //	soft report      reproduce the paper's evaluation tables and figures
@@ -39,6 +41,8 @@ type command struct {
 func commands() []*command {
 	return []*command{
 		exploreCmd(),
+		serveCmd(),
+		workCmd(),
 		groupCmd(),
 		diffCmd(),
 		reportCmd(),

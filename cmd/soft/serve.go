@@ -1,0 +1,118 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"os"
+	"sync"
+	"time"
+
+	"github.com/soft-testing/soft"
+)
+
+func serveCmd() *command {
+	return &command{
+		name:     "serve",
+		synopsis: "coordinate a distributed phase-1 run across soft-work processes",
+		run:      runServe,
+	}
+}
+
+func runServe(e *env, args []string) error {
+	fs := newFlags(e, "serve")
+	addr := fs.String("addr", "127.0.0.1:7473", "TCP address to listen on (use :0 for an ephemeral port)")
+	agentName := fs.String("agent", "ref", "agent under test, by registry name (see 'soft agents'); workers resolve the same name")
+	testName := fs.String("test", "Packet Out", "Table 1 test name (see 'soft tests')")
+	out := fs.String("o", "", "output file (default stdout)")
+	maxPaths := fs.Int("max-paths", 0, "cap on explored paths (0 = default); distributed truncation is canonical")
+	models := fs.Bool("models", true, "extract a concrete input example per path")
+	shardDepth := fs.Int("shard-depth", 0, "frontier split depth: forks deeper than this become worker shards (0 = default)")
+	leaseTimeout := fs.Duration("lease-timeout", 0, "re-offer a shard not completed in this long (0 = default, negative = never)")
+	canonicalCut := fs.Bool("canonical-cut", true, "keep the canonically smallest max-paths paths instead of the first to complete")
+	timeout := fs.Duration("timeout", 0, "wall-clock limit; on expiry the run aborts (distributed partial results are not deterministic)")
+	progress := fs.Bool("progress", false, "report lease grants and exploration progress on stderr")
+	verbose := fs.Bool("v", false, "report aggregated solver statistics (queries, cache hits, clause exchange) on stderr")
+	if err := parse(fs, args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return usagef("unexpected arguments %q", fs.Args())
+	}
+
+	// Validate the job before binding the socket: an unknown name is a
+	// usage error (exit 2) here exactly as it is for `soft explore` —
+	// workers will resolve the same registry names later.
+	if _, err := soft.AgentByName(*agentName); err != nil {
+		return usageError{err}
+	}
+	if _, ok := soft.TestByName(*testName); !ok {
+		return usagef("unknown test %q (run 'soft tests')", *testName)
+	}
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	defer ln.Close()
+	// The chosen address goes out before any worker could need it — e2e
+	// harnesses and humans alike parse this line to start workers.
+	fmt.Fprintf(e.stderr, "soft serve: listening on %s\n", ln.Addr())
+
+	opts := []soft.Option{
+		soft.WithMaxPaths(*maxPaths),
+		soft.WithModels(*models),
+		soft.WithShardDepth(*shardDepth),
+		soft.WithLeaseTimeout(*leaseTimeout),
+		soft.WithCanonicalCut(*canonicalCut),
+	}
+	if *progress {
+		opts = append(opts, soft.WithLog(e.stderr))
+		var mu sync.Mutex
+		var last time.Time
+		opts = append(opts, soft.WithProgress(func(ev soft.Event) {
+			mu.Lock()
+			defer mu.Unlock()
+			if ev.Stats == nil && time.Since(last) < 250*time.Millisecond {
+				return
+			}
+			last = time.Now()
+			fmt.Fprintf(e.stderr, "soft serve: %d paths...\n", ev.Done)
+		}))
+	}
+	res, err := soft.ServeListener(ctx, ln, *agentName, *testName, opts...)
+	if err != nil {
+		return err
+	}
+
+	mark := ""
+	if res.Truncated {
+		mark = " (max-paths: canonical cut)"
+	}
+	fmt.Fprintf(e.stderr, "%s / %s: %d paths in %s (coverage %.1f%% instr, %.1f%% branch)%s\n",
+		res.Agent, res.Test, len(res.Paths), res.Elapsed.Round(time.Millisecond),
+		res.InstrPct, res.BranchPct, mark)
+	if *verbose {
+		fmt.Fprintf(e.stderr, "soft serve: %s\n", describeStats(res.SolverStats, res.BranchQueries))
+	}
+
+	if *out == "" {
+		return res.SerializedResult.Write(e.stdout)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	if err := res.SerializedResult.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"context"
+	"fmt"
+
+	"github.com/soft-testing/soft"
+)
+
+func workCmd() *command {
+	return &command{
+		name:     "work",
+		synopsis: "explore shard leases for a soft-serve coordinator",
+		run:      runWork,
+	}
+}
+
+func runWork(e *env, args []string) error {
+	fs := newFlags(e, "work")
+	addr := fs.String("addr", "127.0.0.1:7473", "coordinator TCP address to connect to")
+	workers := fs.Int("workers", 0, "parallel engine workers per shard (0 = GOMAXPROCS, 1 = sequential)")
+	name := fs.String("name", "", "worker name in coordinator logs (default hostname/pid)")
+	timeout := fs.Duration("timeout", 0, "wall-clock limit; on expiry the current shard is abandoned for re-lease")
+	verbose := fs.Bool("v", false, "report lease lifecycle on stderr")
+	if err := parse(fs, args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return usagef("unexpected arguments %q", fs.Args())
+	}
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	opts := []soft.Option{
+		soft.WithWorkers(*workers),
+		soft.WithWorkerName(*name),
+	}
+	if *verbose {
+		opts = append(opts, soft.WithLog(e.stderr))
+	}
+	if err := soft.Work(ctx, *addr, opts...); err != nil {
+		return err
+	}
+	fmt.Fprintln(e.stderr, "soft work: run complete")
+	return nil
+}

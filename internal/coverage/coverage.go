@@ -193,6 +193,38 @@ func (s *Set) Merge(other *Set) {
 	}
 }
 
+// Snapshot returns copies of the covered-block and branch-direction
+// bitmaps, indexed by BlockID and BranchID. Because agents register their
+// coverage universe deterministically at construction, the same agent
+// produces identically laid-out Maps in every process — which is what lets
+// a distributed worker ship a Snapshot over the wire and a coordinator
+// union it back in with MergeBitmap.
+func (s *Set) Snapshot() (blocks []bool, branches []uint8) {
+	blocks = append([]bool(nil), s.blocks...)
+	branches = append([]uint8(nil), s.branches...)
+	return blocks, branches
+}
+
+// MergeBitmap unions raw coverage bitmaps (a Snapshot taken from a Set over
+// an identically laid-out Map, typically in another process) into s. It
+// rejects bitmaps whose dimensions do not match this universe — the symptom
+// of two processes running different agent versions.
+func (s *Set) MergeBitmap(blocks []bool, branches []uint8) error {
+	if len(blocks) != len(s.blocks) || len(branches) != len(s.branches) {
+		return fmt.Errorf("coverage: bitmap dimensions %d/%d do not match universe %d/%d",
+			len(blocks), len(branches), len(s.blocks), len(s.branches))
+	}
+	for i, b := range blocks {
+		if b {
+			s.blocks[i] = true
+		}
+	}
+	for i, d := range branches {
+		s.branches[i] |= d
+	}
+	return nil
+}
+
 // Clone returns an independent copy of s.
 func (s *Set) Clone() *Set {
 	c := s.m.NewSet()

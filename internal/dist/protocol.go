@@ -1,0 +1,526 @@
+// Package dist implements distributed exploration: a coordinator process
+// that splits the phase-1 frontier into decision-prefix subtrees and a
+// fleet of worker processes that explore them, talking over a small
+// length-prefixed TCP protocol.
+//
+// The design mirrors the paper's Cloud9-on-a-cluster deployment (§3.2) but
+// leans on the reproduction's determinism guarantees instead of shared
+// engine state: a shard is nothing but a branch-decision prefix, exploring
+// a shard is a pure function (the worker re-executes the deterministic
+// agent under that prefix), and the coordinator merges shard outputs with
+// the same canonical decision-prefix order the in-process engine uses — so
+// the distributed result is byte-identical to a single-process run, a
+// worker crash costs only a re-lease, and a shard accidentally explored
+// twice returns identical bytes both times.
+//
+// # Wire protocol
+//
+// Every message is one frame:
+//
+//	[4-byte big-endian length] [1-byte message type] [payload]
+//
+// where length covers the type byte plus the payload and is capped at 64
+// MiB. Payload scalars are varints; strings and byte slices are
+// length-prefixed; decision prefixes are bit-packed; expressions travel in
+// the same canonical s-expression text the results-file format uses; and
+// coverage travels as raw bitmaps (agents register their coverage universe
+// deterministically, so indices agree across processes).
+//
+// The conversation is worker-driven pull:
+//
+//	worker → hello       {version, name}
+//	coord  → welcome     {agent, test, engine options}
+//	coord  → lease       {lease id, decision prefix}     (repeated)
+//	worker → progress    {lease id, paths completed}     (streamed, throttled)
+//	worker → result      {lease id, shard payload}
+//	coord  → shutdown    {}                              (run complete)
+//
+// A worker that disconnects mid-lease loses nothing: the coordinator
+// returns the shard to the pending queue and another worker re-explores it
+// (lease expiry does the same for hung workers). Duplicate results for a
+// shard are dropped on arrival — first completion wins, and determinism
+// makes the copies identical anyway.
+package dist
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"time"
+
+	"github.com/soft-testing/soft/internal/coverage"
+	"github.com/soft-testing/soft/internal/harness"
+	"github.com/soft-testing/soft/internal/solver"
+	"github.com/soft-testing/soft/internal/sym"
+)
+
+// protocolVersion is bumped on any incompatible frame or payload change;
+// the coordinator rejects workers speaking a different version.
+const protocolVersion = 1
+
+// maxFrame bounds a frame (type byte + payload). It matches the results
+// reader's line buffer: anything bigger is a corrupt or hostile peer.
+const maxFrame = 64 << 20
+
+// msgType tags a frame.
+type msgType byte
+
+const (
+	msgHello    msgType = 1 // worker → coordinator: version handshake
+	msgWelcome  msgType = 2 // coordinator → worker: job configuration
+	msgLease    msgType = 3 // coordinator → worker: one shard to explore
+	msgProgress msgType = 4 // worker → coordinator: paths completed so far
+	msgResult   msgType = 5 // worker → coordinator: completed shard payload
+	msgShutdown msgType = 6 // coordinator → worker: run complete, disconnect
+)
+
+// writeFrame sends one frame. Callers serialize writes per connection.
+func writeFrame(w io.Writer, t msgType, payload []byte) error {
+	if len(payload)+1 > maxFrame {
+		return fmt.Errorf("dist: frame too large (%d bytes)", len(payload)+1)
+	}
+	var hdr [5]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)+1))
+	hdr[4] = byte(t)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame receives one frame.
+func readFrame(r io.Reader) (msgType, []byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 || n > maxFrame {
+		return 0, nil, fmt.Errorf("dist: bad frame length %d", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return 0, nil, fmt.Errorf("dist: truncated frame: %w", err)
+	}
+	return msgType(body[0]), body[1:], nil
+}
+
+// enc builds a payload. All scalars are varints (signed where the field is
+// signed), so payloads stay small and independent of word size.
+type enc struct{ b []byte }
+
+func (e *enc) u64(v uint64)  { e.b = binary.AppendUvarint(e.b, v) }
+func (e *enc) i64(v int64)   { e.b = binary.AppendVarint(e.b, v) }
+func (e *enc) boolean(v bool) {
+	if v {
+		e.b = append(e.b, 1)
+	} else {
+		e.b = append(e.b, 0)
+	}
+}
+func (e *enc) str(s string) {
+	e.u64(uint64(len(s)))
+	e.b = append(e.b, s...)
+}
+func (e *enc) bytes(p []byte) {
+	e.u64(uint64(len(p)))
+	e.b = append(e.b, p...)
+}
+
+// bits packs a decision vector: bit count, then ceil(n/8) bytes, LSB first.
+func (e *enc) bits(d []bool) {
+	e.u64(uint64(len(d)))
+	packed := make([]byte, (len(d)+7)/8)
+	for i, v := range d {
+		if v {
+			packed[i/8] |= 1 << (i % 8)
+		}
+	}
+	e.b = append(e.b, packed...)
+}
+
+// dec consumes a payload, latching the first error so callers can decode a
+// whole message and check once.
+type dec struct {
+	b   []byte
+	err error
+}
+
+func (d *dec) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("dist: "+format, args...)
+	}
+}
+
+func (d *dec) u64() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b)
+	if n <= 0 {
+		d.fail("truncated uvarint")
+		return 0
+	}
+	d.b = d.b[n:]
+	return v
+}
+
+func (d *dec) i64() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.b)
+	if n <= 0 {
+		d.fail("truncated varint")
+		return 0
+	}
+	d.b = d.b[n:]
+	return v
+}
+
+func (d *dec) boolean() bool {
+	if d.err != nil {
+		return false
+	}
+	if len(d.b) == 0 {
+		d.fail("truncated bool")
+		return false
+	}
+	v := d.b[0]
+	d.b = d.b[1:]
+	if v > 1 {
+		d.fail("bad bool byte %d", v)
+		return false
+	}
+	return v == 1
+}
+
+// count reads a collection length, rejecting values the remaining payload
+// cannot possibly hold (each element takes at least min bytes).
+func (d *dec) count(what string, min int) int {
+	n := d.u64()
+	if d.err != nil {
+		return 0
+	}
+	if n > uint64(math.MaxInt32) || int(n)*min > len(d.b) {
+		d.fail("implausible %s count %d for %d remaining bytes", what, n, len(d.b))
+		return 0
+	}
+	return int(n)
+}
+
+func (d *dec) str() string {
+	n := d.count("string byte", 1)
+	if d.err != nil {
+		return ""
+	}
+	s := string(d.b[:n])
+	d.b = d.b[n:]
+	return s
+}
+
+func (d *dec) bytes() []byte {
+	n := d.count("byte", 1)
+	if d.err != nil {
+		return nil
+	}
+	p := append([]byte(nil), d.b[:n]...)
+	d.b = d.b[n:]
+	return p
+}
+
+func (d *dec) bits() []bool {
+	n := d.count("bit", 0)
+	if d.err != nil {
+		return nil
+	}
+	packed := (n + 7) / 8
+	if packed > len(d.b) {
+		d.fail("truncated bit vector (%d bits, %d bytes left)", n, len(d.b))
+		return nil
+	}
+	out := make([]bool, n)
+	for i := range out {
+		out[i] = d.b[i/8]&(1<<(i%8)) != 0
+	}
+	d.b = d.b[packed:]
+	return out
+}
+
+// done checks a fully decoded message: no latched error, no trailing bytes.
+func (d *dec) done() error {
+	if d.err != nil {
+		return d.err
+	}
+	if len(d.b) != 0 {
+		return fmt.Errorf("dist: %d trailing bytes after message", len(d.b))
+	}
+	return nil
+}
+
+// hello is the worker's opening message.
+type hello struct {
+	version uint64
+	name    string
+}
+
+func encodeHello(h hello) []byte {
+	var e enc
+	e.u64(h.version)
+	e.str(h.name)
+	return e.b
+}
+
+func decodeHello(p []byte) (hello, error) {
+	d := dec{b: p}
+	h := hello{version: d.u64(), name: d.str()}
+	return h, d.done()
+}
+
+// welcome is the coordinator's job configuration: which (agent, test) to
+// explore and the engine options every shard must share for the merged
+// result to be canonical.
+type welcome struct {
+	agent, test        string
+	maxPaths, maxDepth int
+	models             bool
+	clauseSharing      bool
+	canonicalCut       bool
+}
+
+func encodeWelcome(w welcome) []byte {
+	var e enc
+	e.str(w.agent)
+	e.str(w.test)
+	e.i64(int64(w.maxPaths))
+	e.i64(int64(w.maxDepth))
+	e.boolean(w.models)
+	e.boolean(w.clauseSharing)
+	e.boolean(w.canonicalCut)
+	return e.b
+}
+
+func decodeWelcome(p []byte) (welcome, error) {
+	d := dec{b: p}
+	w := welcome{
+		agent:    d.str(),
+		test:     d.str(),
+		maxPaths: int(d.i64()),
+		maxDepth: int(d.i64()),
+	}
+	w.models = d.boolean()
+	w.clauseSharing = d.boolean()
+	w.canonicalCut = d.boolean()
+	return w, d.done()
+}
+
+// lease hands one shard — the subtree below a decision prefix — to a worker.
+type lease struct {
+	id     uint64
+	prefix []bool
+}
+
+func encodeLease(l lease) []byte {
+	var e enc
+	e.u64(l.id)
+	e.bits(l.prefix)
+	return e.b
+}
+
+func decodeLease(p []byte) (lease, error) {
+	d := dec{b: p}
+	l := lease{id: d.u64(), prefix: d.bits()}
+	return l, d.done()
+}
+
+// progressMsg streams a shard's completed-path count while it runs.
+type progressMsg struct {
+	lease uint64
+	done  uint64
+}
+
+func encodeProgress(p progressMsg) []byte {
+	var e enc
+	e.u64(p.lease)
+	e.u64(p.done)
+	return e.b
+}
+
+func decodeProgress(p []byte) (progressMsg, error) {
+	d := dec{b: p}
+	m := progressMsg{lease: d.u64(), done: d.u64()}
+	return m, d.done()
+}
+
+// encodeStats flattens solver statistics into the payload.
+func (e *enc) stats(st solver.Stats) {
+	e.i64(st.Queries)
+	e.i64(st.CacheHits)
+	e.i64(st.SatQueries)
+	e.i64(st.UnsatQueries)
+	e.i64(int64(st.SolveTime))
+	e.i64(st.MaxQuerySize)
+	e.i64(st.ClausesTotal)
+	e.i64(st.AuxVarsTotal)
+	e.i64(st.FastPathConst)
+	e.i64(st.ClauseExports)
+	e.i64(st.ClauseImports)
+}
+
+func (d *dec) stats() solver.Stats {
+	return solver.Stats{
+		Queries:       d.i64(),
+		CacheHits:     d.i64(),
+		SatQueries:    d.i64(),
+		UnsatQueries:  d.i64(),
+		SolveTime:     time.Duration(d.i64()),
+		MaxQuerySize:  d.i64(),
+		ClausesTotal:  d.i64(),
+		AuxVarsTotal:  d.i64(),
+		FastPathConst: d.i64(),
+		ClauseExports: d.i64(),
+		ClauseImports: d.i64(),
+	}
+}
+
+// cov flattens a coverage set as raw bitmaps (the block bits share the
+// decision-prefix bit packing); a nil set is a zero/zero pair.
+func (e *enc) cov(s *coverage.Set) {
+	if s == nil {
+		e.bits(nil)
+		e.bytes(nil)
+		return
+	}
+	blocks, branches := s.Snapshot()
+	e.bits(blocks)
+	e.bytes(branches)
+}
+
+// cov rebuilds a coverage set over m. With a nil map the bitmaps are
+// consumed and discarded (the peer ran without a coverage universe view).
+func (d *dec) cov(m *coverage.Map) *coverage.Set {
+	blocks := d.bits()
+	branches := d.bytes()
+	if d.err != nil || m == nil || (len(blocks) == 0 && len(branches) == 0) {
+		return nil
+	}
+	s := m.NewSet()
+	if err := s.MergeBitmap(blocks, branches); err != nil {
+		d.fail("%v", err)
+		return nil
+	}
+	return s
+}
+
+// resultMsg carries one completed shard back to the coordinator.
+type resultMsg struct {
+	lease uint64
+	shard *harness.Shard
+}
+
+func encodeResult(m resultMsg) []byte {
+	var e enc
+	e.u64(m.lease)
+	sh := m.shard
+	e.boolean(sh.Truncated)
+	e.i64(int64(sh.Infeasible))
+	e.i64(int64(sh.DepthTruncated))
+	e.i64(sh.BranchQueries)
+	e.stats(sh.Stats)
+	e.cov(sh.Cov)
+	e.u64(uint64(len(sh.Paths)))
+	for i := range sh.Paths {
+		p := &sh.Paths[i]
+		e.bits(p.Decisions)
+		e.boolean(p.Crashed)
+		e.i64(int64(p.Branches))
+		e.str(p.Cond.String())
+		e.str(p.Template)
+		e.str(p.Canonical)
+		e.u64(uint64(len(p.Exprs)))
+		for _, x := range p.Exprs {
+			e.str(x.String())
+		}
+		names := make([]string, 0, len(p.Model))
+		for n := range p.Model {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		e.u64(uint64(len(names)))
+		for _, n := range names {
+			e.str(n)
+			e.u64(p.Model[n])
+		}
+		e.cov(p.Cov)
+	}
+	return e.b
+}
+
+// decodeResult rebuilds a shard payload. covMap is the coordinator's
+// coverage universe for the agent under test (nil drops coverage).
+func decodeResult(payload []byte, covMap *coverage.Map) (resultMsg, error) {
+	d := dec{b: payload}
+	m := resultMsg{lease: d.u64(), shard: &harness.Shard{}}
+	sh := m.shard
+	sh.Truncated = d.boolean()
+	sh.Infeasible = int(d.i64())
+	sh.DepthTruncated = int(d.i64())
+	sh.BranchQueries = d.i64()
+	sh.Stats = d.stats()
+	sh.Cov = d.cov(covMap)
+	npaths := d.count("path", 8)
+	for i := 0; i < npaths && d.err == nil; i++ {
+		var p harness.ShardPath
+		p.ID = i
+		p.Decisions = d.bits()
+		p.Crashed = d.boolean()
+		p.Branches = int(d.i64())
+		p.Cond = d.expr("cond")
+		p.Template = d.str()
+		p.Canonical = d.str()
+		nexprs := d.count("expr", 1)
+		for j := 0; j < nexprs && d.err == nil; j++ {
+			p.Exprs = append(p.Exprs, d.expr("trace expr"))
+		}
+		nmodel := d.count("model entry", 2)
+		if nmodel > 0 && d.err == nil {
+			p.Model = make(sym.Assignment, nmodel)
+			for j := 0; j < nmodel && d.err == nil; j++ {
+				name := d.str()
+				p.Model[name] = d.u64()
+			}
+		}
+		p.Cov = d.cov(covMap)
+		sh.Paths = append(sh.Paths, p)
+	}
+	return m, d.done()
+}
+
+// expr decodes one canonical s-expression.
+func (d *dec) expr(what string) *sym.Expr {
+	s := d.str()
+	if d.err != nil {
+		return nil
+	}
+	x, err := sym.Parse(s)
+	if err != nil {
+		d.fail("bad %s %q: %v", what, s, err)
+		return nil
+	}
+	return x
+}
+
+// errProtocol wraps peer misbehavior so connection handling can distinguish
+// it from plain I/O errors.
+var errProtocol = errors.New("dist: protocol error")
+
+func protocolErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	return fmt.Errorf("%w: %v", errProtocol, err)
+}

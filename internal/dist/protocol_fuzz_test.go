@@ -1,0 +1,324 @@
+package dist
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"time"
+
+	"github.com/soft-testing/soft/internal/coverage"
+	"github.com/soft-testing/soft/internal/harness"
+	"github.com/soft-testing/soft/internal/solver"
+	"github.com/soft-testing/soft/internal/sym"
+)
+
+// bitsFromSeed expands fuzzer scalars into a decision prefix.
+func bitsFromSeed(n uint8, pattern uint64) []bool {
+	out := make([]bool, int(n)%67) // cover empty through just-past-one-word
+	for i := range out {
+		out[i] = pattern&(1<<(i%64)) != 0
+	}
+	return out
+}
+
+// FuzzFrameRoundTrip: any (type, payload) pair must survive write → read.
+func FuzzFrameRoundTrip(f *testing.F) {
+	f.Add(byte(msgHello), []byte{})
+	f.Add(byte(msgLease), []byte{1, 2, 3})
+	f.Add(byte(msgResult), bytes.Repeat([]byte{0xab}, 4096))
+	f.Fuzz(func(t *testing.T, mt byte, payload []byte) {
+		var buf bytes.Buffer
+		if err := writeFrame(&buf, msgType(mt), payload); err != nil {
+			t.Fatalf("writeFrame: %v", err)
+		}
+		gt, gp, err := readFrame(&buf)
+		if err != nil {
+			t.Fatalf("readFrame of own output: %v", err)
+		}
+		if gt != msgType(mt) || !bytes.Equal(gp, payload) {
+			t.Fatalf("frame mismatch: (%d, %d bytes) vs (%d, %d bytes)", gt, len(gp), mt, len(payload))
+		}
+		if buf.Len() != 0 {
+			t.Fatalf("%d trailing bytes after frame", buf.Len())
+		}
+	})
+}
+
+// FuzzReadFrame: arbitrary bytes must never panic the frame reader, and a
+// successful read never exceeds the frame cap.
+func FuzzReadFrame(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 1})
+	f.Add([]byte{0, 0, 0, 2, 5, 9})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, payload, err := readFrame(bytes.NewReader(data))
+		if err == nil && len(payload)+1 > maxFrame {
+			t.Fatalf("accepted oversized frame (%d bytes)", len(payload))
+		}
+	})
+}
+
+// FuzzLeaseRoundTrip covers the prefix-range payload: lease ids and
+// bit-packed decision prefixes of every length and pattern.
+func FuzzLeaseRoundTrip(f *testing.F) {
+	f.Add(uint64(0), uint8(0), uint64(0))
+	f.Add(uint64(42), uint8(7), uint64(0b1010101))
+	f.Add(^uint64(0), uint8(66), ^uint64(0))
+	f.Fuzz(func(t *testing.T, id uint64, n uint8, pattern uint64) {
+		l := lease{id: id, prefix: bitsFromSeed(n, pattern)}
+		got, err := decodeLease(encodeLease(l))
+		if err != nil {
+			t.Fatalf("decodeLease of own output: %v", err)
+		}
+		if got.id != l.id || len(got.prefix) != len(l.prefix) {
+			t.Fatalf("lease mismatch: %+v vs %+v", got, l)
+		}
+		for i := range l.prefix {
+			if got.prefix[i] != l.prefix[i] {
+				t.Fatalf("prefix bit %d flipped", i)
+			}
+		}
+	})
+}
+
+// FuzzHelloWelcomeRoundTrip covers the handshake payloads.
+func FuzzHelloWelcomeRoundTrip(f *testing.F) {
+	f.Add(uint64(1), "worker/1", "ref", "Packet Out", int64(100), int64(64), true, false, true)
+	f.Add(uint64(0), "", "", "", int64(0), int64(0), false, false, false)
+	f.Add(^uint64(0), "ünïcödé\nworker", "agent \"q\"", "test\ttab", int64(-5), int64(1<<40), true, true, true)
+	f.Fuzz(func(t *testing.T, version uint64, name, agent, test string, maxPaths, maxDepth int64, models, sharing, cut bool) {
+		h, err := decodeHello(encodeHello(hello{version: version, name: name}))
+		if err != nil {
+			t.Fatalf("decodeHello of own output: %v", err)
+		}
+		if h.version != version || h.name != name {
+			t.Fatalf("hello mismatch: %+v", h)
+		}
+		w := welcome{
+			agent: agent, test: test,
+			maxPaths: int(maxPaths), maxDepth: int(maxDepth),
+			models: models, clauseSharing: sharing, canonicalCut: cut,
+		}
+		gw, err := decodeWelcome(encodeWelcome(w))
+		if err != nil {
+			t.Fatalf("decodeWelcome of own output: %v", err)
+		}
+		if gw != w {
+			t.Fatalf("welcome mismatch: %+v vs %+v", gw, w)
+		}
+	})
+}
+
+// fuzzCovMap is a small fixed coverage universe for shard payload fuzzing.
+func fuzzCovMap() *coverage.Map {
+	m := coverage.NewMap()
+	for _, b := range []struct {
+		name  string
+		instr int
+	}{{"parse", 10}, {"validate", 7}, {"apply", 22}} {
+		m.Block(b.name, b.instr)
+	}
+	m.BranchSite("type-switch")
+	m.BranchSite("len-check")
+	m.Seal()
+	return m
+}
+
+// buildShard assembles a Shard from fuzzer-chosen scalars, mirroring
+// harness's results_fuzz_test buildResult: conditions and trace expressions
+// are real sym expressions, coverage sets live over a fixed universe.
+func buildShard(covMap *coverage.Map, out1, out2 string, crashed bool, bound, modelVal uint64, truncated bool, decisionSeed uint64, stats int64) *harness.Shard {
+	x := sym.Var("x", 16)
+	y := sym.Var("po.port", 16)
+	cond1 := sym.Ult(x, sym.Const(16, bound&0xffff))
+	cond2 := sym.LAnd(sym.LNot(cond1), sym.EqConst(y, modelVal&0xffff))
+
+	cov1 := covMap.NewSet()
+	cov1.CoverBlock(0)
+	cov1.CoverBranch(0, decisionSeed&1 == 0)
+	cov2 := covMap.NewSet()
+	cov2.CoverBlock(2)
+	cov2.CoverBranch(1, true)
+	cum := covMap.NewSet()
+	cum.Merge(cov1)
+	cum.Merge(cov2)
+
+	sh := &harness.Shard{
+		Cov:            cum,
+		Truncated:      truncated,
+		Infeasible:     int(stats & 0xff),
+		DepthTruncated: int(stats >> 8 & 0xff),
+		BranchQueries:  stats,
+		Stats: solver.Stats{
+			Queries:       stats,
+			CacheHits:     stats / 2,
+			SatQueries:    stats / 3,
+			UnsatQueries:  stats / 4,
+			SolveTime:     time.Duration(stats),
+			MaxQuerySize:  stats / 5,
+			ClausesTotal:  stats / 6,
+			AuxVarsTotal:  stats / 7,
+			FastPathConst: stats / 8,
+			ClauseExports: stats / 9,
+			ClauseImports: stats / 10,
+		},
+	}
+	sh.Paths = append(sh.Paths,
+		harness.ShardPath{
+			SerializedPath: harness.SerializedPath{
+				ID: 0, Cond: cond1, Template: out1, Canonical: out1,
+				Exprs: []*sym.Expr{x}, Branches: 1,
+			},
+			Decisions: bitsFromSeed(uint8(decisionSeed), decisionSeed),
+			Cov:       cov1,
+		},
+		harness.ShardPath{
+			SerializedPath: harness.SerializedPath{
+				ID: 1, Cond: cond2, Template: out1 + "\n" + out2, Canonical: out2,
+				Exprs: []*sym.Expr{x, y}, Crashed: crashed, Branches: 2,
+				Model: sym.Assignment{"x": bound & 0xffff, "po.port": modelVal & 0xffff},
+			},
+			Decisions: bitsFromSeed(uint8(decisionSeed>>8), ^decisionSeed),
+			Cov:       cov2,
+		},
+	)
+	return sh
+}
+
+// FuzzShardResultRoundTrip is the partial-result payload property: any
+// shard assembled from fuzzer inputs must survive encode → decode with
+// every field intact, including bit-packed decisions and coverage bitmaps.
+func FuzzShardResultRoundTrip(f *testing.F) {
+	f.Add(uint64(3), "msg:ERROR/BAD_ACTION/4", "pkt-out:port=FLOOD", false, uint64(25), uint64(0xfffd), false, uint64(0x5a), int64(12345))
+	f.Add(uint64(0), "", "", true, uint64(0), uint64(0), true, uint64(0), int64(0))
+	f.Add(^uint64(0), "line1\nline2", "tab\tand\\backslash", true, uint64(1<<40), uint64(7), true, ^uint64(0), int64(-9))
+	f.Fuzz(func(t *testing.T, leaseID uint64, out1, out2 string, crashed bool, bound, modelVal uint64, truncated bool, decisionSeed uint64, stats int64) {
+		covMap := fuzzCovMap()
+		want := buildShard(covMap, out1, out2, crashed, bound, modelVal, truncated, decisionSeed, stats)
+		payload := encodeResult(resultMsg{lease: leaseID, shard: want})
+		got, err := decodeResult(payload, covMap)
+		if err != nil {
+			t.Fatalf("decodeResult of own output: %v\npayload: %x", err, payload)
+		}
+		if got.lease != leaseID {
+			t.Fatalf("lease id %d, want %d", got.lease, leaseID)
+		}
+		gs := got.shard
+		if gs.Truncated != want.Truncated || gs.Infeasible != want.Infeasible ||
+			gs.DepthTruncated != want.DepthTruncated || gs.BranchQueries != want.BranchQueries {
+			t.Fatalf("shard counters mismatch: %+v vs %+v", gs, want)
+		}
+		if gs.Stats != want.Stats {
+			t.Fatalf("stats mismatch: %+v vs %+v", gs.Stats, want.Stats)
+		}
+		if !covEqual(gs.Cov, want.Cov) {
+			t.Fatal("cumulative coverage mismatch")
+		}
+		if len(gs.Paths) != len(want.Paths) {
+			t.Fatalf("path count %d, want %d", len(gs.Paths), len(want.Paths))
+		}
+		for i := range want.Paths {
+			gp, wp := &gs.Paths[i], &want.Paths[i]
+			if gp.Crashed != wp.Crashed || gp.Branches != wp.Branches ||
+				gp.Template != wp.Template || gp.Canonical != wp.Canonical {
+				t.Fatalf("path %d header mismatch: %+v vs %+v", i, gp.SerializedPath, wp.SerializedPath)
+			}
+			if !sym.Equal(gp.Cond, wp.Cond) {
+				t.Fatalf("path %d condition mismatch: %s vs %s", i, gp.Cond, wp.Cond)
+			}
+			if len(gp.Exprs) != len(wp.Exprs) {
+				t.Fatalf("path %d expr count mismatch", i)
+			}
+			for j := range wp.Exprs {
+				if !sym.Equal(gp.Exprs[j], wp.Exprs[j]) {
+					t.Fatalf("path %d expr %d mismatch", i, j)
+				}
+			}
+			if len(gp.Decisions) != len(wp.Decisions) {
+				t.Fatalf("path %d decisions length mismatch", i)
+			}
+			for j := range wp.Decisions {
+				if gp.Decisions[j] != wp.Decisions[j] {
+					t.Fatalf("path %d decision %d flipped", i, j)
+				}
+			}
+			if len(gp.Model) != len(wp.Model) {
+				t.Fatalf("path %d model size mismatch", i)
+			}
+			for k, v := range wp.Model {
+				if gp.Model[k] != v {
+					t.Fatalf("path %d model[%q] = %d, want %d", i, k, gp.Model[k], v)
+				}
+			}
+			if !covEqual(gp.Cov, wp.Cov) {
+				t.Fatalf("path %d coverage mismatch", i)
+			}
+		}
+	})
+}
+
+// covEqual compares coverage sets by bitmap.
+func covEqual(a, b *coverage.Set) bool {
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	if a == nil {
+		return true
+	}
+	ab, abr := a.Snapshot()
+	bb, bbr := b.Snapshot()
+	if len(ab) != len(bb) || len(abr) != len(bbr) {
+		return false
+	}
+	for i := range ab {
+		if ab[i] != bb[i] {
+			return false
+		}
+	}
+	return bytes.Equal(abr, bbr)
+}
+
+// FuzzDecodeResult throws arbitrary bytes at the shard-result decoder: it
+// must reject or accept without panicking, and whatever it accepts must be
+// internally consistent enough to merge.
+func FuzzDecodeResult(f *testing.F) {
+	covMap := fuzzCovMap()
+	good := encodeResult(resultMsg{lease: 1, shard: buildShard(covMap, "a", "b", false, 10, 20, false, 0x33, 77)})
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add([]byte{0x01})
+	f.Add(good[:len(good)/2])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := decodeResult(data, fuzzCovMap())
+		if err == nil && m.shard == nil {
+			t.Fatal("nil shard accepted")
+		}
+	})
+}
+
+// FuzzDecodeHelloLease throws arbitrary bytes at the small-message
+// decoders.
+func FuzzDecodeHelloLease(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(encodeHello(hello{version: 1, name: "w"}))
+	f.Add(encodeLease(lease{id: 9, prefix: []bool{true, false, true}}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		decodeHello(data)
+		decodeLease(data)
+		decodeWelcome(data)
+		decodeProgress(data)
+	})
+}
+
+// TestFrameTooLarge pins the frame cap on both ends.
+func TestFrameTooLarge(t *testing.T) {
+	if err := writeFrame(io.Discard, msgResult, make([]byte, maxFrame)); err == nil {
+		t.Fatal("writeFrame accepted an oversized payload")
+	}
+	var hdr [5]byte
+	hdr[0], hdr[1], hdr[2], hdr[3] = 0xff, 0xff, 0xff, 0xff
+	if _, _, err := readFrame(bytes.NewReader(hdr[:])); err == nil {
+		t.Fatal("readFrame accepted an oversized length")
+	}
+}

@@ -1,0 +1,165 @@
+package dist
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"sync"
+	"time"
+
+	"github.com/soft-testing/soft/internal/agents"
+	"github.com/soft-testing/soft/internal/harness"
+)
+
+// WorkerConfig parameterizes one worker process.
+type WorkerConfig struct {
+	// Name identifies the worker in coordinator logs (default
+	// "hostname/pid").
+	Name string
+	// Workers is the per-lease engine parallelism (0 = GOMAXPROCS): each
+	// leased subtree is itself explored with the in-process work-stealing
+	// frontier, so a distributed run parallelizes at two levels.
+	Workers int
+	// Log, when set, receives one line per lease.
+	Log io.Writer
+}
+
+// progressInterval throttles streamed progress frames.
+const progressInterval = 100 * time.Millisecond
+
+// Work connects to a coordinator at addr and explores shard leases until
+// the coordinator shuts the run down (returns nil) or the connection fails.
+// Cancelling ctx closes the connection without shipping a partial shard —
+// partial subtrees must never enter a merge, so the coordinator re-leases
+// the shard instead.
+func Work(ctx context.Context, addr string, cfg WorkerConfig) error {
+	if cfg.Name == "" {
+		host, _ := os.Hostname()
+		cfg.Name = fmt.Sprintf("%s/%d", host, os.Getpid())
+	}
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return fmt.Errorf("dist: connect %s: %w", addr, err)
+	}
+	defer conn.Close()
+	// A cancelled context must interrupt blocked reads and in-flight
+	// exploration alike: close the connection and let the run's
+	// ExploreContext observe the same ctx.
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		select {
+		case <-ctx.Done():
+			conn.Close()
+		case <-stop:
+		}
+	}()
+
+	if err := writeFrame(conn, msgHello, encodeHello(hello{version: protocolVersion, name: cfg.Name})); err != nil {
+		return fmt.Errorf("dist: hello: %w", err)
+	}
+	t, payload, err := readFrame(conn)
+	if err != nil {
+		return fmt.Errorf("dist: handshake: %w", err)
+	}
+	if t != msgWelcome {
+		return protocolErr(fmt.Errorf("expected welcome, got frame type %d", t))
+	}
+	w, err := decodeWelcome(payload)
+	if err != nil {
+		return err
+	}
+	agent, err := agents.ByName(w.agent)
+	if err != nil {
+		return fmt.Errorf("dist: coordinator job needs unknown agent: %w", err)
+	}
+	test, ok := harness.TestByName(w.test)
+	if !ok {
+		return fmt.Errorf("dist: coordinator job needs unknown test %q", w.test)
+	}
+	logf := func(format string, args ...any) {
+		if cfg.Log != nil {
+			fmt.Fprintf(cfg.Log, "dist: "+format+"\n", args...)
+		}
+	}
+	logf("worker %s: joined %s / %s", cfg.Name, w.agent, w.test)
+
+	// Frame writes interleave streamed progress (from engine worker
+	// goroutines, via the throttler) with results; serialize them.
+	var wmu sync.Mutex
+	send := func(t msgType, payload []byte) error {
+		wmu.Lock()
+		defer wmu.Unlock()
+		return writeFrame(conn, t, payload)
+	}
+
+	for {
+		t, payload, err := readFrame(conn)
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			return fmt.Errorf("dist: coordinator lost: %w", err)
+		}
+		switch t {
+		case msgShutdown:
+			logf("worker %s: run complete", cfg.Name)
+			return nil
+		case msgLease:
+			l, err := decodeLease(payload)
+			if err != nil {
+				return err
+			}
+			start := time.Now()
+			res := harness.ExploreContext(ctx, agent, test, harness.Options{
+				MaxPaths:      w.maxPaths,
+				MaxDepth:      w.maxDepth,
+				WantModels:    w.models,
+				ClauseSharing: w.clauseSharing,
+				CanonicalCut:  w.canonicalCut,
+				Workers:       cfg.Workers,
+				Prefix:        l.prefix,
+				Progress:      throttledProgress(l.id, send),
+			})
+			if res.Cancelled || ctx.Err() != nil {
+				// Never ship a partial subtree; the coordinator re-leases.
+				return ctx.Err()
+			}
+			logf("worker %s: lease %d done: %d paths in %s",
+				cfg.Name, l.id, len(res.Paths), time.Since(start).Round(time.Millisecond))
+			if err := send(msgResult, encodeResult(resultMsg{lease: l.id, shard: res.Shard()})); err != nil {
+				return fmt.Errorf("dist: send result: %w", err)
+			}
+		default:
+			return protocolErr(fmt.Errorf("unexpected frame type %d from coordinator", t))
+		}
+	}
+}
+
+// throttledProgress adapts the engine's per-path callback into streamed
+// progress frames, sending at most one per progressInterval. Counts are a
+// monotone high-water mark (engine callbacks may arrive out of order); send
+// errors are ignored — the connection's main loop will see them.
+func throttledProgress(leaseID uint64, send func(msgType, []byte) error) func(int) {
+	var mu sync.Mutex
+	var last time.Time
+	hi := 0
+	return func(done int) {
+		mu.Lock()
+		if done <= hi {
+			mu.Unlock()
+			return
+		}
+		hi = done
+		if time.Since(last) < progressInterval {
+			mu.Unlock()
+			return
+		}
+		last = time.Now()
+		mu.Unlock()
+		send(msgProgress, encodeProgress(progressMsg{lease: leaseID, done: uint64(done)}))
+	}
+}

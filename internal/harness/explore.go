@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"github.com/soft-testing/soft/internal/agents"
+	"github.com/soft-testing/soft/internal/coverage"
 	"github.com/soft-testing/soft/internal/openflow"
 	"github.com/soft-testing/soft/internal/solver"
 	"github.com/soft-testing/soft/internal/sym"
@@ -33,6 +34,20 @@ type Options struct {
 	// per-path SAT cores (see symexec.Engine.ClauseSharing). Exhaustive
 	// results are byte-identical with sharing on or off.
 	ClauseSharing bool
+	// CanonicalCut makes MaxPaths truncation canonical: the run keeps the
+	// MaxPaths canonically smallest paths instead of the first MaxPaths to
+	// complete, so truncated results serialize to the same bytes for every
+	// worker count and shard layout (see symexec.Engine.CanonicalCut).
+	// Distributed exploration always runs with it on.
+	CanonicalCut bool
+	// Prefix seeds exploration at the subtree below the given decision
+	// prefix (a distributed shard; see symexec.Engine.Prefix).
+	Prefix []bool
+	// ShardSink, with ShardDepth, diverts forks deeper than ShardDepth to
+	// the sink instead of exploring them — the coordinator-side frontier
+	// split (see symexec.Engine.ShardSink). Forces the run sequential.
+	ShardDepth int
+	ShardSink  func(prefix []bool)
 	// Progress, when set, is called after each completed path with the
 	// cumulative path count. With Workers > 1 it runs on worker goroutines
 	// and must be safe for concurrent use.
@@ -56,6 +71,16 @@ type PathResult struct {
 	Model         sym.Assignment
 	Crashed       bool
 	Branches      int
+	// Decisions is the branch-decision vector identifying the path in the
+	// execution tree — the canonical merge key for distributed shards. It
+	// never enters the results file (IDs already encode the canonical
+	// order there).
+	Decisions []bool
+	// Cov is this path's own coverage set (nil when the agent has no
+	// coverage universe). Distributed merges need per-path coverage so a
+	// canonically truncated merge can rebuild coverage from exactly the
+	// kept paths.
+	Cov *coverage.Set
 }
 
 // Result is the phase-1 output for one (agent, test) pair — the
@@ -80,6 +105,11 @@ type Result struct {
 	DepthTruncated int
 	BranchQueries  int64
 	SolverStats    solver.Stats
+	// Cov is the run's cumulative coverage set (nil when the agent has no
+	// coverage universe); InstrPct/BranchPct are derived from it. Shards of
+	// a distributed run ship it so the coordinator can union coverage
+	// exactly as a single-process run would.
+	Cov *coverage.Set
 }
 
 // AvgConstraintOps returns the mean constraint size over paths.
@@ -136,6 +166,10 @@ func ExploreContext(ctx context.Context, a agents.Agent, t Test, o Options) *Res
 		CovMap:        a.CovMap(),
 		Workers:       o.Workers,
 		ClauseSharing: o.ClauseSharing,
+		CanonicalCut:  o.CanonicalCut,
+		Prefix:        o.Prefix,
+		ShardDepth:    o.ShardDepth,
+		ShardSink:     o.ShardSink,
 		Progress:      o.Progress,
 	}
 	res := eng.RunContext(ctx, func(ctx *symexec.Context) {
@@ -164,6 +198,7 @@ func ExploreContext(ctx context.Context, a agents.Agent, t Test, o Options) *Res
 	if res.Cov != nil {
 		out.InstrPct = res.Cov.InstructionPct()
 		out.BranchPct = res.Cov.BranchPct()
+		out.Cov = res.Cov
 	}
 	out.SolverStats = s.Stats().Sub(statsBefore)
 	out.SolverStats.ClauseExports = res.ClauseExports
@@ -178,6 +213,8 @@ func ExploreContext(ctx context.Context, a agents.Agent, t Test, o Options) *Res
 			Model:         p.Model,
 			Crashed:       p.Crashed,
 			Branches:      p.Branches,
+			Decisions:     p.Decisions,
+			Cov:           p.Cov,
 		})
 	}
 	return out

@@ -31,6 +31,14 @@ const (
 
 // Write serializes r to the results file format.
 func (r *Result) Write(w io.Writer) error {
+	return r.Serialized().Write(w)
+}
+
+// Write serializes r to the results file format. It is the same writer
+// Result.Write uses (Result.Write goes through the Serialized view), so a
+// result merged from distributed shards — which exists only in serialized
+// form — produces byte-identical files to an in-process exploration.
+func (r *SerializedResult) Write(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	if r.Truncated || r.Cancelled {
 		fmt.Fprintln(bw, resultsMagicV2)
@@ -45,7 +53,8 @@ func (r *Result) Write(w io.Writer) error {
 	if r.Truncated || r.Cancelled {
 		// Written only for partial results, so exhaustive runs keep the
 		// historical byte layout (and the cross-worker-count determinism
-		// guarantee, which applies to exhaustive runs only).
+		// guarantee, which applies to exhaustive and canonically truncated
+		// runs only).
 		fmt.Fprintf(bw, "partial truncated=%t cancelled=%t\n", r.Truncated, r.Cancelled)
 	}
 	fmt.Fprintf(bw, "paths %d\n", len(r.Paths))
@@ -53,11 +62,10 @@ func (r *Result) Write(w io.Writer) error {
 		p := &r.Paths[i]
 		fmt.Fprintf(bw, "path %d crashed=%t branches=%d\n", p.ID, p.Crashed, p.Branches)
 		fmt.Fprintf(bw, "cond %s\n", p.Cond.String())
-		fmt.Fprintf(bw, "template %q\n", p.Trace.Template())
-		fmt.Fprintf(bw, "canonical %q\n", p.Trace.Canonical())
-		exprs := p.Trace.Exprs()
-		fmt.Fprintf(bw, "nexprs %d\n", len(exprs))
-		for _, e := range exprs {
+		fmt.Fprintf(bw, "template %q\n", p.Template)
+		fmt.Fprintf(bw, "canonical %q\n", p.Canonical)
+		fmt.Fprintf(bw, "nexprs %d\n", len(p.Exprs))
+		for _, e := range p.Exprs {
 			fmt.Fprintf(bw, "expr %s\n", e.String())
 		}
 		if len(p.Model) > 0 {

@@ -1,0 +1,166 @@
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"github.com/soft-testing/soft/internal/coverage"
+	"github.com/soft-testing/soft/internal/solver"
+	"github.com/soft-testing/soft/internal/symexec"
+)
+
+// This file implements the merge half of distributed exploration: a
+// coordinator splits the frontier into decision-prefix subtrees
+// (Options.ShardSink), workers explore each subtree (Options.Prefix), and
+// MergeShards reassembles the per-shard outputs into exactly the result a
+// single-process run would have produced. The merge works on the serialized
+// view — the same "intermediate result" representation vendors ship between
+// the paper's two phases (§2.4) — extended with the two merge keys that
+// never enter the results file: decision vectors and per-path coverage.
+
+// ShardPath is one path of a distributed exploration shard: the serialized
+// path plus its merge keys.
+type ShardPath struct {
+	SerializedPath
+	// Decisions is the path's branch-decision vector; shard outputs are
+	// merged by sorting all paths in canonical decision-prefix order.
+	Decisions []bool
+	// Cov is the path's own coverage set (nil without a coverage universe),
+	// so a canonically truncated merge can rebuild coverage from exactly
+	// the kept paths.
+	Cov *coverage.Set
+}
+
+// Shard is one shard's contribution to a distributed exploration: the
+// subtree's paths plus the run counters the coordinator aggregates.
+type Shard struct {
+	Paths []ShardPath
+	// Cov is the shard run's cumulative coverage (including attempts that
+	// were depth-truncated inside the subtree); exhaustive merges union it.
+	Cov *coverage.Set
+	// Truncated reports that the shard's canonical MaxPaths cut discarded
+	// paths — the shard holds its MaxPaths canonically smallest.
+	Truncated      bool
+	Infeasible     int
+	DepthTruncated int
+	BranchQueries  int64
+	Stats          solver.Stats
+}
+
+// Shard converts an exploration Result into its distributed-merge form.
+func (r *Result) Shard() *Shard {
+	s := &Shard{
+		Cov:            r.Cov,
+		Truncated:      r.Truncated,
+		Infeasible:     r.Infeasible,
+		DepthTruncated: r.DepthTruncated,
+		BranchQueries:  r.BranchQueries,
+		Stats:          r.SolverStats,
+	}
+	ser := r.Serialized()
+	for i := range ser.Paths {
+		s.Paths = append(s.Paths, ShardPath{
+			SerializedPath: ser.Paths[i],
+			Decisions:      r.Paths[i].Decisions,
+			Cov:            r.Paths[i].Cov,
+		})
+	}
+	return s
+}
+
+// MergedResult is the outcome of a distributed exploration: the serialized
+// result (byte-identical to a single-process run of the same tree) plus the
+// aggregated run counters that never enter the results file.
+type MergedResult struct {
+	*SerializedResult
+	Infeasible     int
+	DepthTruncated int
+	BranchQueries  int64
+	SolverStats    solver.Stats
+}
+
+// MergeShards reassembles per-shard exploration outputs into one result.
+// Shards must come from the same (agent, test) run configuration and cover
+// disjoint decision-prefix subtrees (the coordinator's split guarantees
+// both; re-leased duplicates must be dropped before merging). The merge is
+// pure canonical bookkeeping:
+//
+//   - paths from all shards are sorted into canonical decision-prefix order
+//     and re-numbered — the same canonicalization the engine applies;
+//   - with maxPaths > 0, the merge keeps the maxPaths canonically smallest
+//     paths: each shard already holds its own canonical cut, and the global
+//     N smallest of a disjoint union are among the per-subtree N smallest,
+//     so the cut composes exactly;
+//   - coverage is the union of shard cumulative coverage for exhaustive
+//     merges, or of exactly the kept paths' coverage for truncated ones
+//     (matching symexec.Engine.CanonicalCut's single-process behavior).
+//
+// The caller stamps Elapsed on the returned result (wall-clock time is the
+// coordinator's to measure).
+func MergeShards(agent, test string, msgCount int, covMap *coverage.Map, shards []*Shard, maxPaths int) (*MergedResult, error) {
+	merged := &MergedResult{SerializedResult: &SerializedResult{
+		Agent: agent, Test: test, MsgCount: msgCount,
+	}}
+	var all []ShardPath
+	truncated := false
+	for _, sh := range shards {
+		all = append(all, sh.Paths...)
+		truncated = truncated || sh.Truncated
+		merged.Infeasible += sh.Infeasible
+		merged.DepthTruncated += sh.DepthTruncated
+		merged.BranchQueries += sh.BranchQueries
+		merged.SolverStats.Add(sh.Stats)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		return symexec.LessDecisions(all[i].Decisions, all[j].Decisions)
+	})
+	for i := 1; i < len(all); i++ {
+		if !symexec.LessDecisions(all[i-1].Decisions, all[i].Decisions) {
+			return nil, fmt.Errorf("harness: shards overlap: duplicate path decision vector %v", all[i].Decisions)
+		}
+	}
+	if maxPaths > 0 && len(all) > maxPaths {
+		all = all[:maxPaths]
+		truncated = true
+	}
+	merged.Truncated = truncated
+
+	if covMap != nil {
+		cov := covMap.NewSet()
+		// Shard sets come from other processes (or at least other agent
+		// instances), so they never share covMap's identity; union them by
+		// bitmap, which only requires the universes to be laid out
+		// identically — guaranteed by deterministic agent registration and
+		// checked here.
+		union := func(s *coverage.Set) error {
+			if s == nil {
+				return nil
+			}
+			blocks, branches := s.Snapshot()
+			return cov.MergeBitmap(blocks, branches)
+		}
+		var err error
+		if truncated {
+			for i := range all {
+				err = errors.Join(err, union(all[i].Cov))
+			}
+		} else {
+			for _, sh := range shards {
+				err = errors.Join(err, union(sh.Cov))
+			}
+		}
+		if err != nil {
+			return nil, err
+		}
+		merged.InstrPct = cov.InstructionPct()
+		merged.BranchPct = cov.BranchPct()
+	}
+
+	merged.Paths = make([]SerializedPath, len(all))
+	for i := range all {
+		merged.Paths[i] = all[i].SerializedPath
+		merged.Paths[i].ID = i
+	}
+	return merged, nil
+}

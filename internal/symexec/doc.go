@@ -107,8 +107,45 @@
 // TestClauseSharingDeterminism here and the harness and CLI determinism
 // tests downstream).
 //
-// The one caveat is MaxPaths: when the cap truncates exploration, *which*
-// paths were completed first depends on strategy order and, with several
-// workers, on scheduling. Truncated parallel runs keep exactly MaxPaths
-// paths and set PathsTruncated, but the selected subset is not canonical.
+// MaxPaths truncation comes in two flavors. The default keeps the first
+// MaxPaths paths that happen to complete — cheap, but *which* paths those
+// are depends on strategy order and, with several workers, on scheduling,
+// so truncated runs are not canonical. Engine.CanonicalCut closes that
+// caveat: the run keeps the MaxPaths canonically *smallest* completed
+// paths instead. The kept set converges because decision-prefix order is
+// subtree-monotone — every path below a pending prefix sorts after it — so
+// once MaxPaths paths at or below some bound have completed, any pending
+// prefix sorting after the current MaxPaths-th smallest path can be pruned
+// outright (canoncut.go). The result is a pure function of the execution
+// tree: byte-identical for every worker count, strategy, and distributed
+// shard layout, which is why distributed runs default to it. In a
+// truncated canonical run, coverage is rebuilt from exactly the kept paths
+// (which other attempts executed before pruning kicked in is
+// schedule-dependent), and the Infeasible/DepthTruncated/BranchQueries
+// counters remain approximate; cancelled runs are still non-canonical.
+//
+// # Distributed exploration
+//
+// Because a path is identified by its decision prefix and re-execution is
+// deterministic, the execution tree shards across processes at the subtree
+// granularity with no shared engine state — the reproduction's answer to
+// the paper's Cloud9 cluster deployment. Three engine hooks make it work:
+//
+//   - Engine.ShardSink (with ShardDepth) is the coordinator-side split: the
+//     run explores every path reachable through prefixes of length <=
+//     ShardDepth itself and diverts each deeper fork to the sink. The
+//     diverted prefixes are the roots of disjoint, collectively exhaustive
+//     unexplored subtrees (EGT's frontier invariant: pending items plus
+//     completed paths always partition the remaining tree).
+//
+//   - Engine.Prefix is the worker side: exploration seeded from a diverted
+//     prefix replays it and explores exactly that subtree, with any local
+//     worker count. Completed paths carry their full decision vector.
+//
+//   - Canonical merge: concatenating shard results and sorting by decision
+//     vector (LessDecisions) reproduces the exact canonical path set and ID
+//     assignment of a single-process run — harness.MergeShards implements
+//     it, internal/dist ships shards between processes, and re-exploring a
+//     subtree twice (a re-leased crash recovery) yields byte-identical
+//     shards, so duplicates are simply dropped.
 package symexec

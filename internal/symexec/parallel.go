@@ -122,9 +122,16 @@ type workerState struct {
 // are kept, so a cancelled run returns the partial set explored so far.
 func (e *Engine) runParallel(cancel context.Context, h Handler, workers int, share *bitblast.Space, res *Result) {
 	f := newFrontier(workers)
-	f.global = append(f.global, &workItem{decisions: nil, site: -1})
+	f.global = append(f.global, e.rootItem())
 
+	cut := e.newCanonCut()
 	maxPaths := int64(e.MaxPaths)
+	if cut != nil {
+		// Canonical truncation never halts early on a path count: the kept
+		// set converges to the MaxPaths canonically smallest paths and
+		// termination comes from subtree pruning plus frontier exhaustion.
+		maxPaths = 0
+	}
 	var completed, dropped, leftover, progressDone atomic.Int64
 	var cancelled atomic.Bool
 	if done := cancel.Done(); done != nil {
@@ -184,6 +191,9 @@ func (e *Engine) runParallel(cancel context.Context, h Handler, workers int, sha
 						return
 					}
 				}
+				if cut != nil && cut.prune(it.decisions) {
+					continue
+				}
 				ctx := e.newContext(it, enqueue, &ws.queries, share)
 				outcome := runOne(ctx, h)
 				for name, v := range ctx.inputs {
@@ -205,7 +215,11 @@ func (e *Engine) runParallel(cancel context.Context, h Handler, workers int, sha
 							f.halt()
 						}
 					}
-					ws.paths = append(ws.paths, e.completePath(ctx))
+					if p := e.completePath(ctx); cut != nil {
+						cut.admit(p)
+					} else {
+						ws.paths = append(ws.paths, p)
+					}
 					if ws.cov != nil {
 						ws.cov.Merge(ctx.cov)
 					}
@@ -247,6 +261,7 @@ func (e *Engine) runParallel(cancel context.Context, h Handler, workers int, sha
 	if cancelled.Load() && !f.exhausted.Load() {
 		res.Cancelled = true
 	}
+	e.applyCanonCut(cut, res)
 }
 
 // workerStrategy builds worker w's local frontier ordering: a per-worker

@@ -334,8 +334,8 @@ func TestLessDecisions(t *testing.T) {
 		{[]bool{f, f}, []bool{f, f, tr}, true},
 	}
 	for _, c := range cases {
-		if got := lessDecisions(c.a, c.b); got != c.want {
-			t.Errorf("lessDecisions(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		if got := LessDecisions(c.a, c.b); got != c.want {
+			t.Errorf("LessDecisions(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
 		}
 	}
 }

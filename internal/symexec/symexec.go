@@ -302,8 +302,40 @@ type Engine struct {
 	// MaxPaths caps explored paths; 0 means unlimited. The paper notes
 	// SOFT can work with partial path sets. When the cap truncates a run,
 	// the set of explored paths depends on strategy order (and, with
-	// Workers > 1, on scheduling); only exhaustive runs are canonical.
+	// Workers > 1, on scheduling) unless CanonicalCut makes the truncation
+	// deterministic; only exhaustive and CanonicalCut runs are canonical.
 	MaxPaths int
+	// CanonicalCut makes MaxPaths truncation canonical: the run keeps the
+	// MaxPaths canonically smallest completed paths (lexicographic
+	// decision-prefix order) instead of the first MaxPaths that happened to
+	// complete, and prunes pending subtrees that can no longer contribute.
+	// Truncated results then serialize to the same bytes for every worker
+	// count and across distributed shard layouts. In a truncated canonical
+	// run Result.Cov covers exactly the kept paths (attempts that were
+	// pruned or discarded are schedule-dependent and must not leak into the
+	// result), and the Infeasible/DepthTruncated/BranchQueries counters
+	// remain approximate. Ignored when MaxPaths is 0. See doc.go.
+	CanonicalCut bool
+	// Prefix seeds exploration at the subtree below the given branch-decision
+	// prefix instead of the execution tree's root: the initial path replays
+	// the prefix and exploration forks only beyond it. The prefix must be a
+	// feasible decision prefix of the handler's tree (distributed shards use
+	// prefixes recorded at real fork points, which are feasible by
+	// construction). Completed paths carry the full decision vector including
+	// the prefix, so results from disjoint subtrees merge canonically.
+	Prefix []bool
+	// ShardSink, when set, diverts every forked work item whose decision
+	// vector is longer than ShardDepth to the sink instead of the frontier:
+	// the run explores (fully) only the paths reachable through prefixes of
+	// length <= ShardDepth and hands each diverted prefix — the root of an
+	// unexplored subtree — to the caller. The distributed coordinator uses
+	// this to split the frontier: diverted prefixes partition the unexplored
+	// tree, so exploring each of them with Prefix set and merging the results
+	// with the local paths reconstructs exactly the full run. A run with
+	// ShardSink is forced sequential; the sink owns the prefix slices it
+	// receives.
+	ShardDepth int
+	ShardSink  func(prefix []bool)
 	// MaxDepth caps symbolic decisions per path; 0 means unlimited.
 	MaxDepth int
 	// WantModels extracts a satisfying model per completed path.
@@ -362,6 +394,11 @@ func (e *Engine) RunContext(ctx context.Context, h Handler) *Result {
 			// split across frontiers; honor its exact order sequentially.
 			workers = 1
 		}
+	}
+	if e.ShardSink != nil {
+		// Frontier splitting is a coordinator-side operation over a shallow
+		// tree slice; keep it sequential so the sink needs no locking.
+		workers = 1
 	}
 
 	res := &Result{Inputs: make(map[string]*sym.Expr)}
@@ -446,21 +483,32 @@ func (e *Engine) runSequential(cancel context.Context, h Handler, share *bitblas
 		e.queue = NewInterleaved(1)
 	}
 	e.branchQueries = 0
+	cut := e.newCanonCut()
 
-	enqueue := func(it *workItem) { e.queue.Push(it) }
-	e.queue.Push(&workItem{decisions: nil, site: -1})
+	enqueue := func(it *workItem) {
+		if e.ShardSink != nil && len(it.decisions) > e.ShardDepth {
+			e.ShardSink(it.decisions)
+			return
+		}
+		e.queue.Push(it)
+	}
+	e.queue.Push(e.rootItem())
+	completed := 0
 	for e.queue.Len() > 0 {
 		if cancel.Err() != nil {
 			res.Cancelled = true
 			break
 		}
-		if e.MaxPaths > 0 && len(res.Paths) >= e.MaxPaths {
+		if cut == nil && e.MaxPaths > 0 && len(res.Paths) >= e.MaxPaths {
 			res.PathsTruncated = true
 			break
 		}
 		it, ok := e.queue.Pop(res.Cov)
 		if !ok {
 			break
+		}
+		if cut != nil && cut.prune(it.decisions) {
+			continue
 		}
 		ctx := e.newContext(it, enqueue, &e.branchQueries, share)
 		outcome := runOne(ctx, h)
@@ -469,12 +517,18 @@ func (e *Engine) runSequential(cancel context.Context, h Handler, share *bitblas
 		}
 		switch outcome {
 		case pathCompleted, pathCrashed:
-			res.Paths = append(res.Paths, e.completePath(ctx))
+			p := e.completePath(ctx)
+			if cut != nil {
+				cut.admit(p)
+			} else {
+				res.Paths = append(res.Paths, p)
+			}
 			if res.Cov != nil {
 				res.Cov.Merge(ctx.cov)
 			}
+			completed++
 			if e.Progress != nil {
-				e.Progress(len(res.Paths))
+				e.Progress(completed)
 			}
 		case pathInfeasible:
 			res.Infeasible++
@@ -486,11 +540,55 @@ func (e *Engine) runSequential(cancel context.Context, h Handler, share *bitblas
 		}
 	}
 	res.BranchQueries = e.branchQueries
+	e.applyCanonCut(cut, res)
 }
 
-// lessDecisions orders decision vectors lexicographically with false < true;
-// a proper prefix sorts before its extensions.
-func lessDecisions(a, b []bool) bool {
+// newCanonCut returns the canonical-truncation tracker for this run, or nil
+// when the run is not canonically capped.
+func (e *Engine) newCanonCut() *canonCut {
+	if e.CanonicalCut && e.MaxPaths > 0 {
+		return newCanonCut(e.MaxPaths)
+	}
+	return nil
+}
+
+// rootItem is the initial work item: the tree root, or the subtree root
+// when the engine is seeded with a decision prefix.
+func (e *Engine) rootItem() *workItem {
+	return &workItem{decisions: append([]bool(nil), e.Prefix...), site: -1}
+}
+
+// applyCanonCut moves a canonically truncated run's kept set into the
+// result. A truncated cut rebuilds coverage from the kept paths alone:
+// which other attempts executed before pruning kicked in is
+// schedule-dependent, and canonical truncation promises a result that is a
+// pure function of the execution tree.
+func (e *Engine) applyCanonCut(cut *canonCut, res *Result) {
+	if cut == nil {
+		return
+	}
+	kept, truncated := cut.paths()
+	res.Paths = kept
+	if !truncated {
+		return
+	}
+	res.PathsTruncated = true
+	if e.CovMap != nil {
+		res.Cov = e.CovMap.NewSet()
+		for _, p := range kept {
+			res.Cov.Merge(p.Cov)
+		}
+	}
+}
+
+// LessDecisions reports whether decision vector a sorts before b in
+// canonical order: lexicographic with false < true, a proper prefix before
+// its extensions. This is the order path IDs are assigned in, the order
+// distributed shard results are merged in, and the order canonical MaxPaths
+// truncation cuts at. It is subtree-monotone: all descendants of a prefix
+// sort after it, and they compare to vectors outside the subtree exactly as
+// the prefix itself does.
+func LessDecisions(a, b []bool) bool {
 	n := len(a)
 	if len(b) < n {
 		n = len(b)
@@ -507,7 +605,7 @@ func lessDecisions(a, b []bool) bool {
 // assigns IDs, making results independent of exploration order.
 func canonicalizePaths(paths []*Path) {
 	sort.Slice(paths, func(i, j int) bool {
-		return lessDecisions(paths[i].Decisions, paths[j].Decisions)
+		return LessDecisions(paths[i].Decisions, paths[j].Decisions)
 	})
 	for i, p := range paths {
 		p.ID = i

@@ -1,6 +1,7 @@
 package soft
 
 import (
+	"io"
 	"time"
 
 	"github.com/soft-testing/soft/internal/symexec"
@@ -23,6 +24,13 @@ type config struct {
 	progress      func(Event)
 	clauseSharing bool
 	sharedCache   bool
+
+	canonicalCut    bool
+	canonicalCutSet bool
+	shardDepth      int
+	leaseTimeout    time.Duration
+	log             io.Writer
+	workerName      string
 }
 
 func newConfig(opts []Option) *config {
@@ -31,6 +39,16 @@ func newConfig(opts []Option) *config {
 		o(cfg)
 	}
 	return cfg
+}
+
+// canonicalCutOr resolves the tri-state canonical-cut option: explicit
+// choices win, otherwise the caller's default applies (false for in-process
+// Explore, true for distributed Serve).
+func (c *config) canonicalCutOr(def bool) bool {
+	if c.canonicalCutSet {
+		return c.canonicalCut
+	}
+	return def
 }
 
 // WithWorkers sets the number of parallel workers: exploration workers for
@@ -86,6 +104,41 @@ func WithClauseSharing(on bool) Option { return func(c *config) { c.clauseSharin
 // at the cost of re-solving overlapping queries per worker. The report is
 // identical either way.
 func WithSharedCache(on bool) Option { return func(c *config) { c.sharedCache = on } }
+
+// WithCanonicalCut controls how a MaxPaths cap truncates exploration. On,
+// the run keeps the MaxPaths canonically smallest paths (lexicographic
+// decision-prefix order) instead of the first MaxPaths that happened to
+// complete, making truncated results byte-identical across worker counts
+// and distributed layouts — at the cost of exploring somewhat past the cap
+// before the cut converges. Defaults: off for Explore/ExploreHandler
+// (preserving the cheap first-N behavior), on for Serve (a distributed
+// truncation must not depend on which worker finished first).
+func WithCanonicalCut(on bool) Option {
+	return func(c *config) { c.canonicalCut = on; c.canonicalCutSet = true }
+}
+
+// WithShardDepth tunes how the distributed coordinator splits the frontier
+// (Serve only): forks deeper than this many decisions become worker shards,
+// shallower prefixes the coordinator explores itself during the split.
+// 0 means the dist default.
+func WithShardDepth(d int) Option { return func(c *config) { c.shardDepth = d } }
+
+// WithLeaseTimeout bounds how long a distributed shard may stay leased to
+// one worker before the coordinator re-offers it to another (Serve only).
+// Re-leasing never affects results — the first completion wins, and
+// determinism makes duplicates byte-identical. 0 means the dist default;
+// negative disables timeout re-leasing (disconnects still re-lease).
+func WithLeaseTimeout(d time.Duration) Option {
+	return func(c *config) { c.leaseTimeout = d }
+}
+
+// WithLog streams distributed lifecycle lines (worker connects, lease
+// grants, re-leases, shard completions) from Serve and Work to w.
+func WithLog(w io.Writer) Option { return func(c *config) { c.log = w } }
+
+// WithWorkerName labels a Work process in coordinator logs (default
+// "hostname/pid").
+func WithWorkerName(name string) Option { return func(c *config) { c.workerName = name } }
 
 // WithProgress streams progress events from long runs to fn. The callback
 // may be invoked concurrently when the run uses multiple workers, and must

@@ -183,6 +183,7 @@ func Explore(ctx context.Context, a Agent, t Test, opts ...Option) (*Result, err
 		Solver:        cfg.solver,
 		Workers:       cfg.workers,
 		ClauseSharing: cfg.clauseSharing,
+		CanonicalCut:  cfg.canonicalCutOr(false),
 	}
 	agent, test := a.Name(), t.Name
 	if cfg.progress != nil {
@@ -223,6 +224,7 @@ func ExploreHandler(ctx context.Context, h Handler, opts ...Option) (*HandlerRes
 		WantModels:    cfg.models,
 		Workers:       cfg.workers,
 		ClauseSharing: cfg.clauseSharing,
+		CanonicalCut:  cfg.canonicalCutOr(false),
 	}
 	if cfg.progress != nil {
 		progress := cfg.progress
