@@ -6,7 +6,12 @@
 #   make race          race-detector pass over the concurrency-sensitive packages
 #   make e2e-dist      multi-process distributed exploration e2e (coordinator +
 #                      2 workers + worker kill, byte-identity vs -workers 4)
+#   make e2e-matrix    multi-process campaign e2e (2×2 matrix on a 2-worker
+#                      fleet, worker kill mid-campaign, byte-identity vs a
+#                      fleetless run, warm store re-run)
 #   make dist-demo     run a coordinator and two workers locally for a quick look
+#   make bench-matrix  campaign throughput metrics: cold + warm 2×2 campaign,
+#                      writes BENCH_matrix.json (cells/sec, cache-hit rate)
 #   make bench         the paper's evaluation benches + parallel scaling benches
 #   make bench-solver  solver-stack scaling benches (parallel explore, clause
 #                      sharing, sharded-cache crosscheck) — run on multicore
@@ -16,7 +21,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race e2e-dist dist-demo bench bench-solver bench-smoke check
+.PHONY: build vet test race e2e-dist e2e-matrix dist-demo bench bench-matrix bench-solver bench-smoke check
 
 build:
 	$(GO) build ./...
@@ -28,10 +33,30 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/sat/ ./internal/bitblast/ ./internal/symexec/ ./internal/harness/ ./internal/solver/ ./internal/crosscheck/ ./internal/dist/ .
+	$(GO) test -race ./internal/sat/ ./internal/bitblast/ ./internal/symexec/ ./internal/harness/ ./internal/solver/ ./internal/crosscheck/ ./internal/dist/ ./internal/sched/ .
 
 e2e-dist:
 	$(GO) test -run TestDistE2E -v ./cmd/soft/
+
+e2e-matrix:
+	$(GO) test -run TestMatrixE2E -v ./cmd/soft/
+
+# Campaign throughput trajectory: run the same small campaign cold (store
+# empty) then warm (all cells cached); the warm pass writes BENCH_matrix.json
+# with cells/sec and the cache-hit rate. Timings are only meaningful on
+# quiet multicore hardware, but the JSON schema is what perf tracking keys
+# on.
+bench-matrix:
+	$(GO) build -o /tmp/soft-bench-matrix-bin ./cmd/soft
+	@store=$$(mktemp -d /tmp/soft-bench-matrix.XXXXXX); \
+	/tmp/soft-bench-matrix-bin matrix -agents ref,modified \
+		-tests "Packet Out,Stats Request" -store $$store \
+		-code-version bench >/dev/null && \
+	/tmp/soft-bench-matrix-bin matrix -agents ref,modified \
+		-tests "Packet Out,Stats Request" -store $$store \
+		-code-version bench -bench-json BENCH_matrix.json >/dev/null; \
+	status=$$?; rm -rf $$store; exit $$status
+	@cat BENCH_matrix.json
 
 # A 10-second look at distributed exploration on one machine: coordinator on
 # an ephemeral-ish port, two workers, result on stdout-adjacent files under

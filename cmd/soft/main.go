@@ -4,8 +4,9 @@
 // conventions:
 //
 //	soft explore     run phase 1 for one agent and one test
+//	soft matrix      run a whole (agents × tests) campaign on one fleet
 //	soft serve       coordinate a distributed phase-1 run across workers
-//	soft work        explore shard leases for a serve coordinator
+//	soft work        explore shard leases for a coordinator fleet
 //	soft group       group a results file by output behavior
 //	soft diff        crosscheck two results files (phase 2)
 //	soft report      reproduce the paper's evaluation tables and figures
@@ -41,6 +42,7 @@ type command struct {
 func commands() []*command {
 	return []*command{
 		exploreCmd(),
+		matrixCmd(),
 		serveCmd(),
 		workCmd(),
 		groupCmd(),

@@ -1,0 +1,294 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/soft-testing/soft"
+)
+
+func matrixCmd() *command {
+	return &command{
+		name:     "matrix",
+		synopsis: "run a campaign: explore every (agent, test) cell, crosscheck every agent pair",
+		run:      runMatrix,
+	}
+}
+
+// splitList parses a comma-separated flag value, trimming whitespace and
+// dropping empties. An empty value means "all".
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// parseShardDepth understands the -shard-depth flag's three forms: "" (the
+// dist default), "auto" (adaptive balancing), or an integer depth.
+func parseShardDepth(s string) (depth int, adaptive bool, err error) {
+	switch s {
+	case "", "0":
+		return 0, false, nil
+	case "auto":
+		return 0, true, nil
+	}
+	d, err := strconv.Atoi(s)
+	if err != nil || d < 0 {
+		return 0, false, fmt.Errorf("invalid -shard-depth %q (want an integer or \"auto\")", s)
+	}
+	return d, false, nil
+}
+
+func runMatrix(e *env, args []string) error {
+	fs := newFlags(e, "matrix")
+	agentsFlag := fs.String("agents", "", "comma-separated agent names (default: all registered; see 'soft agents')")
+	testsFlag := fs.String("tests", "", "comma-separated Table 1 test names (default: the whole suite; see 'soft tests')")
+	addr := fs.String("addr", "", "listen for a soft-work fleet on this TCP address (use :0 for an ephemeral port); empty explores in-process")
+	workers := fs.Int("workers", 0, "in-process parallelism: exploration workers per cell (fleetless) and crosscheck solver workers (0 = GOMAXPROCS)")
+	maxPaths := fs.Int("max-paths", 0, "cap on explored paths per cell (0 = default); campaign truncation is canonical")
+	models := fs.Bool("models", true, "extract a concrete input example per path")
+	clauseSharing := fs.Bool("clause-sharing", false, "enable learned-clause sharing inside each cell's exploration")
+	storeDir := fs.String("store", "", "result-store directory: cache cell results and groupings, skip unchanged cells on re-runs")
+	codeVersion := fs.String("code-version", "", "override the cache key's code version (default: the binary's VCS build stamp)")
+	shardDepth := fs.String("shard-depth", "", "fleet frontier split depth: an integer, or \"auto\" for progress-driven balancing")
+	leaseTimeout := fs.Duration("lease-timeout", 0, "re-offer a fleet shard not completed in this long (0 = default, negative = never)")
+	crossCheck := fs.Bool("crosscheck", true, "run phase 2 over every agent pair per test (false: explore and cache cells only)")
+	budget := fs.Duration("budget", 0, "time budget per pair check (0 = unlimited; a budget can make checks partial and reports non-reproducible)")
+	resultsDir := fs.String("results-dir", "", "also write each cell's results file into this directory")
+	out := fs.String("o", "", "write the canonical campaign report to this file (byte-identical across reruns)")
+	benchJSON := fs.String("bench-json", "", "write campaign throughput metrics (cells/sec, cache-hit rate) as JSON to this file")
+	timeout := fs.Duration("timeout", 0, "wall-clock limit; on expiry the campaign aborts")
+	progress := fs.Bool("progress", false, "report fleet lifecycle and cell/check progress on stderr")
+	verbose := fs.Bool("v", false, "report cache, fleet, and solver statistics on stderr")
+	if err := parse(fs, args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return usagef("unexpected arguments %q", fs.Args())
+	}
+
+	agents := splitList(*agentsFlag)
+	tests := splitList(*testsFlag)
+	// Validate names up front so mistakes are usage errors (exit 2), as in
+	// every other subcommand.
+	for _, a := range agents {
+		if _, err := soft.AgentByName(a); err != nil {
+			return usageError{err}
+		}
+	}
+	for _, t := range tests {
+		if _, ok := soft.TestByName(t); !ok {
+			return usagef("unknown test %q (run 'soft tests')", t)
+		}
+	}
+	depth, adaptive, err := parseShardDepth(*shardDepth)
+	if err != nil {
+		return usageError{err}
+	}
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	opts := []soft.Option{
+		soft.WithWorkers(*workers),
+		soft.WithMaxPaths(*maxPaths),
+		soft.WithModels(*models),
+		soft.WithClauseSharing(*clauseSharing),
+		soft.WithShardDepth(depth),
+		soft.WithAdaptiveShards(adaptive),
+		soft.WithLeaseTimeout(*leaseTimeout),
+		soft.WithCrossCheck(*crossCheck),
+		soft.WithBudget(*budget),
+	}
+	if *storeDir != "" {
+		opts = append(opts, soft.WithStore(*storeDir))
+	}
+	if *codeVersion != "" {
+		opts = append(opts, soft.WithCodeVersion(*codeVersion))
+	}
+	if *addr != "" {
+		ln, err := net.Listen("tcp", *addr)
+		if err != nil {
+			return err
+		}
+		// The chosen address goes out before any worker could need it —
+		// e2e harnesses and humans alike parse this line to start workers.
+		fmt.Fprintf(e.stderr, "soft matrix: listening on %s\n", ln.Addr())
+		opts = append(opts, soft.WithFleetListener(ln))
+	}
+	if *progress {
+		opts = append(opts, soft.WithLog(e.stderr))
+		var mu sync.Mutex
+		var last time.Time
+		opts = append(opts, soft.WithProgress(func(ev soft.Event) {
+			mu.Lock()
+			defer mu.Unlock()
+			if ev.Done < ev.Total && time.Since(last) < 250*time.Millisecond {
+				return
+			}
+			last = time.Now()
+			fmt.Fprintf(e.stderr, "soft matrix: %d/%d work units...\n", ev.Done, ev.Total)
+		}))
+	}
+
+	start := time.Now()
+	rep, err := soft.RunMatrix(ctx, agents, tests, opts...)
+	if err != nil {
+		return err
+	}
+
+	// Human-readable summary: deterministic content plus run annotations
+	// (cache markers) that describe this run, not the result.
+	fmt.Fprintf(e.stdout, "matrix %s × %s: %d cells (%d explored, %d cached)\n",
+		strings.Join(rep.Agents, ","), strings.Join(rep.Tests, ","),
+		len(rep.Cells), rep.CacheMisses, rep.CacheHits)
+	for i := range rep.Cells {
+		c := &rep.Cells[i]
+		mark := ""
+		if c.CacheHit {
+			mark = " [cached]"
+		}
+		if c.Result.Truncated {
+			mark += " [truncated]"
+		}
+		fmt.Fprintf(e.stdout, "cell %s / %s: %d paths (coverage %.1f%% instr, %.1f%% branch)%s\n",
+			c.Agent, c.Test, len(c.Result.Paths), c.Result.InstrPct, c.Result.BranchPct, mark)
+	}
+	for i := range rep.Checks {
+		c := &rep.Checks[i]
+		partial := ""
+		if c.Report.Partial {
+			partial = " (partial)"
+		}
+		fmt.Fprintf(e.stdout, "check %s: %s vs %s: %d inconsistencies, ~%d root causes (%d×%d groups, %d queries)%s\n",
+			c.Test, c.AgentA, c.AgentB, len(c.Report.Inconsistencies), c.Report.RootCauses(),
+			c.GroupsA, c.GroupsB, c.Report.Queries, partial)
+	}
+	if *verbose {
+		fmt.Fprintf(e.stderr, "soft matrix: result store: %d hits, %d misses; grouping cache: %d hits, %d misses\n",
+			rep.CacheHits, rep.CacheMisses, rep.GroupCacheHits, rep.GroupCacheMisses)
+		if fsStats := rep.FleetStats; fsStats != nil {
+			fmt.Fprintf(e.stderr, "soft matrix: fleet: %d workers (%d rejected), %d jobs, %d leases (%d batched, %d shards), %d re-queues, %d expirations, %d splits (+%d shards), %d stale results\n",
+				fsStats.WorkersJoined, fsStats.WorkersRejected, fsStats.JobsCompleted,
+				fsStats.Leases, fsStats.BatchedLeases, fsStats.ShardsLeased,
+				fsStats.Requeues, fsStats.Expirations, fsStats.Splits, fsStats.SplitShards,
+				fsStats.StaleResults)
+		}
+		fmt.Fprintf(e.stderr, "soft matrix: %s\n", describeStats(rep.SolverStats, rep.BranchQueries))
+		fmt.Fprintf(e.stderr, "soft matrix: campaign completed in %s\n", rep.Elapsed.Round(time.Millisecond))
+	}
+
+	if *resultsDir != "" {
+		if err := os.MkdirAll(*resultsDir, 0o755); err != nil {
+			return err
+		}
+		for i := range rep.Cells {
+			c := &rep.Cells[i]
+			path := filepath.Join(*resultsDir, cellFileName(c.Agent, c.Test))
+			if err := writeResultFile(path, c); err != nil {
+				return err
+			}
+		}
+	}
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		if err := rep.Write(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if *benchJSON != "" {
+		if err := writeBenchJSON(*benchJSON, rep, time.Since(start)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// cellFileName renders a filesystem-safe per-cell results file name.
+func cellFileName(agent, test string) string {
+	clean := func(s string) string {
+		return strings.Map(func(r rune) rune {
+			switch {
+			case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+				return r
+			default:
+				return '_'
+			}
+		}, s)
+	}
+	return clean(agent) + "--" + clean(test) + ".results"
+}
+
+func writeResultFile(path string, c *soft.MatrixCell) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := c.Result.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// benchMetrics is the BENCH_matrix.json schema: the campaign throughput
+// numbers tracked across PRs.
+type benchMetrics struct {
+	Cells        int     `json:"cells"`
+	Explored     int     `json:"explored"`
+	Cached       int     `json:"cached"`
+	Checks       int     `json:"checks"`
+	Paths        int     `json:"paths"`
+	ElapsedSec   float64 `json:"elapsed_sec"`
+	CellsPerSec  float64 `json:"cells_per_sec"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
+}
+
+func writeBenchJSON(path string, rep *soft.MatrixReport, elapsed time.Duration) error {
+	paths := 0
+	for i := range rep.Cells {
+		paths += len(rep.Cells[i].Result.Paths)
+	}
+	m := benchMetrics{
+		Cells:      len(rep.Cells),
+		Explored:   rep.CacheMisses,
+		Cached:     rep.CacheHits,
+		Checks:     len(rep.Checks),
+		Paths:      paths,
+		ElapsedSec: elapsed.Seconds(),
+	}
+	if s := elapsed.Seconds(); s > 0 {
+		m.CellsPerSec = float64(len(rep.Cells)) / s
+	}
+	if len(rep.Cells) > 0 {
+		m.CacheHitRate = float64(rep.CacheHits) / float64(len(rep.Cells))
+	}
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

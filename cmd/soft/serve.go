@@ -27,7 +27,7 @@ func runServe(e *env, args []string) error {
 	out := fs.String("o", "", "output file (default stdout)")
 	maxPaths := fs.Int("max-paths", 0, "cap on explored paths (0 = default); distributed truncation is canonical")
 	models := fs.Bool("models", true, "extract a concrete input example per path")
-	shardDepth := fs.Int("shard-depth", 0, "frontier split depth: forks deeper than this become worker shards (0 = default)")
+	shardDepth := fs.String("shard-depth", "", "frontier split depth: an integer (forks deeper than this become worker shards), or \"auto\" for progress-driven balancing")
 	leaseTimeout := fs.Duration("lease-timeout", 0, "re-offer a shard not completed in this long (0 = default, negative = never)")
 	canonicalCut := fs.Bool("canonical-cut", true, "keep the canonically smallest max-paths paths instead of the first to complete")
 	timeout := fs.Duration("timeout", 0, "wall-clock limit; on expiry the run aborts (distributed partial results are not deterministic)")
@@ -49,6 +49,10 @@ func runServe(e *env, args []string) error {
 	if _, ok := soft.TestByName(*testName); !ok {
 		return usagef("unknown test %q (run 'soft tests')", *testName)
 	}
+	depth, adaptive, err := parseShardDepth(*shardDepth)
+	if err != nil {
+		return usageError{err}
+	}
 
 	ctx := context.Background()
 	if *timeout > 0 {
@@ -69,7 +73,8 @@ func runServe(e *env, args []string) error {
 	opts := []soft.Option{
 		soft.WithMaxPaths(*maxPaths),
 		soft.WithModels(*models),
-		soft.WithShardDepth(*shardDepth),
+		soft.WithShardDepth(depth),
+		soft.WithAdaptiveShards(adaptive),
 		soft.WithLeaseTimeout(*leaseTimeout),
 		soft.WithCanonicalCut(*canonicalCut),
 	}
@@ -87,6 +92,9 @@ func runServe(e *env, args []string) error {
 			fmt.Fprintf(e.stderr, "soft serve: %d paths...\n", ev.Done)
 		}))
 	}
+	// Version-mismatched workers never surface here: the coordinator
+	// refuses them with a reject frame and keeps serving (the worker side
+	// is what exits 2 — see runWork).
 	res, err := soft.ServeListener(ctx, ln, *agentName, *testName, opts...)
 	if err != nil {
 		return err

@@ -2,6 +2,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"github.com/soft-testing/soft"
@@ -43,6 +44,12 @@ func runWork(e *env, args []string) error {
 		opts = append(opts, soft.WithLog(e.stderr))
 	}
 	if err := soft.Work(ctx, *addr, opts...); err != nil {
+		if errors.Is(err, soft.ErrProtocolMismatch) {
+			// A version mismatch is a deployment problem, not a runtime
+			// failure: report it as a usage-level error (exit 2) instead of
+			// surfacing a raw decode error.
+			return usageError{err}
+		}
 		return err
 	}
 	fmt.Fprintln(e.stderr, "soft work: run complete")

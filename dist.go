@@ -35,8 +35,12 @@ type DistResult = harness.MergedResult
 //
 // Serve blocks until the run completes. Options: WithMaxPaths,
 // WithMaxDepth, WithModels, WithClauseSharing (forwarded to workers),
-// WithShardDepth, WithLeaseTimeout, WithCanonicalCut, WithProgress,
-// WithLog.
+// WithShardDepth, WithAdaptiveShards (progress-driven shard balancing),
+// WithLeaseTimeout, WithCanonicalCut, WithProgress, WithLog.
+//
+// Serve runs exactly one (agent, test) job and then shuts its fleet down;
+// campaigns that drain a whole matrix over one persistent fleet use
+// RunMatrix with WithFleetListener.
 func Serve(ctx context.Context, addr, agent, test string, opts ...Option) (*DistResult, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -60,6 +64,7 @@ func ServeListener(ctx context.Context, ln net.Listener, agent, test string, opt
 		ClauseSharing:  cfg.clauseSharing,
 		NoCanonicalCut: !cfg.canonicalCutOr(true),
 		ShardDepth:     cfg.shardDepth,
+		AdaptiveShards: cfg.adaptiveShards,
 		LeaseTimeout:   cfg.leaseTimeout,
 		Log:            cfg.log,
 	}

@@ -2,21 +2,19 @@ package dist
 
 import (
 	"context"
-	"fmt"
 	"io"
 	"net"
-	"sync"
 	"time"
 
-	"github.com/soft-testing/soft/internal/agents"
 	"github.com/soft-testing/soft/internal/harness"
 )
 
-// DefaultShardDepth bounds the frontier split: forks whose decision vector
-// is longer than this become shards for workers; shallower prefixes the
-// coordinator explores itself while splitting. Depth 2 keeps the
+// DefaultShardDepth bounds the initial frontier split: forks whose decision
+// vector is longer than this become shards for workers; shallower prefixes
+// the coordinator explores itself while splitting. Depth 2 keeps the
 // coordinator's share of the tree tiny while producing enough subtrees to
-// feed several workers.
+// feed several workers; adaptive balancing (JobConfig.Adaptive) subdivides
+// further where the tree turns out to be deep.
 const DefaultShardDepth = 2
 
 // DefaultLeaseTimeout is how long a shard may stay leased without
@@ -25,7 +23,7 @@ const DefaultShardDepth = 2
 // so the default only trades duplicated work against stall detection.
 const DefaultLeaseTimeout = 2 * time.Minute
 
-// Config parameterizes a coordinator run. AgentName and TestName are
+// Config parameterizes a single-job Serve run. AgentName and TestName are
 // required and name the job by registry key — the form every worker
 // process can resolve locally (an Agent value cannot cross a process
 // boundary); zero limits take the harness defaults.
@@ -40,15 +38,21 @@ type Config struct {
 	MaxDepth      int
 	WantModels    bool
 	ClauseSharing bool
-	// NoCanonicalCut opts out of canonical MaxPaths truncation. Distributed
-	// runs default to the canonical cut (the zero value): without it a
-	// truncated run's path selection would depend on which shards finished
-	// first, and the determinism guarantee would hold only for exhaustive
-	// runs.
+	// NoCanonicalCut opts out of canonical MaxPaths truncation (see
+	// JobConfig.NoCanonicalCut).
 	NoCanonicalCut bool
 
-	// ShardDepth bounds the frontier split (default DefaultShardDepth).
+	// ShardDepth bounds the initial frontier split (default
+	// DefaultShardDepth).
 	ShardDepth int
+	// AdaptiveShards enables the progress-driven shard balancer: slow
+	// subtrees are speculatively re-split while workers starve, trivial
+	// ones ride batched leases (see JobConfig.Adaptive). `soft serve
+	// -shard-depth=auto` sets this.
+	AdaptiveShards bool
+	// SplitAfter tunes the adaptive splitter's slowness threshold (default
+	// DefaultSplitAfter).
+	SplitAfter time.Duration
 	// LeaseTimeout re-offers a shard that has not completed in this long
 	// (default DefaultLeaseTimeout; negative disables re-leasing on
 	// timeout — disconnects still re-lease).
@@ -68,429 +72,35 @@ type Config struct {
 	Log io.Writer
 }
 
-// shardStatus tracks one shard through the lease state machine.
-type shardStatus int
-
-const (
-	shardPending shardStatus = iota
-	shardLeased
-	shardDone
-)
-
-type shard struct {
-	id       uint64
-	prefix   []bool
-	status   shardStatus
-	leasedTo net.Conn  // connection holding the current lease
-	deadline time.Time // lease expiry (zero when LeaseTimeout disabled)
-	result   *harness.Shard
-	done     int // live progress (completed paths reported by the worker)
-}
-
-// coordinator is the shared state of one Serve run.
-type coordinator struct {
-	cfg     Config
-	agent   agents.Agent
-	test    harness.Test
-	mu      sync.Mutex
-	cond    *sync.Cond
-	shards  []*shard
-	doneN   int
-	failure error // ctx cancellation; wakes and stops every handler
-	conns   map[net.Conn]bool
-	wg      sync.WaitGroup
-	logMu   sync.Mutex
-
-	localPaths int // paths the coordinator completed during the split
-	progressHi int // high-water mark handed to cfg.Progress
-}
-
-func (c *coordinator) logf(format string, args ...any) {
-	if c.cfg.Log == nil {
-		return
-	}
-	c.logMu.Lock()
-	defer c.logMu.Unlock()
-	fmt.Fprintf(c.cfg.Log, "dist: "+format+"\n", args...)
-}
-
 // Serve runs a distributed exploration: it splits the frontier, serves
 // shard leases to every worker that connects to ln, and returns the merged
 // result once all shards complete. The result is byte-identical to a
 // single-process exploration with the same configuration. Cancelling ctx
 // aborts the run with ctx's error (a partial distributed run has no
 // deterministic meaning, so nothing is returned).
+//
+// Serve is the single-job form of the fleet: it stands up a Fleet on ln,
+// runs exactly one job, and shuts the fleet down. Campaigns that run many
+// (agent, test) cells over one persistent fleet use NewFleet/Run directly
+// (the sched package drives that path).
 func Serve(ctx context.Context, ln net.Listener, cfg Config) (*harness.MergedResult, error) {
-	// The listener is owned for the duration of the run and closed on every
-	// return path, early errors included (the watch goroutine also closes it
-	// on cancellation; double Close on a net.Listener is harmless).
-	defer ln.Close()
-	agent, err := agents.ByName(cfg.AgentName)
-	if err != nil {
-		return nil, fmt.Errorf("dist: Serve: %w", err)
-	}
-	test, ok := harness.TestByName(cfg.TestName)
-	if !ok {
-		return nil, fmt.Errorf("dist: Serve: unknown test %q", cfg.TestName)
-	}
-	if cfg.MaxPaths == 0 {
-		cfg.MaxPaths = harness.DefaultMaxPaths
-	}
-	if cfg.MaxDepth == 0 {
-		cfg.MaxDepth = harness.DefaultMaxDepth
-	}
-	if cfg.ShardDepth == 0 {
-		cfg.ShardDepth = DefaultShardDepth
-	}
-	if cfg.LeaseTimeout == 0 {
-		cfg.LeaseTimeout = DefaultLeaseTimeout
-	}
-	if cfg.DrainTimeout == 0 {
-		cfg.DrainTimeout = 5 * time.Second
-	}
-	start := time.Now()
-
-	c := &coordinator{cfg: cfg, agent: agent, test: test, conns: make(map[net.Conn]bool)}
-	c.cond = sync.NewCond(&c.mu)
-
-	// Phase 1 of the coordinator: split the frontier. The split run
-	// explores every path reachable through prefixes of length <=
-	// ShardDepth itself and diverts each deeper fork — the root of an
-	// unexplored subtree — into the shard queue.
-	var prefixes [][]bool
-	local := harness.ExploreContext(ctx, agent, test, harness.Options{
-		MaxPaths:      cfg.MaxPaths,
-		MaxDepth:      cfg.MaxDepth,
-		WantModels:    cfg.WantModels,
-		ClauseSharing: cfg.ClauseSharing,
-		CanonicalCut:  !cfg.NoCanonicalCut,
-		ShardDepth:    cfg.ShardDepth,
-		ShardSink:     func(p []bool) { prefixes = append(prefixes, p) },
-		Workers:       1,
+	f := NewFleet(ln, FleetConfig{
+		LeaseTimeout: cfg.LeaseTimeout,
+		DrainTimeout: cfg.DrainTimeout,
+		Log:          cfg.Log,
 	})
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	for i, p := range prefixes {
-		c.shards = append(c.shards, &shard{id: uint64(i), prefix: p})
-	}
-	c.localPaths = len(local.Paths)
-	c.logf("split: %d local paths, %d shards (depth %d)", len(local.Paths), len(c.shards), cfg.ShardDepth)
-	c.reportProgress()
-
-	// Cancellation and lease expiry share a watcher: it wakes blocked
-	// handlers on ctx cancellation and returns timed-out leases to the
-	// pending queue.
-	watchCtx, stopWatch := context.WithCancel(ctx)
-	defer stopWatch()
-	go c.watch(watchCtx, ln)
-
-	// Serve workers until every shard is done.
-	go c.accept(ln)
-
-	c.mu.Lock()
-	for c.doneN < len(c.shards) && c.failure == nil {
-		c.cond.Wait()
-	}
-	err = c.failure
-	c.mu.Unlock()
-	if err != nil {
-		c.closeAll()
-		return nil, err
-	}
-
-	shards := []*harness.Shard{local.Shard()}
-	c.mu.Lock()
-	for _, s := range c.shards {
-		shards = append(shards, s.result)
-	}
-	c.mu.Unlock()
-	merged, err := harness.MergeShards(
-		local.Agent, local.Test, local.MsgCount, c.agent.CovMap(), shards, cfg.MaxPaths)
-	if err != nil {
-		c.closeAll()
-		return nil, err
-	}
-	merged.Elapsed = time.Since(start)
-	c.logf("merged: %d paths from %d shards", len(merged.Paths), len(shards))
-
-	// Graceful drain: handlers waiting for work observe completion and send
-	// shutdown frames. A handler stuck reading from a hung worker cannot —
-	// cut those connections after a grace period.
-	c.cond.Broadcast()
-	drained := make(chan struct{})
-	go func() { c.wg.Wait(); close(drained) }()
-	select {
-	case <-drained:
-	case <-time.After(cfg.DrainTimeout):
-		c.closeAll()
-		<-drained
-	}
-	return merged, nil
-}
-
-// accept admits workers until the listener closes.
-func (c *coordinator) accept(ln net.Listener) {
-	for {
-		conn, err := ln.Accept()
-		if err != nil {
-			return
-		}
-		c.mu.Lock()
-		if c.doneN == len(c.shards) || c.failure != nil {
-			c.mu.Unlock()
-			conn.Close()
-			continue
-		}
-		c.conns[conn] = true
-		c.wg.Add(1)
-		c.mu.Unlock()
-		go c.handle(conn)
-	}
-}
-
-// watch wakes handlers on cancellation and re-offers expired leases.
-func (c *coordinator) watch(ctx context.Context, ln net.Listener) {
-	tick := time.NewTicker(250 * time.Millisecond)
-	defer tick.Stop()
-	for {
-		select {
-		case <-ctx.Done():
-			c.mu.Lock()
-			if c.failure == nil && c.doneN < len(c.shards) {
-				c.failure = ctx.Err()
-			}
-			c.mu.Unlock()
-			c.cond.Broadcast()
-			ln.Close()
-			c.closeAll()
-			return
-		case <-tick.C:
-			if c.cfg.LeaseTimeout < 0 {
-				continue
-			}
-			now := time.Now()
-			c.mu.Lock()
-			requeued := 0
-			for _, s := range c.shards {
-				if s.status == shardLeased && now.After(s.deadline) {
-					s.status = shardPending
-					s.leasedTo = nil
-					s.done = 0
-					requeued++
-				}
-			}
-			c.mu.Unlock()
-			if requeued > 0 {
-				c.logf("re-leased %d expired shard(s)", requeued)
-				c.cond.Broadcast()
-			}
-		}
-	}
-}
-
-func (c *coordinator) closeAll() {
-	c.mu.Lock()
-	for conn := range c.conns {
-		conn.Close()
-	}
-	c.mu.Unlock()
-}
-
-// next blocks until a shard is available for conn, all shards are done
-// (returns ok=false, finished=true), or the run failed (ok=false,
-// finished=false).
-func (c *coordinator) next(conn net.Conn) (s *shard, ok, finished bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	for {
-		if c.failure != nil {
-			return nil, false, false
-		}
-		if c.doneN == len(c.shards) {
-			return nil, false, true
-		}
-		for _, cand := range c.shards {
-			if cand.status == shardPending {
-				cand.status = shardLeased
-				cand.leasedTo = conn
-				cand.done = 0
-				if c.cfg.LeaseTimeout > 0 {
-					cand.deadline = time.Now().Add(c.cfg.LeaseTimeout)
-				}
-				return cand, true, false
-			}
-		}
-		c.cond.Wait()
-	}
-}
-
-// release returns conn's in-flight lease (if conn still holds it) to the
-// pending queue — the disconnect half of crash recovery.
-func (c *coordinator) release(conn net.Conn, s *shard) {
-	c.mu.Lock()
-	requeued := false
-	if s != nil && s.status == shardLeased && s.leasedTo == conn {
-		s.status = shardPending
-		s.leasedTo = nil
-		s.done = 0
-		requeued = true
-	}
-	c.mu.Unlock()
-	if requeued {
-		c.logf("lease %d re-queued (worker lost)", s.id)
-		c.cond.Broadcast()
-	}
-}
-
-// complete records a shard result. First completion wins: duplicates from
-// re-leases are dropped (determinism makes them identical anyway).
-func (c *coordinator) complete(s *shard, res *harness.Shard) {
-	c.mu.Lock()
-	if s.status == shardDone {
-		c.mu.Unlock()
-		return
-	}
-	s.status = shardDone
-	s.result = res
-	s.done = len(res.Paths)
-	c.doneN++
-	c.mu.Unlock()
-	c.logf("shard %d done (%d paths)", s.id, len(res.Paths))
-	c.reportProgress()
-	// Wake everyone: handlers waiting for a lease re-check the queue, and on
-	// the final shard the Serve loop observes completion.
-	c.cond.Broadcast()
-}
-
-// progress records a live per-shard path count and reports the cumulative
-// high-water mark.
-func (c *coordinator) progress(s *shard, done int) {
-	c.mu.Lock()
-	if s.status == shardLeased && done > s.done {
-		s.done = done
-	}
-	c.mu.Unlock()
-	c.reportProgress()
-}
-
-// reportProgress invokes cfg.Progress with the monotone cumulative count.
-func (c *coordinator) reportProgress() {
-	if c.cfg.Progress == nil {
-		return
-	}
-	c.mu.Lock()
-	total := c.localPaths
-	for _, s := range c.shards {
-		total += s.done
-	}
-	if total > c.progressHi {
-		c.progressHi = total
-	}
-	hi := c.progressHi
-	c.mu.Unlock()
-	c.cfg.Progress(hi)
-}
-
-// handle drives one worker connection through the protocol.
-func (c *coordinator) handle(conn net.Conn) {
-	var current *shard
-	defer func() {
-		c.release(conn, current)
-		c.mu.Lock()
-		delete(c.conns, conn)
-		c.mu.Unlock()
-		conn.Close()
-		c.wg.Done()
-	}()
-
-	t, payload, err := readFrame(conn)
-	if err != nil || t != msgHello {
-		c.logf("worker rejected: bad hello (%v)", err)
-		return
-	}
-	h, err := decodeHello(payload)
-	if err != nil || h.version != protocolVersion {
-		c.logf("worker %q rejected: protocol version %d != %d (%v)", h.name, h.version, protocolVersion, err)
-		return
-	}
-	w := welcome{
-		agent:         c.cfg.AgentName,
-		test:          c.cfg.TestName,
-		maxPaths:      c.cfg.MaxPaths,
-		maxDepth:      c.cfg.MaxDepth,
-		models:        c.cfg.WantModels,
-		clauseSharing: c.cfg.ClauseSharing,
-		canonicalCut:  !c.cfg.NoCanonicalCut,
-	}
-	if err := writeFrame(conn, msgWelcome, encodeWelcome(w)); err != nil {
-		return
-	}
-	c.logf("worker %q connected", h.name)
-
-	for {
-		s, ok, finished := c.next(conn)
-		if !ok {
-			if finished {
-				writeFrame(conn, msgShutdown, nil)
-			}
-			return
-		}
-		current = s
-		c.logf("lease %d -> %q (prefix %s)", s.id, h.name, fmtPrefix(s.prefix))
-		if err := writeFrame(conn, msgLease, encodeLease(lease{id: s.id, prefix: s.prefix})); err != nil {
-			return
-		}
-		// Drain progress frames until this lease's result arrives. A result
-		// for a stale lease id (the shard was re-leased and completed
-		// elsewhere while this worker kept running) still frees the worker.
-		for current != nil {
-			t, payload, err := readFrame(conn)
-			if err != nil {
-				return
-			}
-			switch t {
-			case msgProgress:
-				p, err := decodeProgress(payload)
-				if err != nil {
-					c.logf("worker %q: %v", h.name, err)
-					return
-				}
-				if p.lease == s.id {
-					c.progress(s, int(p.done))
-				}
-			case msgResult:
-				r, err := decodeResult(payload, c.agent.CovMap())
-				if err != nil {
-					c.logf("worker %q: dropping shard result: %v", h.name, err)
-					return
-				}
-				if r.lease != s.id {
-					continue // stale result from a pre-re-lease run
-				}
-				c.complete(s, r.shard)
-				current = nil
-			default:
-				c.logf("worker %q: unexpected frame type %d", h.name, t)
-				return
-			}
-		}
-	}
-}
-
-// fmtPrefix renders a decision prefix compactly for logs ("tff", "·" for
-// the root).
-func fmtPrefix(p []bool) string {
-	if len(p) == 0 {
-		return "·"
-	}
-	b := make([]byte, len(p))
-	for i, v := range p {
-		if v {
-			b[i] = 't'
-		} else {
-			b[i] = 'f'
-		}
-	}
-	return string(b)
+	defer f.Close()
+	return f.Run(ctx, JobConfig{
+		AgentName:      cfg.AgentName,
+		TestName:       cfg.TestName,
+		MaxPaths:       cfg.MaxPaths,
+		MaxDepth:       cfg.MaxDepth,
+		WantModels:     cfg.WantModels,
+		ClauseSharing:  cfg.ClauseSharing,
+		NoCanonicalCut: cfg.NoCanonicalCut,
+		ShardDepth:     cfg.ShardDepth,
+		Adaptive:       cfg.AdaptiveShards,
+		SplitAfter:     cfg.SplitAfter,
+		Progress:       cfg.Progress,
+	})
 }

@@ -151,10 +151,13 @@ func flakyWorker(t *testing.T, addr string) {
 	if mt, _, err := readFrame(conn); err != nil || mt != msgWelcome {
 		t.Fatalf("flaky worker welcome: type %d err %v", mt, err)
 	}
+	if mt, _, err := readFrame(conn); err != nil || mt != msgJob {
+		t.Fatalf("flaky worker job: type %d err %v", mt, err)
+	}
 	if mt, _, err := readFrame(conn); err != nil || mt != msgLease {
 		t.Fatalf("flaky worker lease: type %d err %v", mt, err)
 	}
-	// Crash: the shard this lease covered must be re-leased, not lost.
+	// Crash: the shards this lease covered must be re-leased, not lost.
 }
 
 // TestDistributedWorkerCrashReLease kills a worker after it accepted a
@@ -194,6 +197,9 @@ func TestDistributedLeaseTimeout(t *testing.T) {
 	}
 	if mt, _, err := readFrame(conn); err != nil || mt != msgWelcome {
 		t.Fatalf("welcome: type %d err %v", mt, err)
+	}
+	if mt, _, err := readFrame(conn); err != nil || mt != msgJob {
+		t.Fatalf("job: type %d err %v", mt, err)
 	}
 	if mt, _, err := readFrame(conn); err != nil || mt != msgLease {
 		t.Fatalf("lease: type %d err %v", mt, err)

@@ -26,20 +26,27 @@
 // coverage travels as raw bitmaps (agents register their coverage universe
 // deterministically, so indices agree across processes).
 //
-// The conversation is worker-driven pull:
+// The conversation is worker-driven pull. Since protocol version 2 every
+// work-carrying frame is job-scoped, so one worker fleet drains an entire
+// campaign — a whole (agent × test) matrix — without reconnecting between
+// cells:
 //
 //	worker → hello       {version, name}
-//	coord  → welcome     {agent, test, engine options}
-//	coord  → lease       {lease id, decision prefix}     (repeated)
-//	worker → progress    {lease id, paths completed}     (streamed, throttled)
-//	worker → result      {lease id, shard payload}
-//	coord  → shutdown    {}                              (run complete)
+//	coord  → welcome     {}                  (or reject {wanted version})
+//	coord  → job         {job id, agent, test, engine options}   (per job,
+//	                      sent lazily before that job's first lease)
+//	coord  → lease       {job id, lease id, decision prefixes}   (repeated;
+//	                      a lease may batch several small shards)
+//	worker → progress    {job id, lease id, paths completed}     (throttled)
+//	worker → result      {job id, lease id, prefix index, shard payload}
+//	                      (one frame per prefix, sent as each completes)
+//	coord  → shutdown    {}                  (fleet shutting down)
 //
 // A worker that disconnects mid-lease loses nothing: the coordinator
-// returns the shard to the pending queue and another worker re-explores it
-// (lease expiry does the same for hung workers). Duplicate results for a
-// shard are dropped on arrival — first completion wins, and determinism
-// makes the copies identical anyway.
+// returns the leased shards to the pending queue and another worker
+// re-explores them (lease expiry does the same for hung workers).
+// Duplicate results for a shard are dropped on arrival — first completion
+// wins, and determinism makes the copies identical anyway.
 package dist
 
 import (
@@ -58,8 +65,12 @@ import (
 )
 
 // protocolVersion is bumped on any incompatible frame or payload change;
-// the coordinator rejects workers speaking a different version.
-const protocolVersion = 1
+// the coordinator rejects workers speaking a different version (with a
+// reject frame naming the version it wants, so the worker can report the
+// mismatch instead of a raw decode error). Version 2 added job-scoped
+// frames (job/lease/progress/result carry a job id), multi-prefix leases,
+// and the reject frame.
+const protocolVersion = 2
 
 // maxFrame bounds a frame (type byte + payload). It matches the results
 // reader's line buffer: anything bigger is a corrupt or hostile peer.
@@ -70,11 +81,13 @@ type msgType byte
 
 const (
 	msgHello    msgType = 1 // worker → coordinator: version handshake
-	msgWelcome  msgType = 2 // coordinator → worker: job configuration
-	msgLease    msgType = 3 // coordinator → worker: one shard to explore
+	msgWelcome  msgType = 2 // coordinator → worker: handshake accepted
+	msgLease    msgType = 3 // coordinator → worker: a batch of shards to explore
 	msgProgress msgType = 4 // worker → coordinator: paths completed so far
-	msgResult   msgType = 5 // worker → coordinator: completed shard payload
-	msgShutdown msgType = 6 // coordinator → worker: run complete, disconnect
+	msgResult   msgType = 5 // worker → coordinator: completed shard payloads
+	msgShutdown msgType = 6 // coordinator → worker: fleet done, disconnect
+	msgReject   msgType = 7 // coordinator → worker: protocol version mismatch
+	msgJob      msgType = 8 // coordinator → worker: one job's configuration
 )
 
 // writeFrame sends one frame. Callers serialize writes per connection.
@@ -113,8 +126,8 @@ func readFrame(r io.Reader) (msgType, []byte, error) {
 // signed), so payloads stay small and independent of word size.
 type enc struct{ b []byte }
 
-func (e *enc) u64(v uint64)  { e.b = binary.AppendUvarint(e.b, v) }
-func (e *enc) i64(v int64)   { e.b = binary.AppendVarint(e.b, v) }
+func (e *enc) u64(v uint64) { e.b = binary.AppendUvarint(e.b, v) }
+func (e *enc) i64(v int64)  { e.b = binary.AppendVarint(e.b, v) }
 func (e *enc) boolean(v bool) {
 	if v {
 		e.b = append(e.b, 1)
@@ -281,10 +294,30 @@ func decodeHello(p []byte) (hello, error) {
 	return h, d.done()
 }
 
-// welcome is the coordinator's job configuration: which (agent, test) to
-// explore and the engine options every shard must share for the merged
-// result to be canonical.
-type welcome struct {
+// reject tells a worker its protocol version was refused and which version
+// the coordinator speaks, so the worker can report the mismatch precisely.
+type reject struct {
+	want uint64
+}
+
+func encodeReject(r reject) []byte {
+	var e enc
+	e.u64(r.want)
+	return e.b
+}
+
+func decodeReject(p []byte) (reject, error) {
+	d := dec{b: p}
+	r := reject{want: d.u64()}
+	return r, d.done()
+}
+
+// jobMsg announces one job — an (agent, test) cell plus the engine options
+// every shard of that job must share for the merged result to be canonical.
+// It is sent at most once per connection per job, before the job's first
+// lease on that connection.
+type jobMsg struct {
+	id                 uint64
 	agent, test        string
 	maxPaths, maxDepth int
 	models             bool
@@ -292,59 +325,76 @@ type welcome struct {
 	canonicalCut       bool
 }
 
-func encodeWelcome(w welcome) []byte {
+func encodeJob(j jobMsg) []byte {
 	var e enc
-	e.str(w.agent)
-	e.str(w.test)
-	e.i64(int64(w.maxPaths))
-	e.i64(int64(w.maxDepth))
-	e.boolean(w.models)
-	e.boolean(w.clauseSharing)
-	e.boolean(w.canonicalCut)
+	e.u64(j.id)
+	e.str(j.agent)
+	e.str(j.test)
+	e.i64(int64(j.maxPaths))
+	e.i64(int64(j.maxDepth))
+	e.boolean(j.models)
+	e.boolean(j.clauseSharing)
+	e.boolean(j.canonicalCut)
 	return e.b
 }
 
-func decodeWelcome(p []byte) (welcome, error) {
+func decodeJob(p []byte) (jobMsg, error) {
 	d := dec{b: p}
-	w := welcome{
+	j := jobMsg{
+		id:       d.u64(),
 		agent:    d.str(),
 		test:     d.str(),
 		maxPaths: int(d.i64()),
 		maxDepth: int(d.i64()),
 	}
-	w.models = d.boolean()
-	w.clauseSharing = d.boolean()
-	w.canonicalCut = d.boolean()
-	return w, d.done()
+	j.models = d.boolean()
+	j.clauseSharing = d.boolean()
+	j.canonicalCut = d.boolean()
+	return j, d.done()
 }
 
-// lease hands one shard — the subtree below a decision prefix — to a worker.
+// lease hands a batch of shards — the subtrees below the given decision
+// prefixes, all from one job — to a worker. Batching several small shards
+// into one lease is the coordinator's coalescing lever: one round trip and
+// one result frame amortize over trivially small subtrees.
 type lease struct {
-	id     uint64
-	prefix []bool
+	job      uint64
+	id       uint64
+	prefixes [][]bool
 }
 
 func encodeLease(l lease) []byte {
 	var e enc
+	e.u64(l.job)
 	e.u64(l.id)
-	e.bits(l.prefix)
+	e.u64(uint64(len(l.prefixes)))
+	for _, p := range l.prefixes {
+		e.bits(p)
+	}
 	return e.b
 }
 
 func decodeLease(p []byte) (lease, error) {
 	d := dec{b: p}
-	l := lease{id: d.u64(), prefix: d.bits()}
+	l := lease{job: d.u64(), id: d.u64()}
+	n := d.count("prefix", 1)
+	for i := 0; i < n && d.err == nil; i++ {
+		l.prefixes = append(l.prefixes, d.bits())
+	}
 	return l, d.done()
 }
 
-// progressMsg streams a shard's completed-path count while it runs.
+// progressMsg streams a lease's completed-path count while it runs (summed
+// across the lease's prefixes).
 type progressMsg struct {
+	job   uint64
 	lease uint64
 	done  uint64
 }
 
 func encodeProgress(p progressMsg) []byte {
 	var e enc
+	e.u64(p.job)
 	e.u64(p.lease)
 	e.u64(p.done)
 	return e.b
@@ -352,7 +402,7 @@ func encodeProgress(p progressMsg) []byte {
 
 func decodeProgress(p []byte) (progressMsg, error) {
 	d := dec{b: p}
-	m := progressMsg{lease: d.u64(), done: d.u64()}
+	m := progressMsg{job: d.u64(), lease: d.u64(), done: d.u64()}
 	return m, d.done()
 }
 
@@ -416,16 +466,29 @@ func (d *dec) cov(m *coverage.Map) *coverage.Set {
 	return s
 }
 
-// resultMsg carries one completed shard back to the coordinator.
+// resultMsg carries one completed shard back to the coordinator: the
+// payload for the lease's index-th prefix. Shipping one shard per frame —
+// as each prefix completes — keeps every frame bounded by a single
+// subtree's size regardless of how many shards a lease batches, and lets
+// the coordinator bank partial batches from a worker that later dies.
 type resultMsg struct {
+	job   uint64
 	lease uint64
+	index uint64
 	shard *harness.Shard
 }
 
 func encodeResult(m resultMsg) []byte {
 	var e enc
+	e.u64(m.job)
 	e.u64(m.lease)
-	sh := m.shard
+	e.u64(m.index)
+	e.shard(m.shard)
+	return e.b
+}
+
+// shard flattens one shard payload into the message.
+func (e *enc) shard(sh *harness.Shard) {
 	e.boolean(sh.Truncated)
 	e.i64(int64(sh.Infeasible))
 	e.i64(int64(sh.DepthTruncated))
@@ -457,15 +520,20 @@ func encodeResult(m resultMsg) []byte {
 		}
 		e.cov(p.Cov)
 	}
-	return e.b
 }
 
-// decodeResult rebuilds a shard payload. covMap is the coordinator's
-// coverage universe for the agent under test (nil drops coverage).
+// decodeResult rebuilds a result payload. covMap is the coordinator's
+// coverage universe for the job's agent (nil drops coverage).
 func decodeResult(payload []byte, covMap *coverage.Map) (resultMsg, error) {
 	d := dec{b: payload}
-	m := resultMsg{lease: d.u64(), shard: &harness.Shard{}}
-	sh := m.shard
+	m := resultMsg{job: d.u64(), lease: d.u64(), index: d.u64()}
+	m.shard = d.shard(covMap)
+	return m, d.done()
+}
+
+// shard rebuilds one shard payload.
+func (d *dec) shard(covMap *coverage.Map) *harness.Shard {
+	sh := &harness.Shard{}
 	sh.Truncated = d.boolean()
 	sh.Infeasible = int(d.i64())
 	sh.DepthTruncated = int(d.i64())
@@ -497,7 +565,7 @@ func decodeResult(payload []byte, covMap *coverage.Map) (resultMsg, error) {
 		p.Cov = d.cov(covMap)
 		sh.Paths = append(sh.Paths, p)
 	}
-	return m, d.done()
+	return sh
 }
 
 // expr decodes one canonical s-expression.
@@ -513,6 +581,12 @@ func (d *dec) expr(what string) *sym.Expr {
 	}
 	return x
 }
+
+// ErrVersionMismatch is returned by Work when the coordinator refuses this
+// binary's protocol version (it received a reject frame). Callers treat it
+// as a usage-level error: the fix is deploying matching binaries, not
+// retrying.
+var ErrVersionMismatch = errors.New("protocol version mismatch")
 
 // errProtocol wraps peer misbehavior so connection handling can distinguish
 // it from plain I/O errors.

@@ -59,35 +59,47 @@ func FuzzReadFrame(f *testing.F) {
 	})
 }
 
-// FuzzLeaseRoundTrip covers the prefix-range payload: lease ids and
-// bit-packed decision prefixes of every length and pattern.
+// FuzzLeaseRoundTrip covers the prefix-batch payload: job and lease ids
+// plus several bit-packed decision prefixes of every length and pattern.
 func FuzzLeaseRoundTrip(f *testing.F) {
-	f.Add(uint64(0), uint8(0), uint64(0))
-	f.Add(uint64(42), uint8(7), uint64(0b1010101))
-	f.Add(^uint64(0), uint8(66), ^uint64(0))
-	f.Fuzz(func(t *testing.T, id uint64, n uint8, pattern uint64) {
-		l := lease{id: id, prefix: bitsFromSeed(n, pattern)}
+	f.Add(uint64(0), uint64(0), uint8(1), uint8(0), uint64(0))
+	f.Add(uint64(3), uint64(42), uint8(4), uint8(7), uint64(0b1010101))
+	f.Add(^uint64(0), ^uint64(0), uint8(17), uint8(66), ^uint64(0))
+	f.Fuzz(func(t *testing.T, job, id uint64, count, n uint8, pattern uint64) {
+		l := lease{job: job, id: id}
+		for i := 0; i < int(count)%9; i++ {
+			l.prefixes = append(l.prefixes, bitsFromSeed(n+uint8(i), pattern^uint64(i)))
+		}
+		if len(l.prefixes) == 0 {
+			l.prefixes = [][]bool{nil}
+		}
 		got, err := decodeLease(encodeLease(l))
 		if err != nil {
 			t.Fatalf("decodeLease of own output: %v", err)
 		}
-		if got.id != l.id || len(got.prefix) != len(l.prefix) {
+		if got.job != l.job || got.id != l.id || len(got.prefixes) != len(l.prefixes) {
 			t.Fatalf("lease mismatch: %+v vs %+v", got, l)
 		}
-		for i := range l.prefix {
-			if got.prefix[i] != l.prefix[i] {
-				t.Fatalf("prefix bit %d flipped", i)
+		for p := range l.prefixes {
+			if len(got.prefixes[p]) != len(l.prefixes[p]) {
+				t.Fatalf("prefix %d length mismatch", p)
+			}
+			for i := range l.prefixes[p] {
+				if got.prefixes[p][i] != l.prefixes[p][i] {
+					t.Fatalf("prefix %d bit %d flipped", p, i)
+				}
 			}
 		}
 	})
 }
 
-// FuzzHelloWelcomeRoundTrip covers the handshake payloads.
-func FuzzHelloWelcomeRoundTrip(f *testing.F) {
-	f.Add(uint64(1), "worker/1", "ref", "Packet Out", int64(100), int64(64), true, false, true)
-	f.Add(uint64(0), "", "", "", int64(0), int64(0), false, false, false)
-	f.Add(^uint64(0), "ünïcödé\nworker", "agent \"q\"", "test\ttab", int64(-5), int64(1<<40), true, true, true)
-	f.Fuzz(func(t *testing.T, version uint64, name, agent, test string, maxPaths, maxDepth int64, models, sharing, cut bool) {
+// FuzzHelloJobRoundTrip covers the handshake and job-announcement payloads
+// (plus the reject frame's version field).
+func FuzzHelloJobRoundTrip(f *testing.F) {
+	f.Add(uint64(1), "worker/1", uint64(0), "ref", "Packet Out", int64(100), int64(64), true, false, true)
+	f.Add(uint64(0), "", uint64(7), "", "", int64(0), int64(0), false, false, false)
+	f.Add(^uint64(0), "ünïcödé\nworker", ^uint64(0), "agent \"q\"", "test\ttab", int64(-5), int64(1<<40), true, true, true)
+	f.Fuzz(func(t *testing.T, version uint64, name string, jobID uint64, agent, test string, maxPaths, maxDepth int64, models, sharing, cut bool) {
 		h, err := decodeHello(encodeHello(hello{version: version, name: name}))
 		if err != nil {
 			t.Fatalf("decodeHello of own output: %v", err)
@@ -95,17 +107,24 @@ func FuzzHelloWelcomeRoundTrip(f *testing.F) {
 		if h.version != version || h.name != name {
 			t.Fatalf("hello mismatch: %+v", h)
 		}
-		w := welcome{
-			agent: agent, test: test,
+		j := jobMsg{
+			id: jobID, agent: agent, test: test,
 			maxPaths: int(maxPaths), maxDepth: int(maxDepth),
 			models: models, clauseSharing: sharing, canonicalCut: cut,
 		}
-		gw, err := decodeWelcome(encodeWelcome(w))
+		gj, err := decodeJob(encodeJob(j))
 		if err != nil {
-			t.Fatalf("decodeWelcome of own output: %v", err)
+			t.Fatalf("decodeJob of own output: %v", err)
 		}
-		if gw != w {
-			t.Fatalf("welcome mismatch: %+v vs %+v", gw, w)
+		if gj != j {
+			t.Fatalf("job mismatch: %+v vs %+v", gj, j)
+		}
+		r, err := decodeReject(encodeReject(reject{want: version}))
+		if err != nil {
+			t.Fatalf("decodeReject of own output: %v", err)
+		}
+		if r.want != version {
+			t.Fatalf("reject version mismatch: %d vs %d", r.want, version)
 		}
 	})
 }
@@ -187,75 +206,87 @@ func buildShard(covMap *coverage.Map, out1, out2 string, crashed bool, bound, mo
 }
 
 // FuzzShardResultRoundTrip is the partial-result payload property: any
-// shard assembled from fuzzer inputs must survive encode → decode with
-// every field intact, including bit-packed decisions and coverage bitmaps.
+// shard batch assembled from fuzzer inputs must survive encode → decode
+// with every field intact, including bit-packed decisions and coverage
+// bitmaps.
 func FuzzShardResultRoundTrip(f *testing.F) {
-	f.Add(uint64(3), "msg:ERROR/BAD_ACTION/4", "pkt-out:port=FLOOD", false, uint64(25), uint64(0xfffd), false, uint64(0x5a), int64(12345))
-	f.Add(uint64(0), "", "", true, uint64(0), uint64(0), true, uint64(0), int64(0))
-	f.Add(^uint64(0), "line1\nline2", "tab\tand\\backslash", true, uint64(1<<40), uint64(7), true, ^uint64(0), int64(-9))
-	f.Fuzz(func(t *testing.T, leaseID uint64, out1, out2 string, crashed bool, bound, modelVal uint64, truncated bool, decisionSeed uint64, stats int64) {
+	f.Add(uint64(1), uint64(3), "msg:ERROR/BAD_ACTION/4", "pkt-out:port=FLOOD", false, uint64(25), uint64(0xfffd), false, uint64(0x5a), int64(12345))
+	f.Add(uint64(0), uint64(0), "", "", true, uint64(0), uint64(0), true, uint64(0), int64(0))
+	f.Add(^uint64(0), ^uint64(0), "line1\nline2", "tab\tand\\backslash", true, uint64(1<<40), uint64(7), true, ^uint64(0), int64(-9))
+	f.Fuzz(func(t *testing.T, jobID, leaseID uint64, out1, out2 string, crashed bool, bound, modelVal uint64, truncated bool, decisionSeed uint64, stats int64) {
 		covMap := fuzzCovMap()
-		want := buildShard(covMap, out1, out2, crashed, bound, modelVal, truncated, decisionSeed, stats)
-		payload := encodeResult(resultMsg{lease: leaseID, shard: want})
-		got, err := decodeResult(payload, covMap)
-		if err != nil {
-			t.Fatalf("decodeResult of own output: %v\npayload: %x", err, payload)
+		// Two frames of one lease exercise the per-prefix framing.
+		wants := []*harness.Shard{
+			buildShard(covMap, out1, out2, crashed, bound, modelVal, truncated, decisionSeed, stats),
+			buildShard(covMap, out2, out1, !crashed, modelVal, bound, !truncated, ^decisionSeed, stats/2),
 		}
-		if got.lease != leaseID {
-			t.Fatalf("lease id %d, want %d", got.lease, leaseID)
-		}
-		gs := got.shard
-		if gs.Truncated != want.Truncated || gs.Infeasible != want.Infeasible ||
-			gs.DepthTruncated != want.DepthTruncated || gs.BranchQueries != want.BranchQueries {
-			t.Fatalf("shard counters mismatch: %+v vs %+v", gs, want)
-		}
-		if gs.Stats != want.Stats {
-			t.Fatalf("stats mismatch: %+v vs %+v", gs.Stats, want.Stats)
-		}
-		if !covEqual(gs.Cov, want.Cov) {
-			t.Fatal("cumulative coverage mismatch")
-		}
-		if len(gs.Paths) != len(want.Paths) {
-			t.Fatalf("path count %d, want %d", len(gs.Paths), len(want.Paths))
-		}
-		for i := range want.Paths {
-			gp, wp := &gs.Paths[i], &want.Paths[i]
-			if gp.Crashed != wp.Crashed || gp.Branches != wp.Branches ||
-				gp.Template != wp.Template || gp.Canonical != wp.Canonical {
-				t.Fatalf("path %d header mismatch: %+v vs %+v", i, gp.SerializedPath, wp.SerializedPath)
+		for i, want := range wants {
+			payload := encodeResult(resultMsg{job: jobID, lease: leaseID, index: uint64(i), shard: want})
+			got, err := decodeResult(payload, covMap)
+			if err != nil {
+				t.Fatalf("decodeResult of own output: %v\npayload: %x", err, payload)
 			}
-			if !sym.Equal(gp.Cond, wp.Cond) {
-				t.Fatalf("path %d condition mismatch: %s vs %s", i, gp.Cond, wp.Cond)
+			if got.job != jobID || got.lease != leaseID || got.index != uint64(i) {
+				t.Fatalf("ids (%d, %d, %d), want (%d, %d, %d)", got.job, got.lease, got.index, jobID, leaseID, i)
 			}
-			if len(gp.Exprs) != len(wp.Exprs) {
-				t.Fatalf("path %d expr count mismatch", i)
-			}
-			for j := range wp.Exprs {
-				if !sym.Equal(gp.Exprs[j], wp.Exprs[j]) {
-					t.Fatalf("path %d expr %d mismatch", i, j)
-				}
-			}
-			if len(gp.Decisions) != len(wp.Decisions) {
-				t.Fatalf("path %d decisions length mismatch", i)
-			}
-			for j := range wp.Decisions {
-				if gp.Decisions[j] != wp.Decisions[j] {
-					t.Fatalf("path %d decision %d flipped", i, j)
-				}
-			}
-			if len(gp.Model) != len(wp.Model) {
-				t.Fatalf("path %d model size mismatch", i)
-			}
-			for k, v := range wp.Model {
-				if gp.Model[k] != v {
-					t.Fatalf("path %d model[%q] = %d, want %d", i, k, gp.Model[k], v)
-				}
-			}
-			if !covEqual(gp.Cov, wp.Cov) {
-				t.Fatalf("path %d coverage mismatch", i)
-			}
+			compareShard(t, got.shard, want)
 		}
 	})
+}
+
+// compareShard asserts two shard payloads are field-for-field identical.
+func compareShard(t *testing.T, gs, want *harness.Shard) {
+	t.Helper()
+	if gs.Truncated != want.Truncated || gs.Infeasible != want.Infeasible ||
+		gs.DepthTruncated != want.DepthTruncated || gs.BranchQueries != want.BranchQueries {
+		t.Fatalf("shard counters mismatch: %+v vs %+v", gs, want)
+	}
+	if gs.Stats != want.Stats {
+		t.Fatalf("stats mismatch: %+v vs %+v", gs.Stats, want.Stats)
+	}
+	if !covEqual(gs.Cov, want.Cov) {
+		t.Fatal("cumulative coverage mismatch")
+	}
+	if len(gs.Paths) != len(want.Paths) {
+		t.Fatalf("path count %d, want %d", len(gs.Paths), len(want.Paths))
+	}
+	for i := range want.Paths {
+		gp, wp := &gs.Paths[i], &want.Paths[i]
+		if gp.Crashed != wp.Crashed || gp.Branches != wp.Branches ||
+			gp.Template != wp.Template || gp.Canonical != wp.Canonical {
+			t.Fatalf("path %d header mismatch: %+v vs %+v", i, gp.SerializedPath, wp.SerializedPath)
+		}
+		if !sym.Equal(gp.Cond, wp.Cond) {
+			t.Fatalf("path %d condition mismatch: %s vs %s", i, gp.Cond, wp.Cond)
+		}
+		if len(gp.Exprs) != len(wp.Exprs) {
+			t.Fatalf("path %d expr count mismatch", i)
+		}
+		for j := range wp.Exprs {
+			if !sym.Equal(gp.Exprs[j], wp.Exprs[j]) {
+				t.Fatalf("path %d expr %d mismatch", i, j)
+			}
+		}
+		if len(gp.Decisions) != len(wp.Decisions) {
+			t.Fatalf("path %d decisions length mismatch", i)
+		}
+		for j := range wp.Decisions {
+			if gp.Decisions[j] != wp.Decisions[j] {
+				t.Fatalf("path %d decision %d flipped", i, j)
+			}
+		}
+		if len(gp.Model) != len(wp.Model) {
+			t.Fatalf("path %d model size mismatch", i)
+		}
+		for k, v := range wp.Model {
+			if gp.Model[k] != v {
+				t.Fatalf("path %d model[%q] = %d, want %d", i, k, gp.Model[k], v)
+			}
+		}
+		if !covEqual(gp.Cov, wp.Cov) {
+			t.Fatalf("path %d coverage mismatch", i)
+		}
+	}
 }
 
 // covEqual compares coverage sets by bitmap.
@@ -284,7 +315,8 @@ func covEqual(a, b *coverage.Set) bool {
 // internally consistent enough to merge.
 func FuzzDecodeResult(f *testing.F) {
 	covMap := fuzzCovMap()
-	good := encodeResult(resultMsg{lease: 1, shard: buildShard(covMap, "a", "b", false, 10, 20, false, 0x33, 77)})
+	good := encodeResult(resultMsg{job: 2, lease: 1, index: 0,
+		shard: buildShard(covMap, "a", "b", false, 10, 20, false, 0x33, 77)})
 	f.Add(good)
 	f.Add([]byte{})
 	f.Add([]byte{0x01})
@@ -302,12 +334,14 @@ func FuzzDecodeResult(f *testing.F) {
 func FuzzDecodeHelloLease(f *testing.F) {
 	f.Add([]byte{})
 	f.Add(encodeHello(hello{version: 1, name: "w"}))
-	f.Add(encodeLease(lease{id: 9, prefix: []bool{true, false, true}}))
+	f.Add(encodeLease(lease{job: 1, id: 9, prefixes: [][]bool{{true, false, true}, {false}}}))
+	f.Add(encodeJob(jobMsg{id: 3, agent: "ref", test: "Packet Out"}))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		decodeHello(data)
 		decodeLease(data)
-		decodeWelcome(data)
+		decodeJob(data)
 		decodeProgress(data)
+		decodeReject(data)
 	})
 }
 

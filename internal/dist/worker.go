@@ -22,18 +22,33 @@ type WorkerConfig struct {
 	// leased subtree is itself explored with the in-process work-stealing
 	// frontier, so a distributed run parallelizes at two levels.
 	Workers int
-	// Log, when set, receives one line per lease.
+	// Log, when set, receives one line per job join and lease.
 	Log io.Writer
 }
 
 // progressInterval throttles streamed progress frames.
 const progressInterval = 100 * time.Millisecond
 
+// workerJob is one job this connection has been told about: the locally
+// resolved agent and test plus the engine options every lease of the job
+// shares.
+type workerJob struct {
+	agent agents.Agent
+	test  harness.Test
+	cfg   jobMsg
+}
+
 // Work connects to a coordinator at addr and explores shard leases until
-// the coordinator shuts the run down (returns nil) or the connection fails.
-// Cancelling ctx closes the connection without shipping a partial shard —
-// partial subtrees must never enter a merge, so the coordinator re-leases
-// the shard instead.
+// the coordinator shuts the fleet down (returns nil) or the connection
+// fails. One connection serves any number of jobs — the coordinator
+// announces each job's (agent, test, options) once and then leases that
+// job's shards freely, so a campaign drains a whole matrix over one
+// persistent fleet. Cancelling ctx closes the connection without shipping
+// a partial shard — partial subtrees must never enter a merge, so the
+// coordinator re-leases the shards instead.
+//
+// If the coordinator speaks a different protocol version the returned
+// error wraps ErrVersionMismatch.
 func Work(ctx context.Context, addr string, cfg WorkerConfig) error {
 	if cfg.Name == "" {
 		host, _ := os.Hostname()
@@ -65,27 +80,24 @@ func Work(ctx context.Context, addr string, cfg WorkerConfig) error {
 	if err != nil {
 		return fmt.Errorf("dist: handshake: %w", err)
 	}
-	if t != msgWelcome {
+	switch t {
+	case msgWelcome:
+	case msgReject:
+		r, err := decodeReject(payload)
+		if err != nil {
+			return err
+		}
+		return fmt.Errorf("dist: %w: coordinator speaks protocol v%d, this binary speaks v%d",
+			ErrVersionMismatch, r.want, protocolVersion)
+	default:
 		return protocolErr(fmt.Errorf("expected welcome, got frame type %d", t))
-	}
-	w, err := decodeWelcome(payload)
-	if err != nil {
-		return err
-	}
-	agent, err := agents.ByName(w.agent)
-	if err != nil {
-		return fmt.Errorf("dist: coordinator job needs unknown agent: %w", err)
-	}
-	test, ok := harness.TestByName(w.test)
-	if !ok {
-		return fmt.Errorf("dist: coordinator job needs unknown test %q", w.test)
 	}
 	logf := func(format string, args ...any) {
 		if cfg.Log != nil {
 			fmt.Fprintf(cfg.Log, "dist: "+format+"\n", args...)
 		}
 	}
-	logf("worker %s: joined %s / %s", cfg.Name, w.agent, w.test)
+	logf("worker %s: connected", cfg.Name)
 
 	// Frame writes interleave streamed progress (from engine worker
 	// goroutines, via the throttler) with results; serialize them.
@@ -96,6 +108,7 @@ func Work(ctx context.Context, addr string, cfg WorkerConfig) error {
 		return writeFrame(conn, t, payload)
 	}
 
+	jobs := make(map[uint64]*workerJob)
 	for {
 		t, payload, err := readFrame(conn)
 		if err != nil {
@@ -106,33 +119,64 @@ func Work(ctx context.Context, addr string, cfg WorkerConfig) error {
 		}
 		switch t {
 		case msgShutdown:
-			logf("worker %s: run complete", cfg.Name)
+			logf("worker %s: fleet shut down", cfg.Name)
 			return nil
+		case msgJob:
+			jm, err := decodeJob(payload)
+			if err != nil {
+				return err
+			}
+			agent, err := agents.ByName(jm.agent)
+			if err != nil {
+				return fmt.Errorf("dist: coordinator job needs unknown agent: %w", err)
+			}
+			test, ok := harness.TestByName(jm.test)
+			if !ok {
+				return fmt.Errorf("dist: coordinator job needs unknown test %q", jm.test)
+			}
+			jobs[jm.id] = &workerJob{agent: agent, test: test, cfg: jm}
+			logf("worker %s: joined job %d (%s / %s)", cfg.Name, jm.id, jm.agent, jm.test)
 		case msgLease:
 			l, err := decodeLease(payload)
 			if err != nil {
 				return err
 			}
+			job, ok := jobs[l.job]
+			if !ok {
+				return protocolErr(fmt.Errorf("lease for unannounced job %d", l.job))
+			}
 			start := time.Now()
-			res := harness.ExploreContext(ctx, agent, test, harness.Options{
-				MaxPaths:      w.maxPaths,
-				MaxDepth:      w.maxDepth,
-				WantModels:    w.models,
-				ClauseSharing: w.clauseSharing,
-				CanonicalCut:  w.canonicalCut,
-				Workers:       cfg.Workers,
-				Prefix:        l.prefix,
-				Progress:      throttledProgress(l.id, send),
-			})
-			if res.Cancelled || ctx.Err() != nil {
-				// Never ship a partial subtree; the coordinator re-leases.
-				return ctx.Err()
+			progress := throttledProgress(l.job, l.id, send)
+			total := 0
+			for i, prefix := range l.prefixes {
+				base := total
+				res := harness.ExploreContext(ctx, job.agent, job.test, harness.Options{
+					MaxPaths:      job.cfg.maxPaths,
+					MaxDepth:      job.cfg.maxDepth,
+					WantModels:    job.cfg.models,
+					ClauseSharing: job.cfg.clauseSharing,
+					CanonicalCut:  job.cfg.canonicalCut,
+					Workers:       cfg.Workers,
+					Prefix:        prefix,
+					Progress:      func(n int) { progress(base + n) },
+				})
+				if res.Cancelled || ctx.Err() != nil {
+					// Never ship a partial subtree; the coordinator re-leases.
+					return ctx.Err()
+				}
+				total += len(res.Paths)
+				// One result frame per prefix, shipped as it completes:
+				// frames stay bounded by a single subtree however many
+				// shards the lease batched, and the coordinator banks the
+				// finished part if this worker dies mid-batch.
+				if err := send(msgResult, encodeResult(resultMsg{
+					job: l.job, lease: l.id, index: uint64(i), shard: res.Shard(),
+				})); err != nil {
+					return fmt.Errorf("dist: send result: %w", err)
+				}
 			}
-			logf("worker %s: lease %d done: %d paths in %s",
-				cfg.Name, l.id, len(res.Paths), time.Since(start).Round(time.Millisecond))
-			if err := send(msgResult, encodeResult(resultMsg{lease: l.id, shard: res.Shard()})); err != nil {
-				return fmt.Errorf("dist: send result: %w", err)
-			}
+			logf("worker %s: lease %d done: %d shard(s), %d paths in %s",
+				cfg.Name, l.id, len(l.prefixes), total, time.Since(start).Round(time.Millisecond))
 		default:
 			return protocolErr(fmt.Errorf("unexpected frame type %d from coordinator", t))
 		}
@@ -143,7 +187,7 @@ func Work(ctx context.Context, addr string, cfg WorkerConfig) error {
 // progress frames, sending at most one per progressInterval. Counts are a
 // monotone high-water mark (engine callbacks may arrive out of order); send
 // errors are ignored — the connection's main loop will see them.
-func throttledProgress(leaseID uint64, send func(msgType, []byte) error) func(int) {
+func throttledProgress(jobID, leaseID uint64, send func(msgType, []byte) error) func(int) {
 	var mu sync.Mutex
 	var last time.Time
 	hi := 0
@@ -160,6 +204,6 @@ func throttledProgress(leaseID uint64, send func(msgType, []byte) error) func(in
 		}
 		last = time.Now()
 		mu.Unlock()
-		send(msgProgress, encodeProgress(progressMsg{lease: leaseID, done: uint64(done)}))
+		send(msgProgress, encodeProgress(progressMsg{job: jobID, lease: leaseID, done: uint64(done)}))
 	}
 }

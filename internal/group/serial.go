@@ -1,0 +1,162 @@
+package group
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"github.com/soft-testing/soft/internal/sym"
+)
+
+// The groups file format persists a grouped phase-1 result — the output of
+// Paths, including the §4.2 BalancedOr disjunctions — so repeated
+// crosschecks over the same results file can skip the grouping phase
+// entirely (the result store caches these, keyed by the source result's
+// content hash). The format follows the results-file conventions:
+// line-oriented text, canonical s-expressions, quoted strings.
+
+// groupsMagic versions the groups file format.
+const groupsMagic = "soft-groups v1"
+
+// Write serializes g. The rendering is canonical: the same grouped result
+// always produces the same bytes (Elapsed, a wall-clock measurement, is
+// not serialized).
+func (r *Result) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, groupsMagic)
+	fmt.Fprintf(bw, "agent %q\n", r.Agent)
+	fmt.Fprintf(bw, "test %q\n", r.Test)
+	fmt.Fprintf(bw, "groups %d\n", len(r.Groups))
+	for i := range r.Groups {
+		g := &r.Groups[i]
+		fmt.Fprintf(bw, "group %d paths=%d crashed=%t\n", i, g.PathCount, g.Crashed)
+		fmt.Fprintf(bw, "canonical %q\n", g.Canonical)
+		fmt.Fprintf(bw, "template %q\n", g.Template)
+		fmt.Fprintf(bw, "cond %s\n", g.Cond.String())
+		fmt.Fprintf(bw, "nexprs %d\n", len(g.Exprs))
+		for _, e := range g.Exprs {
+			fmt.Fprintf(bw, "expr %s\n", e.String())
+		}
+		if len(g.Model) > 0 {
+			names := make([]string, 0, len(g.Model))
+			for n := range g.Model {
+				names = append(names, n)
+			}
+			sort.Strings(names)
+			fmt.Fprint(bw, "model")
+			for _, n := range names {
+				fmt.Fprintf(bw, " %s=%d", n, g.Model[n])
+			}
+			fmt.Fprintln(bw)
+		}
+	}
+	fmt.Fprintln(bw, "end")
+	return bw.Flush()
+}
+
+// Read parses a groups file written by Write. The returned result's
+// Elapsed is zero: a cached grouping costs no grouping time.
+func Read(r io.Reader) (*Result, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 64*1024*1024)
+	line := func() (string, bool) {
+		if !sc.Scan() {
+			return "", false
+		}
+		return sc.Text(), true
+	}
+	l, ok := line()
+	if !ok {
+		return nil, fmt.Errorf("group: not a groups file: empty input, expected %q header", groupsMagic)
+	}
+	if l != groupsMagic {
+		return nil, fmt.Errorf("group: not a groups file: expected %q header, got %q", groupsMagic, l)
+	}
+	out := &Result{}
+	var cur *Group
+	for {
+		l, ok = line()
+		if !ok {
+			return nil, fmt.Errorf("group: truncated groups file")
+		}
+		if l == "end" {
+			return out, nil
+		}
+		field, rest, _ := strings.Cut(l, " ")
+		switch field {
+		case "agent":
+			if _, err := fmt.Sscanf(rest, "%q", &out.Agent); err != nil {
+				return nil, fmt.Errorf("group: bad agent line: %v", err)
+			}
+		case "test":
+			if _, err := fmt.Sscanf(rest, "%q", &out.Test); err != nil {
+				return nil, fmt.Errorf("group: bad test line: %v", err)
+			}
+		case "groups":
+			n, _ := strconv.Atoi(rest)
+			out.Groups = make([]Group, 0, n)
+		case "group":
+			out.Groups = append(out.Groups, Group{})
+			cur = &out.Groups[len(out.Groups)-1]
+			var idx int
+			if _, err := fmt.Sscanf(rest, "%d paths=%d crashed=%t", &idx, &cur.PathCount, &cur.Crashed); err != nil {
+				return nil, fmt.Errorf("group: bad group line: %v", err)
+			}
+		case "canonical":
+			if cur == nil {
+				return nil, fmt.Errorf("group: canonical before group")
+			}
+			if _, err := fmt.Sscanf(rest, "%q", &cur.Canonical); err != nil {
+				return nil, fmt.Errorf("group: bad canonical: %v", err)
+			}
+		case "template":
+			if cur == nil {
+				return nil, fmt.Errorf("group: template before group")
+			}
+			if _, err := fmt.Sscanf(rest, "%q", &cur.Template); err != nil {
+				return nil, fmt.Errorf("group: bad template: %v", err)
+			}
+		case "cond":
+			if cur == nil {
+				return nil, fmt.Errorf("group: cond before group")
+			}
+			e, err := sym.Parse(rest)
+			if err != nil {
+				return nil, fmt.Errorf("group: bad cond: %v", err)
+			}
+			cur.Cond = e
+		case "nexprs":
+			// Count line; the exprs follow.
+		case "expr":
+			if cur == nil {
+				return nil, fmt.Errorf("group: expr before group")
+			}
+			e, err := sym.Parse(rest)
+			if err != nil {
+				return nil, fmt.Errorf("group: bad expr: %v", err)
+			}
+			cur.Exprs = append(cur.Exprs, e)
+		case "model":
+			if cur == nil {
+				return nil, fmt.Errorf("group: model before group")
+			}
+			cur.Model = sym.Assignment{}
+			for _, kv := range strings.Fields(rest) {
+				k, v, ok := strings.Cut(kv, "=")
+				if !ok {
+					return nil, fmt.Errorf("group: bad model entry %q", kv)
+				}
+				x, err := strconv.ParseUint(v, 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("group: bad model value %q", kv)
+				}
+				cur.Model[k] = x
+			}
+		default:
+			return nil, fmt.Errorf("group: unknown field %q", field)
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package sched
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// matrixMagic versions the canonical campaign-report format.
+const matrixMagic = "soft-matrix v1"
+
+// Write renders the campaign report canonically: the same campaign —
+// however its cells were produced (fleet, in-process, store) and whatever
+// the run's timings were — always writes the same bytes. Wall-clock
+// fields, cache-hit flags, and fleet statistics are deliberately excluded;
+// they describe the run, not the result. This is the file `soft matrix -o`
+// writes and what campaign re-runs are compared by.
+func (r *Report) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, matrixMagic)
+	fmt.Fprintf(bw, "agents %d\n", len(r.Agents))
+	for _, a := range r.Agents {
+		fmt.Fprintf(bw, "agent %q\n", a)
+	}
+	fmt.Fprintf(bw, "tests %d\n", len(r.Tests))
+	for _, t := range r.Tests {
+		fmt.Fprintf(bw, "test %q\n", t)
+	}
+	fmt.Fprintf(bw, "cells %d\n", len(r.Cells))
+	for i := range r.Cells {
+		c := &r.Cells[i]
+		fmt.Fprintf(bw, "cell agent=%q test=%q paths=%d truncated=%t result=%s\n",
+			c.Agent, c.Test, len(c.Result.Paths), c.Result.Truncated, c.ResultHash)
+		fmt.Fprintf(bw, "coverage %f %f\n", c.Result.InstrPct, c.Result.BranchPct)
+	}
+	fmt.Fprintf(bw, "checks %d\n", len(r.Checks))
+	for i := range r.Checks {
+		c := &r.Checks[i]
+		fmt.Fprintf(bw, "check test=%q a=%q b=%q groups=%dx%d queries=%d inconsistencies=%d rootcauses=%d partial=%t\n",
+			c.Test, c.AgentA, c.AgentB, c.GroupsA, c.GroupsB,
+			c.Report.Queries, len(c.Report.Inconsistencies), c.Report.RootCauses(), c.Report.Partial)
+		for _, inc := range c.Report.Inconsistencies {
+			fmt.Fprintf(bw, "inc a=%d b=%d acrashed=%t bcrashed=%t\n",
+				inc.AIndex, inc.BIndex, inc.ACrashed, inc.BCrashed)
+			fmt.Fprintf(bw, "acanonical %q\n", inc.ACanonical)
+			fmt.Fprintf(bw, "bcanonical %q\n", inc.BCanonical)
+			// Witness models are canonical (a pure function of the
+			// constraints), so they are part of the deterministic output.
+			names := make([]string, 0, len(inc.Witness))
+			for n := range inc.Witness {
+				names = append(names, n)
+			}
+			sort.Strings(names)
+			fmt.Fprint(bw, "witness")
+			for _, n := range names {
+				fmt.Fprintf(bw, " %s=%d", n, inc.Witness[n])
+			}
+			fmt.Fprintln(bw)
+		}
+	}
+	fmt.Fprintln(bw, "end")
+	return bw.Flush()
+}

@@ -1,0 +1,251 @@
+// Package store implements the campaign result store: a content-addressed
+// on-disk cache of phase-1 exploration results and phase-2 grouping
+// constructions. It is what makes re-running a campaign cheap — the
+// byte-identical determinism of explorations (any worker count, any
+// distributed layout) means a cached result is indistinguishable from a
+// fresh run, so a matrix re-run only explores cells whose inputs changed.
+//
+// Two kinds of entries live in a store directory:
+//
+//   - results/<hash>: one exploration result in the standard results-file
+//     format, keyed by Key.Hash() — a SHA-256 over (agent, test, engine
+//     config, code version). Changing any component (a different MaxPaths,
+//     models on/off, a new binary) misses the cache by construction.
+//     A sidecar <hash>.key file records the human-readable key.
+//
+//   - groups/<hash>: one grouped result (the §4.2 BalancedOr construction)
+//     in the groups-file format, keyed by the *content hash* of the source
+//     result (ResultHash) combined with the code version. Grouping is a
+//     pure function of (result bytes, grouping code), so the cache applies
+//     to any results file — including ones handed over from another
+//     vendor — while a binary whose grouping algorithm changed can never
+//     reuse a stale construction.
+//
+// Writes are atomic (temp file + rename), so concurrent campaign workers
+// and crashed runs can never leave a torn entry; readers verify the magic
+// line through the normal format parsers.
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime/debug"
+	"strings"
+
+	"github.com/soft-testing/soft/internal/group"
+	"github.com/soft-testing/soft/internal/harness"
+)
+
+// Config is the engine-configuration component of a result key: every
+// option that can change exploration output (or how much of it exists).
+type Config struct {
+	MaxPaths      int
+	MaxDepth      int
+	Models        bool
+	ClauseSharing bool
+	CanonicalCut  bool
+}
+
+// Key identifies one cached exploration result.
+type Key struct {
+	Agent string
+	Test  string
+	// CodeVersion pins the code that produced the result: a cached result
+	// is only valid while agent and engine code are unchanged. Use
+	// DefaultCodeVersion for the running binary, or inject an explicit
+	// version (build tag, image digest) in deployments.
+	CodeVersion string
+	Config      Config
+}
+
+// String renders the key canonically — the exact bytes that are hashed.
+func (k Key) String() string {
+	return fmt.Sprintf("agent=%q test=%q code=%q maxpaths=%d maxdepth=%d models=%t clausesharing=%t canonicalcut=%t",
+		k.Agent, k.Test, k.CodeVersion,
+		k.Config.MaxPaths, k.Config.MaxDepth,
+		k.Config.Models, k.Config.ClauseSharing, k.Config.CanonicalCut)
+}
+
+// Hash is the key's content address.
+func (k Key) Hash() string {
+	sum := sha256.Sum256([]byte(k.String()))
+	return hex.EncodeToString(sum[:])
+}
+
+// DefaultCodeVersion derives a code-version string for the running binary
+// from its build info: the VCS revision (plus a +dirty marker for modified
+// trees) when the binary was built from a checkout, else the main module
+// version. Binaries built without VCS stamping (go test, go run) fall back
+// to "unversioned" — such builds still cache consistently within one
+// binary but should pass an explicit version in production.
+func DefaultCodeVersion() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unversioned"
+	}
+	var rev, modified string
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			if s.Value == "true" {
+				modified = "+dirty"
+			}
+		}
+	}
+	if rev != "" {
+		return rev + modified
+	}
+	if v := bi.Main.Version; v != "" && v != "(devel)" {
+		return v
+	}
+	return "unversioned"
+}
+
+// ResultHash is the content address of a serialized result: a SHA-256 over
+// its canonical rendering with the wall-clock Elapsed field zeroed, so two
+// runs of the same exploration hash identically. It keys the grouping
+// cache.
+func ResultHash(r *harness.SerializedResult) (string, error) {
+	clone := *r
+	clone.Elapsed = 0
+	h := sha256.New()
+	if err := clone.Write(h); err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// Store is one on-disk result store. Safe for concurrent use by any number
+// of processes sharing the directory.
+type Store struct {
+	dir string
+}
+
+// Open creates (if needed) and opens a store directory.
+func Open(dir string) (*Store, error) {
+	for _, sub := range []string{"results", "groups"} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+func (s *Store) resultPath(hash string) string {
+	return filepath.Join(s.dir, "results", hash)
+}
+
+// groupsPath derives the groups entry path from the source result's
+// content hash and the code version — exploration output can be identical
+// across binaries whose grouping construction changed, so the content hash
+// alone would reuse stale constructions.
+func (s *Store) groupsPath(resultHash, codeVersion string) string {
+	sum := sha256.Sum256([]byte(resultHash + "|" + codeVersion))
+	return filepath.Join(s.dir, "groups", hex.EncodeToString(sum[:]))
+}
+
+// GetResult looks a key up, returning (nil, false, nil) on a miss. A
+// stored entry that fails to parse is treated as a miss (and the error
+// returned), never as a result.
+func (s *Store) GetResult(k Key) (*harness.SerializedResult, bool, error) {
+	f, err := os.Open(s.resultPath(k.Hash()))
+	if os.IsNotExist(err) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("store: %w", err)
+	}
+	defer f.Close()
+	res, err := harness.ReadResults(f)
+	if err != nil {
+		return nil, false, fmt.Errorf("store: corrupt entry %s: %w", k.Hash(), err)
+	}
+	return res, true, nil
+}
+
+// PutResult stores a result under k, atomically. A concurrent Put of the
+// same key is harmless — determinism makes the contents identical.
+func (s *Store) PutResult(k Key, r *harness.SerializedResult) error {
+	hash := k.Hash()
+	err := s.writeAtomic(s.resultPath(hash), func(f *os.File) error { return r.Write(f) })
+	if err != nil {
+		return err
+	}
+	// The sidecar is debugging metadata; its loss is harmless.
+	os.WriteFile(s.resultPath(hash)+".key", []byte(k.String()+"\n"), 0o644)
+	return nil
+}
+
+// GetGroups looks up a cached grouping by the source result's content
+// hash (see ResultHash) and the code version that would construct it,
+// returning (nil, false, nil) on a miss.
+func (s *Store) GetGroups(resultHash, codeVersion string) (*group.Result, bool, error) {
+	f, err := os.Open(s.groupsPath(resultHash, codeVersion))
+	if os.IsNotExist(err) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("store: %w", err)
+	}
+	defer f.Close()
+	g, err := group.Read(f)
+	if err != nil {
+		return nil, false, fmt.Errorf("store: corrupt groups entry %s: %w", resultHash, err)
+	}
+	return g, true, nil
+}
+
+// PutGroups stores a grouping under (source result content hash, code
+// version).
+func (s *Store) PutGroups(resultHash, codeVersion string, g *group.Result) error {
+	return s.writeAtomic(s.groupsPath(resultHash, codeVersion), func(f *os.File) error { return g.Write(f) })
+}
+
+// writeAtomic writes via a temp file in the same directory and renames
+// into place, so a reader never observes a torn entry.
+func (s *Store) writeAtomic(path string, write func(*os.File) error) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	tmp := f.Name()
+	if err := write(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+// Len counts stored result entries (sidecar key files excluded) — a
+// convenience for tests and `soft matrix -v` reporting.
+func (s *Store) Len() int {
+	entries, err := os.ReadDir(filepath.Join(s.dir, "results"))
+	if err != nil {
+		return 0
+	}
+	n := 0
+	for _, e := range entries {
+		if !e.IsDir() && !strings.HasSuffix(e.Name(), ".key") && !strings.HasPrefix(e.Name(), ".") {
+			n++
+		}
+	}
+	return n
+}

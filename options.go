@@ -2,6 +2,7 @@ package soft
 
 import (
 	"io"
+	"net"
 	"time"
 
 	"github.com/soft-testing/soft/internal/symexec"
@@ -28,9 +29,15 @@ type config struct {
 	canonicalCut    bool
 	canonicalCutSet bool
 	shardDepth      int
+	adaptiveShards  bool
 	leaseTimeout    time.Duration
 	log             io.Writer
 	workerName      string
+
+	storeDir     string
+	codeVersion  string
+	fleetLn      net.Listener
+	noCrossCheck bool
 }
 
 func newConfig(opts []Option) *config {
@@ -118,16 +125,49 @@ func WithCanonicalCut(on bool) Option {
 }
 
 // WithShardDepth tunes how the distributed coordinator splits the frontier
-// (Serve only): forks deeper than this many decisions become worker shards,
-// shallower prefixes the coordinator explores itself during the split.
-// 0 means the dist default.
+// (Serve and RunMatrix): forks deeper than this many decisions become
+// worker shards, shallower prefixes the coordinator explores itself during
+// the split. 0 means the dist default.
 func WithShardDepth(d int) Option { return func(c *config) { c.shardDepth = d } }
 
+// WithAdaptiveShards enables progress-driven shard balancing (Serve and
+// RunMatrix): a leased subtree that reports slow progress while workers
+// starve is speculatively re-split into deeper sub-shards, and trivially
+// small shards ride batched leases. Balancing never changes results —
+// every layout is byte-identical — it only improves how evenly unbalanced
+// execution trees spread over the fleet. `soft serve -shard-depth=auto`
+// sets this.
+func WithAdaptiveShards(on bool) Option { return func(c *config) { c.adaptiveShards = on } }
+
+// WithStore enables the campaign result store (RunMatrix): cell results
+// and grouping constructions are cached content-addressed in this
+// directory, keyed by (agent, test, engine config, code version), so a
+// re-run only explores cells whose inputs changed. The directory is
+// created if needed; it may be shared by concurrent campaigns.
+func WithStore(dir string) Option { return func(c *config) { c.storeDir = dir } }
+
+// WithCodeVersion overrides the code-version component of campaign cache
+// keys (default CodeVersion(), the binary's VCS build stamp). Pin it to a
+// build identifier in deployments where the stamp is unavailable.
+func WithCodeVersion(v string) Option { return func(c *config) { c.codeVersion = v } }
+
+// WithFleetListener makes RunMatrix run non-cached cells on a persistent
+// worker fleet listening on ln: `soft work` processes (or Work calls)
+// connect once and drain the whole matrix, job by job, without
+// reconnecting. The campaign owns the listener and closes it when done.
+func WithFleetListener(ln net.Listener) Option { return func(c *config) { c.fleetLn = ln } }
+
+// WithCrossCheck controls the campaign's phase 2 (RunMatrix; default on):
+// false explores (and caches) the matrix cells without crosschecking agent
+// pairs.
+func WithCrossCheck(on bool) Option { return func(c *config) { c.noCrossCheck = !on } }
+
 // WithLeaseTimeout bounds how long a distributed shard may stay leased to
-// one worker before the coordinator re-offers it to another (Serve only).
-// Re-leasing never affects results — the first completion wins, and
-// determinism makes duplicates byte-identical. 0 means the dist default;
-// negative disables timeout re-leasing (disconnects still re-lease).
+// one worker before the coordinator re-offers it to another (Serve and
+// RunMatrix fleets). Re-leasing never affects results — the first
+// completion wins, and determinism makes duplicates byte-identical. 0
+// means the dist default; negative disables timeout re-leasing
+// (disconnects still re-lease).
 func WithLeaseTimeout(d time.Duration) Option {
 	return func(c *config) { c.leaseTimeout = d }
 }
@@ -153,6 +193,9 @@ type Phase string
 const (
 	PhaseExplore    Phase = "explore"
 	PhaseCrossCheck Phase = "crosscheck"
+	// PhaseMatrix events report campaign progress: Done counts completed
+	// work units (cells plus pair checks) out of Total.
+	PhaseMatrix Phase = "matrix"
 )
 
 // Event is one progress report from a running pipeline stage.
