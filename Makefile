@@ -9,6 +9,9 @@
 #   make e2e-matrix    multi-process campaign e2e (2×2 matrix on a 2-worker
 #                      fleet, worker kill mid-campaign, byte-identity vs a
 #                      fleetless run, warm store re-run)
+#   make e2e-serve     campaign-service e2e (submit to soft campaignd,
+#                      SIGKILL the daemon mid-campaign, restart on the same
+#                      store, byte-identity of the resumed report)
 #   make dist-demo     run a coordinator and two workers locally for a quick look
 #   make bench-matrix  campaign throughput metrics: cold + warm 2×2 campaign,
 #                      writes BENCH_matrix.json (cells/sec, cache-hit rate)
@@ -21,7 +24,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race e2e-dist e2e-matrix dist-demo bench bench-matrix bench-solver bench-smoke check
+.PHONY: build vet test race e2e-dist e2e-matrix e2e-serve dist-demo bench bench-matrix bench-solver bench-smoke check
 
 build:
 	$(GO) build ./...
@@ -33,7 +36,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/sat/ ./internal/bitblast/ ./internal/symexec/ ./internal/harness/ ./internal/solver/ ./internal/crosscheck/ ./internal/dist/ ./internal/sched/ .
+	$(GO) test -race ./internal/sat/ ./internal/bitblast/ ./internal/symexec/ ./internal/harness/ ./internal/solver/ ./internal/crosscheck/ ./internal/dist/ ./internal/sched/ ./internal/campaignd/ .
 
 e2e-dist:
 	$(GO) test -run TestDistE2E -v ./cmd/soft/
@@ -41,17 +44,21 @@ e2e-dist:
 e2e-matrix:
 	$(GO) test -run TestMatrixE2E -v ./cmd/soft/
 
+e2e-serve:
+	$(GO) test -run TestCampaignServeE2E -v ./cmd/soft/
+
 # Campaign throughput trajectory: run the same small campaign cold (store
-# empty) then warm (all cells cached); the warm pass writes BENCH_matrix.json
-# with cells/sec and the cache-hit rate. Timings are only meaningful on
-# quiet multicore hardware, but the JSON schema is what perf tracking keys
-# on.
+# empty) then warm (all cells cached); both passes merge their metrics into
+# BENCH_matrix.json as its "cold" and "warm" objects (cells/sec over
+# explored cells, cache-hit rate). Timings are only meaningful on quiet
+# multicore hardware, but the JSON schema is what perf tracking keys on.
 bench-matrix:
 	$(GO) build -o /tmp/soft-bench-matrix-bin ./cmd/soft
-	@store=$$(mktemp -d /tmp/soft-bench-matrix.XXXXXX); \
+	@rm -f BENCH_matrix.json; \
+	store=$$(mktemp -d /tmp/soft-bench-matrix.XXXXXX); \
 	/tmp/soft-bench-matrix-bin matrix -agents ref,modified \
 		-tests "Packet Out,Stats Request" -store $$store \
-		-code-version bench >/dev/null && \
+		-code-version bench -bench-json BENCH_matrix.json >/dev/null && \
 	/tmp/soft-bench-matrix-bin matrix -agents ref,modified \
 		-tests "Packet Out,Stats Request" -store $$store \
 		-code-version bench -bench-json BENCH_matrix.json >/dev/null; \

@@ -1,0 +1,220 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// startCampaignd launches the daemon and returns its API base URL, the
+// command handle, and the log collector; lines matching watch are relayed
+// on watchCh (first occurrence only).
+func startCampaignd(t *testing.T, bin, storeDir, watch string, watchCh chan string) (string, *exec.Cmd, *lockedBuf) {
+	t.Helper()
+	cmd := exec.Command(bin, "campaignd", "-addr", "127.0.0.1:0",
+		"-store", storeDir, "-code-version", "e2e", "-v")
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start soft campaignd: %v", err)
+	}
+	log := &lockedBuf{}
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		sent := false
+		for sc.Scan() {
+			line := sc.Text()
+			log.add(line)
+			if a, ok := strings.CutPrefix(line, "soft campaignd: listening on "); ok {
+				addrCh <- a
+			}
+			if watch != "" && !sent && strings.Contains(line, watch) {
+				sent = true
+				watchCh <- line
+			}
+		}
+	}()
+	select {
+	case addr := <-addrCh:
+		return "http://" + addr, cmd, log
+	case <-time.After(30 * time.Second):
+		cmd.Process.Kill()
+		t.Fatalf("campaignd never announced its address\n%s", log)
+		return "", nil, nil
+	}
+}
+
+// campaignJobView mirrors the slice of the job-record JSON the test needs.
+type campaignJobView struct {
+	ID       string `json:"id"`
+	State    string `json:"state"`
+	Error    string `json:"error"`
+	Restarts int    `json:"restarts"`
+}
+
+func getJob(t *testing.T, base, id string) campaignJobView {
+	t.Helper()
+	resp, err := http.Get(base + "/api/v1/jobs/" + id)
+	if err != nil {
+		t.Fatalf("GET job: %v", err)
+	}
+	defer resp.Body.Close()
+	var j campaignJobView
+	if err := json.NewDecoder(resp.Body).Decode(&j); err != nil {
+		t.Fatalf("decode job: %v", err)
+	}
+	return j
+}
+
+// TestCampaignServeE2E is the durability acceptance test, multi-process
+// edition: it submits a campaign to a real `soft campaignd` process,
+// SIGKILLs the daemon mid-campaign — no flush, no goodbye — restarts it on
+// the same store, and asserts the resumed job's canonical report is
+// byte-identical to a plain fleetless `soft matrix` run that was never
+// interrupted. It then runs `soft matrix -service` against the daemon to
+// cover the remote RunMatrix path, and checks SIGTERM shuts down cleanly.
+func TestCampaignServeE2E(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process e2e skipped in -short mode")
+	}
+	goTool, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go toolchain not on PATH; cannot build the soft binary")
+	}
+
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "soft")
+	build := exec.Command(goTool, "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	agents := "ref,modified"
+	tests := "Packet Out,Stats Request"
+
+	// The uninterrupted reference: a fleetless serviceless campaign.
+	refReport := filepath.Join(dir, "ref.report")
+	ref := exec.Command(bin, "matrix", "-agents", agents, "-tests", tests, "-o", refReport)
+	if out, err := ref.CombinedOutput(); err != nil {
+		t.Fatalf("reference soft matrix: %v\n%s", err, out)
+	}
+	wantReport, err := os.ReadFile(refReport)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Daemon, round 1: submit, then SIGKILL as soon as the job starts.
+	storeDir := filepath.Join(dir, "store")
+	startedCh := make(chan string, 1)
+	base, daemon1, log1 := startCampaignd(t, bin, storeDir, ") started", startedCh)
+	defer daemon1.Process.Kill()
+
+	submit := exec.Command(bin, "submit", "-service", base,
+		"-agents", agents, "-tests", tests, "-tenant", "e2e")
+	submitOut, err := submit.CombinedOutput()
+	if err != nil {
+		t.Fatalf("soft submit: %v\n%s", err, submitOut)
+	}
+	fields := strings.Fields(string(submitOut))
+	if len(fields) < 2 || !strings.HasPrefix(fields[1], "j") {
+		t.Fatalf("soft submit output %q carries no job id", submitOut)
+	}
+	jobID := fields[1]
+
+	select {
+	case line := <-startedCh:
+		t.Logf("SIGKILLing campaignd after %q", line)
+	case <-time.After(60 * time.Second):
+		t.Fatalf("job never started\n%s", log1)
+	}
+	if err := daemon1.Process.Kill(); err != nil { // SIGKILL: no cleanup runs
+		t.Fatal(err)
+	}
+	daemon1.Wait()
+
+	// Daemon, round 2: same store, fresh process. The journal replay must
+	// requeue the interrupted job and run it to completion.
+	base, daemon2, log2 := startCampaignd(t, bin, storeDir, "", nil)
+	defer func() {
+		daemon2.Process.Kill()
+		daemon2.Wait()
+	}()
+
+	deadline := time.Now().Add(3 * time.Minute)
+	var j campaignJobView
+	for {
+		j = getJob(t, base, jobID)
+		if j.State == "done" || j.State == "failed" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in state %q after restart\n%s", jobID, j.State, log2)
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+	if j.State != "done" {
+		t.Fatalf("resumed job %s failed: %s\n%s", jobID, j.Error, log2)
+	}
+	if j.Restarts < 1 {
+		t.Errorf("job %s restarts = %d, want >= 1 (the journal must witness the kill)", jobID, j.Restarts)
+	}
+
+	// The resumed report must match the uninterrupted reference exactly.
+	gotReport := filepath.Join(dir, "resumed.report")
+	fetch := exec.Command(bin, "fetch", "-service", base, "-o", gotReport, jobID)
+	if out, err := fetch.CombinedOutput(); err != nil {
+		t.Fatalf("soft fetch: %v\n%s", err, out)
+	}
+	got, err := os.ReadFile(gotReport)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, wantReport) {
+		t.Fatalf("resumed campaign report differs from uninterrupted run\n--- daemon log ---\n%s", log2)
+	}
+
+	// `soft jobs` lists the job with its restart count.
+	jobs := exec.Command(bin, "jobs", "-service", base, "-tenant", "e2e")
+	jobsOut, err := jobs.CombinedOutput()
+	if err != nil {
+		t.Fatalf("soft jobs: %v\n%s", err, jobsOut)
+	}
+	if !strings.Contains(string(jobsOut), jobID) || !strings.Contains(string(jobsOut), "done") {
+		t.Errorf("soft jobs output misses the finished job:\n%s", jobsOut)
+	}
+
+	// Remote-matrix path: the same campaign through `soft matrix -service`
+	// — served warm from the daemon's store, byte-identical bytes again.
+	remoteReport := filepath.Join(dir, "remote.report")
+	remote := exec.Command(bin, "matrix", "-agents", agents, "-tests", tests,
+		"-service", base, "-o", remoteReport)
+	if out, err := remote.CombinedOutput(); err != nil {
+		t.Fatalf("soft matrix -service: %v\n%s", err, out)
+	}
+	remoteBytes, err := os.ReadFile(remoteReport)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(remoteBytes, wantReport) {
+		t.Fatal("soft matrix -service report differs from the local reference")
+	}
+
+	// Graceful shutdown: SIGTERM exits 0 after requeueing running jobs.
+	if err := daemon2.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := daemon2.Wait(); err != nil {
+		t.Fatalf("campaignd did not exit cleanly on SIGTERM: %v\n%s", err, log2)
+	}
+}

@@ -5,6 +5,10 @@
 //
 //	soft explore     run phase 1 for one agent and one test
 //	soft matrix      run a whole (agents × tests) campaign on one fleet
+//	soft campaignd   run the durable always-on campaign service
+//	soft submit      submit a campaign job to a campaign service
+//	soft jobs        list a campaign service's jobs
+//	soft fetch       fetch a finished job's canonical report
 //	soft serve       coordinate a distributed phase-1 run across workers
 //	soft work        explore shard leases for a coordinator fleet
 //	soft group       group a results file by output behavior
@@ -43,6 +47,10 @@ func commands() []*command {
 	return []*command{
 		exploreCmd(),
 		matrixCmd(),
+		campaigndCmd(),
+		submitCmd(),
+		jobsCmd(),
+		fetchCmd(),
 		serveCmd(),
 		workCmd(),
 		groupCmd(),

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"github.com/soft-testing/soft"
+	"github.com/soft-testing/soft/internal/store"
 )
 
 func matrixCmd() *command {
@@ -62,13 +63,17 @@ func runMatrix(e *env, args []string) error {
 	clauseSharing := fs.Bool("clause-sharing", false, "enable learned-clause sharing inside each cell's exploration")
 	storeDir := fs.String("store", "", "result-store directory: cache cell results and groupings, skip unchanged cells on re-runs")
 	codeVersion := fs.String("code-version", "", "override the cache key's code version (default: the binary's VCS build stamp)")
+	storeMigrate := fs.Bool("store-migrate", false, "re-stamp a store recorded under a different code version instead of refusing it")
+	service := fs.String("service", "", "run the campaign on this campaign service (base URL; see 'soft campaignd') instead of in-process")
+	tenant := fs.String("tenant", "", "tenant name for -service jobs (default \"default\")")
 	shardDepth := fs.String("shard-depth", "", "fleet frontier split depth: an integer, or \"auto\" for progress-driven balancing")
 	leaseTimeout := fs.Duration("lease-timeout", 0, "re-offer a fleet shard not completed in this long (0 = default, negative = never)")
 	crossCheck := fs.Bool("crosscheck", true, "run phase 2 over every agent pair per test (false: explore and cache cells only)")
 	budget := fs.Duration("budget", 0, "time budget per pair check (0 = unlimited; a budget can make checks partial and reports non-reproducible)")
 	resultsDir := fs.String("results-dir", "", "also write each cell's results file into this directory")
 	out := fs.String("o", "", "write the canonical campaign report to this file (byte-identical across reruns)")
-	benchJSON := fs.String("bench-json", "", "write campaign throughput metrics (cells/sec, cache-hit rate) as JSON to this file")
+	benchJSON := fs.String("bench-json", "", "merge this run's throughput metrics (cells/sec, cache-hit rate) into this JSON file as its cold or warm pass")
+	benchPass := fs.String("bench-pass", "auto", "which -bench-json pass this run is: cold, warm, or auto (classify by cache hits)")
 	timeout := fs.Duration("timeout", 0, "wall-clock limit; on expiry the campaign aborts")
 	progress := fs.Bool("progress", false, "report fleet lifecycle and cell/check progress on stderr")
 	verbose := fs.Bool("v", false, "report cache, fleet, and solver statistics on stderr")
@@ -97,6 +102,22 @@ func runMatrix(e *env, args []string) error {
 	if err != nil {
 		return usageError{err}
 	}
+	switch *benchPass {
+	case "auto", "cold", "warm":
+	default:
+		return usagef("invalid -bench-pass %q (want cold, warm, or auto)", *benchPass)
+	}
+	if *service != "" {
+		// A service-side campaign owns its own store and fleet; the
+		// client-side equivalents would silently do nothing.
+		for flagName, set := range map[string]bool{
+			"-store": *storeDir != "", "-addr": *addr != "", "-results-dir": *resultsDir != "",
+		} {
+			if set {
+				return usagef("%s cannot be combined with -service: the campaign service owns the store and fleet (and reports carry no raw results)", flagName)
+			}
+		}
+	}
 
 	ctx := context.Background()
 	if *timeout > 0 {
@@ -117,10 +138,30 @@ func runMatrix(e *env, args []string) error {
 		soft.WithBudget(*budget),
 	}
 	if *storeDir != "" {
+		// Refuse (exit 2) a store stamped for a different code version
+		// before any work happens — reusing it would miss every entry, or
+		// worse, collide when both stamps are the "unversioned" fallback.
+		st, err := store.Open(*storeDir)
+		if err != nil {
+			return err
+		}
+		cv := *codeVersion
+		if cv == "" {
+			cv = store.DefaultCodeVersion()
+		}
+		if err := ensureStoreVersion(st, cv, *storeMigrate); err != nil {
+			return err
+		}
 		opts = append(opts, soft.WithStore(*storeDir))
 	}
 	if *codeVersion != "" {
 		opts = append(opts, soft.WithCodeVersion(*codeVersion))
+	}
+	if *service != "" {
+		opts = append(opts, soft.WithCampaignService(*service))
+		if *tenant != "" {
+			opts = append(opts, soft.WithTenant(*tenant))
+		}
 	}
 	if *addr != "" {
 		ln, err := net.Listen("tcp", *addr)
@@ -164,11 +205,13 @@ func runMatrix(e *env, args []string) error {
 		if c.CacheHit {
 			mark = " [cached]"
 		}
-		if c.Result.Truncated {
+		if c.Truncated {
 			mark += " [truncated]"
 		}
+		// The cell's summary fields work for local and service runs alike;
+		// service reports carry no raw Result.
 		fmt.Fprintf(e.stdout, "cell %s / %s: %d paths (coverage %.1f%% instr, %.1f%% branch)%s\n",
-			c.Agent, c.Test, len(c.Result.Paths), c.Result.InstrPct, c.Result.BranchPct, mark)
+			c.Agent, c.Test, c.Paths, c.InstrPct, c.BranchPct, mark)
 	}
 	for i := range rep.Checks {
 		c := &rep.Checks[i]
@@ -220,7 +263,7 @@ func runMatrix(e *env, args []string) error {
 		}
 	}
 	if *benchJSON != "" {
-		if err := writeBenchJSON(*benchJSON, rep, time.Since(start)); err != nil {
+		if err := writeBenchJSON(*benchJSON, *benchPass, rep, time.Since(start)); err != nil {
 			return err
 		}
 	}
@@ -254,8 +297,12 @@ func writeResultFile(path string, c *soft.MatrixCell) error {
 	return f.Close()
 }
 
-// benchMetrics is the BENCH_matrix.json schema: the campaign throughput
-// numbers tracked across PRs.
+// benchMetrics is one pass of the BENCH_matrix.json schema: the campaign
+// throughput numbers tracked across PRs. CellsPerSec measures exploration
+// throughput, so cached cells are excluded from its numerator — a cold
+// pass that found stale cache entries must not look faster than one that
+// explored everything. A fully cached pass (explored = 0) reports store
+// lookup throughput over all cells instead.
 type benchMetrics struct {
 	Cells        int     `json:"cells"`
 	Explored     int     `json:"explored"`
@@ -267,12 +314,42 @@ type benchMetrics struct {
 	CacheHitRate float64 `json:"cache_hit_rate"`
 }
 
-func writeBenchJSON(path string, rep *soft.MatrixReport, elapsed time.Duration) error {
+// benchFile is the whole BENCH_matrix.json: both passes of the cold/warm
+// pair, merged across the two `soft matrix -bench-json` invocations that
+// produce them. (The old single-object schema recorded only whichever
+// pass ran last — the warm numbers silently replaced the cold ones.)
+type benchFile struct {
+	Schema string        `json:"schema"`
+	Cold   *benchMetrics `json:"cold,omitempty"`
+	Warm   *benchMetrics `json:"warm,omitempty"`
+	Mixed  *benchMetrics `json:"mixed,omitempty"`
+}
+
+const benchSchema = "soft-bench-matrix v2"
+
+// classifyBenchPass resolves -bench-pass=auto from the run's cache
+// counters: no hits is a cold pass, no misses (with at least one hit) a
+// warm one, anything else mixed.
+func classifyBenchPass(pass string, rep *soft.MatrixReport) string {
+	if pass != "auto" {
+		return pass
+	}
+	switch {
+	case rep.CacheHits == 0:
+		return "cold"
+	case rep.CacheMisses == 0 && rep.CacheHits > 0:
+		return "warm"
+	default:
+		return "mixed"
+	}
+}
+
+func writeBenchJSON(path, pass string, rep *soft.MatrixReport, elapsed time.Duration) error {
 	paths := 0
 	for i := range rep.Cells {
-		paths += len(rep.Cells[i].Result.Paths)
+		paths += rep.Cells[i].Paths
 	}
-	m := benchMetrics{
+	m := &benchMetrics{
 		Cells:      len(rep.Cells),
 		Explored:   rep.CacheMisses,
 		Cached:     rep.CacheHits,
@@ -281,12 +358,35 @@ func writeBenchJSON(path string, rep *soft.MatrixReport, elapsed time.Duration) 
 		ElapsedSec: elapsed.Seconds(),
 	}
 	if s := elapsed.Seconds(); s > 0 {
-		m.CellsPerSec = float64(len(rep.Cells)) / s
+		if rep.CacheMisses > 0 {
+			m.CellsPerSec = float64(rep.CacheMisses) / s
+		} else {
+			m.CellsPerSec = float64(len(rep.Cells)) / s
+		}
 	}
 	if len(rep.Cells) > 0 {
 		m.CacheHitRate = float64(rep.CacheHits) / float64(len(rep.Cells))
 	}
-	data, err := json.MarshalIndent(m, "", "  ")
+
+	// Merge with the passes already on disk so cold and warm runs build one
+	// file between them; a file in the old flat schema is replaced.
+	var f benchFile
+	if existing, err := os.ReadFile(path); err == nil {
+		var parsed benchFile
+		if json.Unmarshal(existing, &parsed) == nil && parsed.Schema == benchSchema {
+			f = parsed
+		}
+	}
+	f.Schema = benchSchema
+	switch classifyBenchPass(pass, rep) {
+	case "cold":
+		f.Cold = m
+	case "warm":
+		f.Warm = m
+	default:
+		f.Mixed = m
+	}
+	data, err := json.MarshalIndent(&f, "", "  ")
 	if err != nil {
 		return err
 	}

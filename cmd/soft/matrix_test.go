@@ -25,7 +25,7 @@ func TestMatrixCLI(t *testing.T) {
 		"matrix", "-agents", "ref,modified", "-tests", "Packet Out,Stats Request",
 		"-store", storeDir, "-code-version", "cli-test",
 	}
-	stdout, stderr, code := runCLI(t, append(args, "-results-dir", cellsDir, "-o", coldReport)...)
+	stdout, stderr, code := runCLI(t, append(args, "-results-dir", cellsDir, "-o", coldReport, "-bench-json", benchFile)...)
 	if code != 0 {
 		t.Fatalf("cold soft matrix: exit %d, stderr:\n%s", code, stderr)
 	}
@@ -84,11 +84,19 @@ func TestMatrixCLI(t *testing.T) {
 		t.Fatalf("report does not start with the versioned magic line:\n%s", cold[:60])
 	}
 
-	var bench struct {
+	// Both passes of the campaign must coexist in the bench file: the warm
+	// run merges alongside the cold numbers instead of overwriting them.
+	type benchPass struct {
 		Cells        int     `json:"cells"`
+		Explored     int     `json:"explored"`
 		Cached       int     `json:"cached"`
 		CacheHitRate float64 `json:"cache_hit_rate"`
 		CellsPerSec  float64 `json:"cells_per_sec"`
+	}
+	var bench struct {
+		Schema string     `json:"schema"`
+		Cold   *benchPass `json:"cold"`
+		Warm   *benchPass `json:"warm"`
 	}
 	data, err := os.ReadFile(benchFile)
 	if err != nil {
@@ -97,15 +105,36 @@ func TestMatrixCLI(t *testing.T) {
 	if err := json.Unmarshal(data, &bench); err != nil {
 		t.Fatalf("bench json: %v\n%s", err, data)
 	}
-	if bench.Cells != 4 || bench.Cached != 4 || bench.CacheHitRate != 1.0 || bench.CellsPerSec <= 0 {
-		t.Errorf("bench metrics wrong: %+v", bench)
+	if bench.Schema != "soft-bench-matrix v2" {
+		t.Errorf("bench schema = %q", bench.Schema)
+	}
+	if bench.Cold == nil || bench.Cold.Explored != 4 || bench.Cold.CacheHitRate != 0 || bench.Cold.CellsPerSec <= 0 {
+		t.Errorf("cold bench pass wrong or overwritten: %+v", bench.Cold)
+	}
+	if bench.Warm == nil || bench.Warm.Cells != 4 || bench.Warm.Cached != 4 || bench.Warm.CacheHitRate != 1.0 || bench.Warm.CellsPerSec <= 0 {
+		t.Errorf("warm bench pass wrong: %+v", bench.Warm)
 	}
 
-	// A different code version must re-explore.
-	stdout, _, code = runCLI(t, "matrix", "-agents", "ref,modified", "-tests", "Packet Out,Stats Request",
+	// A different code version against the same store is refused up front
+	// (exit 2) — silently reusing it would miss every entry, and two
+	// unstamped binaries would collide on the fallback version.
+	_, stderr, code = runCLI(t, "matrix", "-agents", "ref,modified", "-tests", "Packet Out,Stats Request",
 		"-store", storeDir, "-code-version", "cli-test-2")
+	if code != 2 {
+		t.Fatalf("version-skewed store reuse: exit %d, want 2 (stderr %q)", code, stderr)
+	}
+	for _, want := range []string{"soft matrix:", "cli-test", "cli-test-2", "-store-migrate"} {
+		if !strings.Contains(stderr, want) {
+			t.Errorf("skew message misses %q:\n%s", want, stderr)
+		}
+	}
+
+	// -store-migrate re-stamps the store; the new version then re-explores
+	// (old entries stay keyed under their own version).
+	stdout, _, code = runCLI(t, "matrix", "-agents", "ref,modified", "-tests", "Packet Out,Stats Request",
+		"-store", storeDir, "-code-version", "cli-test-2", "-store-migrate")
 	if code != 0 {
-		t.Fatalf("bumped matrix: exit %d", code)
+		t.Fatalf("migrated matrix: exit %d", code)
 	}
 	if !strings.Contains(stdout, "(4 explored, 0 cached)") {
 		t.Errorf("code-version bump still hit the cache:\n%s", stdout)
@@ -118,6 +147,9 @@ func TestMatrixCLIUsageErrors(t *testing.T) {
 		{"matrix", "-agents", "no-such-agent"},
 		{"matrix", "-tests", "No Such Test"},
 		{"matrix", "-shard-depth", "banana"},
+		{"matrix", "-bench-pass", "tepid"},
+		{"matrix", "-service", "http://127.0.0.1:1", "-store", "somewhere"},
+		{"matrix", "-service", "http://127.0.0.1:1", "-addr", ":0"},
 		{"matrix", "extra-arg"},
 	} {
 		_, stderr, code := runCLI(t, args...)

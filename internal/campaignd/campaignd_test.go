@@ -1,0 +1,314 @@
+package campaignd
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	_ "github.com/soft-testing/soft/internal/agents/modified"  // register "modified"
+	_ "github.com/soft-testing/soft/internal/agents/ovs"       // register "ovs"
+	_ "github.com/soft-testing/soft/internal/agents/refswitch" // register "ref"
+	"github.com/soft-testing/soft/internal/sched"
+	"github.com/soft-testing/soft/internal/store"
+)
+
+// smallSpec is the cheapest real job: one agent, one test, no crosscheck.
+func smallSpec(tenant string) JobSpec {
+	return JobSpec{
+		Tenant:      tenant,
+		Agents:      []string{"ref"},
+		Tests:       []string{"Packet Out"},
+		Models:      true,
+		CodeVersion: "test-v1",
+	}
+}
+
+func newTestServer(t *testing.T, dir string) *Server {
+	t.Helper()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{Store: st, CodeVersion: "test-v1", Workers: 4})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return s
+}
+
+// referenceBytes runs the same campaign directly through sched and returns
+// its canonical report — the oracle every service-produced report must
+// match byte for byte.
+func referenceBytes(t *testing.T, spec JobSpec) []byte {
+	t.Helper()
+	rep, err := sched.RunMatrix(context.Background(), spec.Agents, spec.Tests, sched.Options{
+		MaxPaths:      spec.MaxPaths,
+		MaxDepth:      spec.MaxDepth,
+		Models:        spec.Models,
+		ClauseSharing: spec.ClauseSharing,
+		CrossCheck:    spec.CrossCheck,
+		Workers:       4,
+	})
+	if err != nil {
+		t.Fatalf("reference RunMatrix: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := rep.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestServiceSubmitRunFetch drives the full HTTP surface end to end
+// in-process: submit over the API, stream progress, fetch the report, and
+// demand byte-identity with a direct fleetless run of the same campaign.
+func TestServiceSubmitRunFetch(t *testing.T) {
+	s := newTestServer(t, t.TempDir())
+	ctx, cancel := context.WithCancel(context.Background())
+	defer func() { cancel(); s.Close() }()
+	s.Start(ctx)
+
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	cl := NewClient(ts.URL)
+
+	spec := JobSpec{
+		Tenant:      "alice",
+		Agents:      []string{"ref", "modified"},
+		Tests:       []string{"Packet Out"},
+		Models:      true,
+		CrossCheck:  true,
+		CodeVersion: "test-v1",
+	}
+	j, err := cl.Submit(ctx, spec)
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if j.ID == "" || j.State != StateQueued {
+		t.Fatalf("submitted job = %+v, want queued with an id", j)
+	}
+
+	var events []Event
+	final, err := cl.Watch(ctx, j.ID, func(ev Event) { events = append(events, ev) })
+	if err != nil {
+		t.Fatalf("Watch: %v", err)
+	}
+	if final.State != StateDone {
+		t.Fatalf("final state = %s (error %q), want done", final.State, final.Error)
+	}
+	if len(events) == 0 || !events[len(events)-1].State.terminal() {
+		t.Fatalf("event stream %v must end with a terminal event", events)
+	}
+	if final.Inconsistencies == 0 {
+		t.Fatalf("ref vs modified on Packet Out must report inconsistencies")
+	}
+
+	got, err := cl.Report(ctx, j.ID)
+	if err != nil {
+		t.Fatalf("Report: %v", err)
+	}
+	if want := referenceBytes(t, spec); !bytes.Equal(got, want) {
+		t.Fatalf("service report differs from direct run (%d vs %d bytes)", len(got), len(want))
+	}
+
+	jobs, err := cl.Jobs(ctx, "alice")
+	if err != nil {
+		t.Fatalf("Jobs: %v", err)
+	}
+	if len(jobs) != 1 || jobs[0].ID != j.ID {
+		t.Fatalf("Jobs(alice) = %+v, want the one submitted job", jobs)
+	}
+	st, err := cl.Status(ctx)
+	if err != nil {
+		t.Fatalf("Status: %v", err)
+	}
+	if st.Done != 1 || st.CodeVersion != "test-v1" {
+		t.Fatalf("Status = %+v, want 1 done at code version test-v1", st)
+	}
+}
+
+// TestJournalReplayResumesRunningJobs is the durability core: a job left
+// in the running state by a dead coordinator is requeued on open, runs to
+// completion, and its report matches an uninterrupted run byte for byte.
+func TestJournalReplayResumesRunningJobs(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Forge the journal a SIGKILLed coordinator would leave behind: a job
+	// journaled as running with no report.
+	jr, err := openJournal(st.Dir() + "/campaignd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := JobSpec{
+		Agents:      []string{"ref", "modified"},
+		Tests:       []string{"Packet Out"},
+		Models:      true,
+		CrossCheck:  true,
+		CodeVersion: "test-v1",
+		Tenant:      "default",
+	}
+	dead := &Job{ID: jobID(7), Seq: 7, Spec: spec, State: StateRunning, StartSeq: 3, SubmittedUnix: 1}
+	if err := jr.putJob(dead); err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := New(Config{Store: st, CodeVersion: "test-v1", Workers: 4})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	j, ok := s.Job(jobID(7))
+	if !ok {
+		t.Fatalf("replay lost job %s", jobID(7))
+	}
+	if j.State != StateQueued || j.Restarts != 1 {
+		t.Fatalf("replayed job state=%s restarts=%d, want queued with 1 restart", j.State, j.Restarts)
+	}
+	// The requeue must itself be durable before any scheduling happens.
+	onDisk, err := jr.jobs()
+	if err != nil || len(onDisk) != 1 {
+		t.Fatalf("journal after replay: %v, %d entries", err, len(onDisk))
+	}
+	if onDisk[0].State != StateQueued || onDisk[0].Restarts != 1 {
+		t.Fatalf("journaled replay = %+v, want queued/restarts=1", onDisk[0])
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer func() { cancel(); s.Close() }()
+	s.Start(ctx)
+	waitState(t, s, jobID(7), StateDone)
+	got, ok, err := s.Report(jobID(7))
+	if err != nil || !ok {
+		t.Fatalf("Report: ok=%t err=%v", ok, err)
+	}
+	if want := referenceBytes(t, spec); !bytes.Equal(got, want) {
+		t.Fatalf("resumed report differs from uninterrupted run")
+	}
+	if s.nextSeq <= 7 {
+		t.Fatalf("nextSeq = %d, must advance past replayed seq 7", s.nextSeq)
+	}
+}
+
+// TestFairShareAcrossTenants submits a backlog for tenant a and a single
+// job for tenant b, then checks the observable dispatch order: b's job
+// must run second, not last.
+func TestFairShareAcrossTenants(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{Store: st, CodeVersion: "test-v1", Workers: 4, MaxActive: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []string
+	for _, tenant := range []string{"a", "a", "a", "b"} {
+		j, err := s.Submit(smallSpec(tenant))
+		if err != nil {
+			t.Fatalf("Submit(%s): %v", tenant, err)
+		}
+		ids = append(ids, j.ID)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer func() { cancel(); s.Close() }()
+	s.Start(ctx)
+	for _, id := range ids {
+		waitState(t, s, id, StateDone)
+	}
+	// Submission order: a1 a2 a3 b1. Fair share dispatches a1 first (tie
+	// broken by first-seen), then owes b its turn: a1 b1 a2 a3.
+	wantOrder := []string{ids[0], ids[3], ids[1], ids[2]}
+	seq := map[string]uint64{}
+	for _, id := range ids {
+		j, _ := s.Job(id)
+		seq[id] = j.StartSeq
+	}
+	for i := 1; i < len(wantOrder); i++ {
+		if seq[wantOrder[i-1]] >= seq[wantOrder[i]] {
+			t.Fatalf("dispatch order wrong: want %v, got seqs %v", wantOrder, seq)
+		}
+	}
+}
+
+// TestSubmitValidation covers the API's refusal paths.
+func TestSubmitValidation(t *testing.T) {
+	s := newTestServer(t, t.TempDir())
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	cl := NewClient(ts.URL)
+	ctx := context.Background()
+
+	cases := []struct {
+		name string
+		spec JobSpec
+		want string
+	}{
+		{"unknown agent", JobSpec{Agents: []string{"nope"}, Tests: []string{"Packet Out"}}, "nope"},
+		{"unknown test", JobSpec{Agents: []string{"ref"}, Tests: []string{"No Such Test"}}, "No Such Test"},
+		{"bad tenant", JobSpec{Tenant: "a b", Agents: []string{"ref"}, Tests: []string{"Packet Out"}}, "tenant"},
+		{"dup agent", JobSpec{Agents: []string{"ref", "ref"}, Tests: []string{"Packet Out"}}, "duplicate"},
+	}
+	for _, tc := range cases {
+		if _, err := cl.Submit(ctx, tc.spec); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("%s: err = %v, want mention of %q", tc.name, err, tc.want)
+		}
+	}
+
+	// Empty agents/tests expand to the full registry at submission time.
+	j, err := cl.Submit(ctx, JobSpec{})
+	if err != nil {
+		t.Fatalf("Submit(empty): %v", err)
+	}
+	if len(j.Spec.Agents) < 2 || len(j.Spec.Tests) < 2 {
+		t.Fatalf("empty spec expanded to %d agents × %d tests, want the full registry", len(j.Spec.Agents), len(j.Spec.Tests))
+	}
+	if j.Spec.Tenant != "default" {
+		t.Fatalf("tenant = %q, want default", j.Spec.Tenant)
+	}
+
+	if _, err := cl.Job(ctx, "j999999"); err == nil || !strings.Contains(err.Error(), "404") {
+		t.Fatalf("Job(unknown) = %v, want a 404", err)
+	}
+	if _, err := cl.Job(ctx, "not-an-id"); err == nil || !strings.Contains(err.Error(), "404") {
+		t.Fatalf("Job(malformed) = %v, want a 404", err)
+	}
+	// A queued job has no report yet: conflict, not not-found.
+	if _, err := cl.Report(ctx, j.ID); err == nil || !strings.Contains(err.Error(), "409") {
+		t.Fatalf("Report(queued) = %v, want a 409", err)
+	}
+	resp, err := http.Get(ts.URL + apiPrefix + "/jobs/" + j.ID + "/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown sub-endpoint: HTTP %d, want 404", resp.StatusCode)
+	}
+}
+
+func waitState(t *testing.T, s *Server, id string, want JobState) {
+	t.Helper()
+	deadline := time.Now().Add(120 * time.Second)
+	for time.Now().Before(deadline) {
+		j, ok := s.Job(id)
+		if !ok {
+			t.Fatalf("job %s vanished", id)
+		}
+		if j.State == want {
+			return
+		}
+		if j.State.terminal() {
+			t.Fatalf("job %s reached %s (error %q), want %s", id, j.State, j.Error, want)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("job %s never reached %s", id, want)
+}

@@ -1,0 +1,610 @@
+package campaignd
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"github.com/soft-testing/soft/internal/agents"
+	"github.com/soft-testing/soft/internal/dist"
+	"github.com/soft-testing/soft/internal/harness"
+	"github.com/soft-testing/soft/internal/sched"
+	"github.com/soft-testing/soft/internal/store"
+)
+
+// Config parameterizes a campaign service coordinator.
+type Config struct {
+	// Store is required: it caches cell results (the durable unit of
+	// campaign progress) and hosts the job journal under
+	// <dir>/campaignd/.
+	Store *store.Store
+	// Fleet, when set, runs every non-cached cell of every job on this
+	// persistent worker fleet; nil explores in-process.
+	Fleet *dist.Fleet
+	// CodeVersion is the default cache-key code version for jobs that do
+	// not pin their own (default store.DefaultCodeVersion()).
+	CodeVersion string
+	// MaxActive bounds concurrently running jobs (default 2). Queued jobs
+	// beyond it wait under fair-share scheduling across tenants.
+	MaxActive int
+	// Workers / ShardDepth / Adaptive / SplitAfter configure each job's
+	// sched.Options (see there).
+	Workers    int
+	ShardDepth int
+	Adaptive   bool
+	SplitAfter time.Duration
+	// Log, when set, receives one line per service lifecycle event.
+	Log io.Writer
+}
+
+// Event is one progress report on a job's event stream (and the SSE wire
+// schema). Progress counters are advisory; state transitions are exact.
+type Event struct {
+	Job    string   `json:"job"`
+	Tenant string   `json:"tenant,omitempty"`
+	State  JobState `json:"state"`
+	Done   int      `json:"done"`
+	Total  int      `json:"total"`
+	Error  string   `json:"error,omitempty"`
+}
+
+// Status is the daemon-level view the status endpoint serves.
+type Status struct {
+	CodeVersion string           `json:"code_version"`
+	Queued      int              `json:"queued"`
+	Running     int              `json:"running"`
+	Done        int              `json:"done"`
+	Failed      int              `json:"failed"`
+	Tenants     int              `json:"tenants"`
+	FleetStats  *dist.FleetStats `json:"fleet_stats,omitempty"`
+}
+
+// Server is the durable campaign coordinator: it accepts matrix jobs over
+// an HTTP/JSON API, journals them write-ahead in the store directory, and
+// executes them — over one shared worker fleet when configured — with
+// fair-share scheduling across tenants. Because every completed cell is a
+// content-addressed store entry and every exploration is byte-identical
+// across layouts, a coordinator killed at any instant (SIGKILL included)
+// and restarted on the same store resumes its in-flight jobs and produces
+// canonical reports byte-identical to uninterrupted runs.
+type Server struct {
+	cfg Config
+	jr  *journal
+
+	mu         sync.Mutex
+	cond       *sync.Cond
+	jobs       map[string]*Job
+	order      []string          // job ids in submission order
+	queues     map[string][]*Job // tenant → queued jobs, FIFO
+	tenantSeen []string          // tenants in first-seen order
+	runningBy  map[string]int    // tenant → running job count
+	lastServed map[string]uint64 // tenant → dispatchSeq when last scheduled
+	subs       map[string]map[chan Event]bool
+	nextSeq    uint64
+	dispatch   uint64 // global dispatch counter (jobs' StartSeq)
+	running    int
+	closed     bool
+
+	wg    sync.WaitGroup
+	logMu sync.Mutex
+}
+
+// New opens (or resumes) a campaign service on cfg.Store: the journal is
+// replayed, finished jobs keep their reports, queued jobs keep their place,
+// and jobs that were running when the previous coordinator died are
+// requeued — their completed cells are already in the store, so
+// re-execution is a warm resume, and determinism makes the resumed report
+// byte-identical to an uninterrupted one. Call Start to begin scheduling.
+func New(cfg Config) (*Server, error) {
+	if cfg.Store == nil {
+		return nil, fmt.Errorf("campaignd: a result store is required (it hosts the job journal)")
+	}
+	if cfg.CodeVersion == "" {
+		cfg.CodeVersion = store.DefaultCodeVersion()
+	}
+	if cfg.MaxActive <= 0 {
+		cfg.MaxActive = 2
+	}
+	jr, err := openJournal(cfg.Store.Dir() + "/campaignd")
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:        cfg,
+		jr:         jr,
+		jobs:       map[string]*Job{},
+		queues:     map[string][]*Job{},
+		runningBy:  map[string]int{},
+		lastServed: map[string]uint64{},
+		subs:       map[string]map[chan Event]bool{},
+		nextSeq:    1,
+	}
+	s.cond = sync.NewCond(&s.mu)
+
+	replayed, err := jr.jobs()
+	if err != nil {
+		return nil, err
+	}
+	resumed := 0
+	for _, j := range replayed {
+		if j.Seq >= s.nextSeq {
+			s.nextSeq = j.Seq + 1
+		}
+		if j.State == StateRunning {
+			// The previous coordinator died mid-job. The write-ahead
+			// journal plus the content-addressed store make requeueing
+			// safe: completed cells are cache hits, the rest re-explore
+			// deterministically.
+			j.State = StateQueued
+			j.Restarts++
+			if err := jr.putJob(j); err != nil {
+				return nil, err
+			}
+			resumed++
+		}
+		s.registerLocked(j)
+		if j.State == StateQueued {
+			s.enqueueLocked(j)
+		}
+	}
+	if len(replayed) > 0 {
+		s.logf("journal replayed: %d job(s), %d resumed from a dead coordinator", len(replayed), resumed)
+	}
+	return s, nil
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Log == nil {
+		return
+	}
+	s.logMu.Lock()
+	defer s.logMu.Unlock()
+	fmt.Fprintf(s.cfg.Log, "campaignd: "+format+"\n", args...)
+}
+
+// registerLocked adds a job to the id index (any state).
+func (s *Server) registerLocked(j *Job) {
+	s.jobs[j.ID] = j
+	s.order = append(s.order, j.ID)
+	if _, seen := s.queues[j.Spec.Tenant]; !seen {
+		s.queues[j.Spec.Tenant] = nil
+		s.tenantSeen = append(s.tenantSeen, j.Spec.Tenant)
+	}
+}
+
+// enqueueLocked appends a queued job to its tenant's FIFO.
+func (s *Server) enqueueLocked(j *Job) {
+	s.queues[j.Spec.Tenant] = append(s.queues[j.Spec.Tenant], j)
+}
+
+// requeueFrontLocked puts a requeued (shutdown-interrupted) job at the
+// head of its tenant's FIFO so a resume finishes it before newer work.
+func (s *Server) requeueFrontLocked(j *Job) {
+	s.queues[j.Spec.Tenant] = append([]*Job{j}, s.queues[j.Spec.Tenant]...)
+}
+
+// pickLocked implements fair share: among tenants with queued jobs, choose
+// the one with the fewest running jobs, breaking ties by least-recently
+// scheduled, then by first-seen order; pop its oldest queued job. One
+// backlogged tenant therefore cannot starve the others, while a lone
+// tenant still gets the whole fleet.
+func (s *Server) pickLocked() *Job {
+	best := ""
+	for _, t := range s.tenantSeen {
+		if len(s.queues[t]) == 0 {
+			continue
+		}
+		if best == "" ||
+			s.runningBy[t] < s.runningBy[best] ||
+			(s.runningBy[t] == s.runningBy[best] && s.lastServed[t] < s.lastServed[best]) {
+			best = t
+		}
+	}
+	if best == "" {
+		return nil
+	}
+	j := s.queues[best][0]
+	s.queues[best] = s.queues[best][1:]
+	return j
+}
+
+func (s *Server) hasQueuedLocked() bool {
+	for _, q := range s.queues {
+		if len(q) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Submit validates, journals, and enqueues one job. The record is durable
+// before Submit returns — a coordinator killed right after the caller's
+// ack still knows the job. Empty Agents/Tests expand to every registered
+// agent / the whole suite at submission time, so the journal pins the
+// concrete matrix.
+func (s *Server) Submit(spec JobSpec) (*Job, error) {
+	if spec.Tenant == "" {
+		spec.Tenant = "default"
+	}
+	for _, r := range spec.Tenant {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_', r == '.':
+		default:
+			return nil, fmt.Errorf("campaignd: invalid tenant %q (want [A-Za-z0-9._-]+)", spec.Tenant)
+		}
+	}
+	if len(spec.Agents) == 0 {
+		spec.Agents = agents.Names()
+	}
+	if len(spec.Tests) == 0 {
+		for _, t := range harness.Tests() {
+			spec.Tests = append(spec.Tests, t.Name)
+		}
+	}
+	seen := map[string]bool{}
+	for _, a := range spec.Agents {
+		if _, err := agents.ByName(a); err != nil {
+			return nil, fmt.Errorf("campaignd: %w", err)
+		}
+		if seen["a:"+a] {
+			return nil, fmt.Errorf("campaignd: duplicate agent %q", a)
+		}
+		seen["a:"+a] = true
+	}
+	for _, t := range spec.Tests {
+		if _, ok := harness.TestByName(t); !ok {
+			return nil, fmt.Errorf("campaignd: unknown test %q", t)
+		}
+		if seen["t:"+t] {
+			return nil, fmt.Errorf("campaignd: duplicate test %q", t)
+		}
+		seen["t:"+t] = true
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("campaignd: the service is shutting down")
+	}
+	seq := s.nextSeq
+	s.nextSeq++
+	j := &Job{
+		ID:            jobID(seq),
+		Seq:           seq,
+		Spec:          spec,
+		State:         StateQueued,
+		SubmittedUnix: time.Now().Unix(),
+	}
+	s.registerLocked(j)
+	s.enqueueLocked(j)
+	rec := j.clone()
+	s.mu.Unlock()
+
+	// Write-ahead: the journal entry lands before the submission is acked
+	// (and before the scheduler can possibly report it done).
+	if err := s.jr.putJob(rec); err != nil {
+		s.mu.Lock()
+		delete(s.jobs, j.ID)
+		q := s.queues[spec.Tenant]
+		for i, cand := range q {
+			if cand == j {
+				s.queues[spec.Tenant] = append(q[:i], q[i+1:]...)
+				break
+			}
+		}
+		s.mu.Unlock()
+		return nil, err
+	}
+	s.logf("job %s (tenant %s) submitted: %d agent(s) × %d test(s), crosscheck=%t",
+		j.ID, spec.Tenant, len(spec.Agents), len(spec.Tests), spec.CrossCheck)
+	s.cond.Broadcast()
+	return rec, nil
+}
+
+// Job returns a snapshot of one job; ok=false when unknown.
+func (s *Server) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, false
+	}
+	return j.clone(), true
+}
+
+// Jobs returns snapshots of every job in submission order; tenant filters
+// when non-empty.
+func (s *Server) Jobs(tenant string) []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []*Job
+	for _, id := range s.order {
+		j := s.jobs[id]
+		if tenant != "" && j.Spec.Tenant != tenant {
+			continue
+		}
+		out = append(out, j.clone())
+	}
+	return out
+}
+
+// Report returns a done job's canonical report bytes; ok=false when the
+// job is unknown or not done yet.
+func (s *Server) Report(id string) ([]byte, bool, error) {
+	s.mu.Lock()
+	j, known := s.jobs[id]
+	done := known && j.State == StateDone
+	s.mu.Unlock()
+	if !done {
+		return nil, false, nil
+	}
+	data, ok, err := s.jr.report(id)
+	if err != nil {
+		return nil, false, err
+	}
+	if !ok {
+		// putReport precedes the done mark, so this is a corrupted store.
+		return nil, false, fmt.Errorf("campaignd: job %s is done but its report is missing from the journal", id)
+	}
+	return data, true, nil
+}
+
+// Status snapshots daemon-level counters.
+func (s *Server) Status() Status {
+	s.mu.Lock()
+	st := Status{CodeVersion: s.cfg.CodeVersion, Tenants: len(s.tenantSeen)}
+	for _, j := range s.jobs {
+		switch j.State {
+		case StateQueued:
+			st.Queued++
+		case StateRunning:
+			st.Running++
+		case StateDone:
+			st.Done++
+		case StateFailed:
+			st.Failed++
+		}
+	}
+	s.mu.Unlock()
+	if s.cfg.Fleet != nil {
+		fs := s.cfg.Fleet.Stats()
+		st.FleetStats = &fs
+	}
+	return st
+}
+
+// Start launches the scheduler. Cancelling ctx aborts running jobs — they
+// are requeued in the journal, not failed, so the next coordinator (or a
+// later Start on a fresh Server over the same store) resumes them.
+func (s *Server) Start(ctx context.Context) {
+	// Wake the scheduler when the context dies so it can observe it.
+	stop := context.AfterFunc(ctx, func() { s.cond.Broadcast() })
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		defer stop()
+		s.schedule(ctx)
+	}()
+}
+
+func (s *Server) schedule(ctx context.Context) {
+	for {
+		s.mu.Lock()
+		for !s.closed && ctx.Err() == nil && (s.running >= s.cfg.MaxActive || !s.hasQueuedLocked()) {
+			s.cond.Wait()
+		}
+		if s.closed || ctx.Err() != nil {
+			s.mu.Unlock()
+			return
+		}
+		j := s.pickLocked()
+		s.dispatch++
+		j.StartSeq = s.dispatch
+		j.State = StateRunning
+		j.StartedUnix = time.Now().Unix()
+		j.Done, j.Total = 0, 0
+		s.running++
+		s.runningBy[j.Spec.Tenant]++
+		s.lastServed[j.Spec.Tenant] = s.dispatch
+		rec := j.clone()
+		s.publishLocked(j)
+		s.mu.Unlock()
+
+		// Journal the ownership transition before execution starts; if the
+		// write fails the job still runs — replay would merely re-run it,
+		// and determinism makes that invisible.
+		if err := s.jr.putJob(rec); err != nil {
+			s.logf("journal: %v", err)
+		}
+		s.logf("job %s (tenant %s) started", j.ID, j.Spec.Tenant)
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.execute(ctx, j)
+		}()
+	}
+}
+
+// execute runs one job to a terminal state (or back to queued on
+// shutdown).
+func (s *Server) execute(ctx context.Context, j *Job) {
+	spec := j.Spec
+	cv := spec.CodeVersion
+	if cv == "" {
+		cv = s.cfg.CodeVersion
+	}
+	rep, err := sched.RunMatrix(ctx, spec.Agents, spec.Tests, sched.Options{
+		MaxPaths:      spec.MaxPaths,
+		MaxDepth:      spec.MaxDepth,
+		Models:        spec.Models,
+		ClauseSharing: spec.ClauseSharing,
+		Workers:       s.cfg.Workers,
+		Fleet:         s.cfg.Fleet,
+		ShardDepth:    s.cfg.ShardDepth,
+		Adaptive:      s.cfg.Adaptive,
+		SplitAfter:    s.cfg.SplitAfter,
+		Store:         s.cfg.Store,
+		CodeVersion:   cv,
+		CrossCheck:    spec.CrossCheck,
+		Budget:        0, // budgets break report determinism; never set one here
+		Progress:      func(done, total int) { s.progress(j, done, total) },
+		Log:           s.cfg.Log,
+	})
+
+	if err == nil {
+		var buf bytes.Buffer
+		if werr := rep.Write(&buf); werr == nil {
+			// Write-ahead: the report is durable before the done mark.
+			err = s.jr.putReport(j.ID, buf.Bytes())
+		} else {
+			err = werr
+		}
+		if err == nil {
+			s.finish(j, func(j *Job) {
+				j.State = StateDone
+				j.Done = j.Total
+				j.Inconsistencies = rep.Inconsistencies()
+			})
+			s.logf("job %s done: %d cells, %d checks, %d inconsistencies, %d/%d cache hits",
+				j.ID, len(rep.Cells), len(rep.Checks), rep.Inconsistencies(),
+				rep.CacheHits, rep.CacheHits+rep.CacheMisses)
+			return
+		}
+	}
+
+	if ctx.Err() != nil {
+		// Shutdown, not failure: the job goes back to the queue — in the
+		// journal too — so the next coordinator resumes it warm.
+		s.finish(j, func(j *Job) {
+			j.State = StateQueued
+			j.Done, j.Total = 0, 0
+		})
+		s.logf("job %s requeued (shutdown)", j.ID)
+		return
+	}
+	msg := err.Error()
+	s.finish(j, func(j *Job) {
+		j.State = StateFailed
+		j.Error = msg
+	})
+	s.logf("job %s failed: %s", j.ID, msg)
+}
+
+// finish applies a terminal (or requeue) transition under the lock,
+// journals it, and tears down the job's event stream.
+func (s *Server) finish(j *Job, apply func(*Job)) {
+	s.mu.Lock()
+	apply(j)
+	j.FinishedUnix = time.Now().Unix()
+	if j.State == StateQueued {
+		j.FinishedUnix = 0
+		s.requeueFrontLocked(j)
+	}
+	s.running--
+	s.runningBy[j.Spec.Tenant]--
+	rec := j.clone()
+	s.publishLocked(j)
+	if j.State.terminal() {
+		for ch := range s.subs[j.ID] {
+			close(ch)
+		}
+		delete(s.subs, j.ID)
+	}
+	s.mu.Unlock()
+	if err := s.jr.putJob(rec); err != nil {
+		s.logf("journal: %v", err)
+	}
+	s.cond.Broadcast()
+}
+
+// progress records live campaign progress and fans it out to subscribers.
+func (s *Server) progress(j *Job, done, total int) {
+	s.mu.Lock()
+	if j.State == StateRunning && done > j.Done {
+		j.Done, j.Total = done, total
+		s.publishLocked(j)
+	}
+	s.mu.Unlock()
+}
+
+// eventOfLocked snapshots a job as a stream event.
+func eventOfLocked(j *Job) Event {
+	return Event{
+		Job:    j.ID,
+		Tenant: j.Spec.Tenant,
+		State:  j.State,
+		Done:   j.Done,
+		Total:  j.Total,
+		Error:  j.Error,
+	}
+}
+
+// publishLocked fans an event out without blocking: a slow subscriber
+// loses intermediate progress events (they are advisory), never the
+// terminal transition — stream teardown re-snapshots the job.
+func (s *Server) publishLocked(j *Job) {
+	if s.closed {
+		return
+	}
+	ev := eventOfLocked(j)
+	for ch := range s.subs[j.ID] {
+		select {
+		case ch <- ev:
+		default:
+		}
+	}
+}
+
+// subscribe attaches an event stream to a job. The returned snapshot is
+// the stream's first event; ch is nil when the job is already terminal.
+// cancel detaches (idempotent, safe after close).
+func (s *Server) subscribe(id string) (snapshot Event, ch chan Event, cancel func(), ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, known := s.jobs[id]
+	if !known {
+		return Event{}, nil, nil, false
+	}
+	snapshot = eventOfLocked(j)
+	if j.State.terminal() || s.closed {
+		return snapshot, nil, func() {}, true
+	}
+	ch = make(chan Event, 256)
+	if s.subs[id] == nil {
+		s.subs[id] = map[chan Event]bool{}
+	}
+	s.subs[id][ch] = true
+	cancel = func() {
+		s.mu.Lock()
+		if subs, live := s.subs[id]; live && subs[ch] {
+			delete(subs, ch)
+			close(ch)
+		}
+		s.mu.Unlock()
+	}
+	return snapshot, ch, cancel, true
+}
+
+// Close stops accepting and scheduling work and tears down event streams.
+// It waits for in-flight jobs to settle — cancel the Start context first
+// to abort (and requeue) them rather than waiting them out.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	for _, subs := range s.subs {
+		for ch := range subs {
+			close(ch)
+		}
+	}
+	s.subs = map[string]map[chan Event]bool{}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	s.wg.Wait()
+}

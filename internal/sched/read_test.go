@@ -1,0 +1,69 @@
+package sched
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+)
+
+// TestReportReadRoundTrip: Write∘ReadReport is the identity on canonical
+// report bytes, for a real campaign with inconsistencies (ref vs modified)
+// — the invariant the remote campaign service relies on to ship reports by
+// their canonical form alone.
+func TestReportReadRoundTrip(t *testing.T) {
+	rep, err := RunMatrix(context.Background(), testAgents, testTests, Options{
+		Models: true, Workers: 2, CrossCheck: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Inconsistencies() == 0 {
+		t.Fatal("ref vs modified produced no inconsistencies; round trip would not cover witness lines")
+	}
+	want := reportBytes(t, rep)
+
+	parsed, err := ReadReport(bytes.NewReader(want))
+	if err != nil {
+		t.Fatalf("ReadReport: %v", err)
+	}
+	got := reportBytes(t, parsed)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("Write(ReadReport(x)) != x\n--- want ---\n%s\n--- got ---\n%s", want, got)
+	}
+
+	// The parsed summary is a faithful surface: same matrix, same counts.
+	if len(parsed.Cells) != len(rep.Cells) || len(parsed.Checks) != len(rep.Checks) {
+		t.Fatalf("parsed %d cells / %d checks, want %d / %d",
+			len(parsed.Cells), len(parsed.Checks), len(rep.Cells), len(rep.Checks))
+	}
+	for i := range rep.Cells {
+		if parsed.Cells[i].Paths != rep.Cells[i].Paths ||
+			parsed.Cells[i].ResultHash != rep.Cells[i].ResultHash {
+			t.Fatalf("cell %d summary drifted through the round trip", i)
+		}
+		if parsed.Cells[i].Result != nil {
+			t.Fatal("parsed cells must not fabricate full results")
+		}
+	}
+	if parsed.Inconsistencies() != rep.Inconsistencies() {
+		t.Fatalf("parsed %d inconsistencies, want %d", parsed.Inconsistencies(), rep.Inconsistencies())
+	}
+}
+
+// TestReadReportRejectsGarbage pins the error paths: wrong magic,
+// truncation mid-structure.
+func TestReadReportRejectsGarbage(t *testing.T) {
+	if _, err := ReadReport(strings.NewReader("nonsense\n")); err == nil {
+		t.Fatal("wrong magic accepted")
+	}
+	if _, err := ReadReport(strings.NewReader("")); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	if _, err := ReadReport(strings.NewReader(matrixMagic + "\nagents 1\n")); err == nil {
+		t.Fatal("truncated report accepted")
+	}
+	if _, err := ReadReport(strings.NewReader(matrixMagic + "\nagents 1\nagent \"a\"\ntests 0\ncells 1\ncell bogus\n")); err == nil {
+		t.Fatal("malformed cell line accepted")
+	}
+}

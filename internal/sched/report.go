@@ -31,15 +31,15 @@ func (r *Report) Write(w io.Writer) error {
 	for i := range r.Cells {
 		c := &r.Cells[i]
 		fmt.Fprintf(bw, "cell agent=%q test=%q paths=%d truncated=%t result=%s\n",
-			c.Agent, c.Test, len(c.Result.Paths), c.Result.Truncated, c.ResultHash)
-		fmt.Fprintf(bw, "coverage %f %f\n", c.Result.InstrPct, c.Result.BranchPct)
+			c.Agent, c.Test, c.Paths, c.Truncated, c.ResultHash)
+		fmt.Fprintf(bw, "coverage %f %f\n", c.InstrPct, c.BranchPct)
 	}
 	fmt.Fprintf(bw, "checks %d\n", len(r.Checks))
 	for i := range r.Checks {
 		c := &r.Checks[i]
 		fmt.Fprintf(bw, "check test=%q a=%q b=%q groups=%dx%d queries=%d inconsistencies=%d rootcauses=%d partial=%t\n",
 			c.Test, c.AgentA, c.AgentB, c.GroupsA, c.GroupsB,
-			c.Report.Queries, len(c.Report.Inconsistencies), c.Report.RootCauses(), c.Report.Partial)
+			c.Report.Queries, len(c.Report.Inconsistencies), c.RootCauses, c.Report.Partial)
 		for _, inc := range c.Report.Inconsistencies {
 			fmt.Fprintf(bw, "inc a=%d b=%d acrashed=%t bcrashed=%t\n",
 				inc.AIndex, inc.BIndex, inc.ACrashed, inc.BCrashed)

@@ -68,10 +68,16 @@ type Cell struct {
 	Agent string
 	Test  string
 	// Result is the cell's phase-1 result — cached or freshly explored,
-	// the bytes are identical.
+	// the bytes are identical. It is nil in reports parsed back from the
+	// canonical format (ReadReport), which carries only the summary below.
 	Result *harness.SerializedResult
 	// ResultHash is the content address of Result (wall clock excluded).
 	ResultHash string
+	// Paths/Truncated/InstrPct/BranchPct summarize Result — the canonical
+	// report surface, valid whether or not Result itself is present.
+	Paths               int
+	Truncated           bool
+	InstrPct, BranchPct float64
 	// CacheHit reports the result came from the store.
 	CacheHit bool
 	// SolverStats/BranchQueries count the exploration work (zero for cache
@@ -87,6 +93,10 @@ type PairCheck struct {
 	AgentA string
 	AgentB string
 	Report *crosscheck.Report
+	// RootCauses is Report.RootCauses() captured at check time: the
+	// distinct-template estimate survives canonical serialization even
+	// though the templates themselves are not written.
+	RootCauses int
 	// GroupsA/GroupsB are the two sides' distinct-behavior counts;
 	// GroupCacheHits counts how many of the two grouping constructions
 	// came from the store (0–2).
@@ -352,6 +362,10 @@ func RunMatrix(ctx context.Context, agentNames, testNames []string, o Options) (
 			return nil, err
 		}
 		cell.ResultHash = hash
+		cell.Paths = len(cell.Result.Paths)
+		cell.Truncated = cell.Result.Truncated
+		cell.InstrPct = cell.Result.InstrPct
+		cell.BranchPct = cell.Result.BranchPct
 		if cell.CacheHit {
 			rep.CacheHits++
 		} else {
@@ -426,8 +440,9 @@ func RunMatrix(ctx context.Context, agentNames, testNames []string, o Options) (
 					}
 					rep.Checks = append(rep.Checks, PairCheck{
 						Test: test, AgentA: agentNames[ai], AgentB: agentNames[bi],
-						Report:  check,
-						GroupsA: len(ga.Groups), GroupsB: len(gb.Groups),
+						Report:     check,
+						RootCauses: check.RootCauses(),
+						GroupsA:    len(ga.Groups), GroupsB: len(gb.Groups),
 						GroupCacheHits: hits,
 					})
 					rep.SolverStats.Add(check.SolverStats)

@@ -30,10 +30,12 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"runtime/debug"
 	"strings"
+	"sync"
 
 	"github.com/soft-testing/soft/internal/group"
 	"github.com/soft-testing/soft/internal/harness"
@@ -76,34 +78,73 @@ func (k Key) Hash() string {
 }
 
 // DefaultCodeVersion derives a code-version string for the running binary
-// from its build info: the VCS revision (plus a +dirty marker for modified
-// trees) when the binary was built from a checkout, else the main module
-// version. Binaries built without VCS stamping (go test, go run) fall back
-// to "unversioned" — such builds still cache consistently within one
-// binary but should pass an explicit version in production.
+// from, in order: the VCS revision in its build info (plus a +dirty marker
+// for modified trees); a SHA-256 of the executable file itself ("exe-" +
+// the first 16 hex digits) when there is no VCS stamp, so two different
+// unstamped binaries — go test binaries, go run artifacts, vendored
+// builds — can never share cache entries; the main module version; and
+// only when the executable cannot even be read, "unversioned". The value
+// is computed once per process.
 func DefaultCodeVersion() string {
-	bi, ok := debug.ReadBuildInfo()
-	if !ok {
-		return "unversioned"
-	}
-	var rev, modified string
-	for _, s := range bi.Settings {
-		switch s.Key {
-		case "vcs.revision":
-			rev = s.Value
-		case "vcs.modified":
-			if s.Value == "true" {
-				modified = "+dirty"
+	codeVersionOnce.Do(func() {
+		bi, _ := debug.ReadBuildInfo()
+		codeVersion = codeVersionFrom(bi, executableHash)
+	})
+	return codeVersion
+}
+
+var (
+	codeVersionOnce sync.Once
+	codeVersion     string
+)
+
+// codeVersionFrom implements DefaultCodeVersion's fallback chain over
+// injectable inputs so every tier is unit-testable.
+func codeVersionFrom(bi *debug.BuildInfo, exeHash func() string) string {
+	if bi != nil {
+		var rev, modified string
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				rev = s.Value
+			case "vcs.modified":
+				if s.Value == "true" {
+					modified = "+dirty"
+				}
 			}
 		}
+		if rev != "" {
+			return rev + modified
+		}
 	}
-	if rev != "" {
-		return rev + modified
+	if h := exeHash(); h != "" {
+		return "exe-" + h[:16]
 	}
-	if v := bi.Main.Version; v != "" && v != "(devel)" {
-		return v
+	if bi != nil {
+		if v := bi.Main.Version; v != "" && v != "(devel)" {
+			return v
+		}
 	}
 	return "unversioned"
+}
+
+// executableHash returns the hex SHA-256 of the running executable's file
+// contents, or "" when it cannot be determined.
+func executableHash() string {
+	exe, err := os.Executable()
+	if err != nil {
+		return ""
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return ""
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return ""
+	}
+	return hex.EncodeToString(h.Sum(nil))
 }
 
 // ResultHash is the content address of a serialized result: a SHA-256 over

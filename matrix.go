@@ -62,11 +62,16 @@ func CodeVersion() string { return store.DefaultCodeVersion() }
 //     config, code version); a warm re-run hits the store for every
 //     unchanged cell and only explores what changed.
 //
+//   - With WithCampaignService, the whole campaign is submitted as one job
+//     to an always-on `soft campaignd` coordinator and the canonical
+//     report is fetched back — byte-identical to running it here.
+//
 // Cancelling ctx aborts the campaign with ctx's error (a partial campaign
 // has no deterministic meaning). Options: WithMaxPaths, WithMaxDepth,
 // WithModels, WithClauseSharing, WithWorkers, WithBudget, WithStore,
 // WithCodeVersion, WithFleetListener, WithShardDepth, WithAdaptiveShards,
-// WithLeaseTimeout, WithCrossCheck, WithProgress, WithLog.
+// WithLeaseTimeout, WithCrossCheck, WithCampaignService, WithTenant,
+// WithProgress, WithLog.
 func RunMatrix(ctx context.Context, agents, tests []string, opts ...Option) (*MatrixReport, error) {
 	cfg := newConfig(opts)
 	if len(agents) == 0 {
@@ -76,6 +81,9 @@ func RunMatrix(ctx context.Context, agents, tests []string, opts ...Option) (*Ma
 		for _, t := range Tests() {
 			tests = append(tests, t.Name)
 		}
+	}
+	if cfg.campaignURL != "" {
+		return runMatrixRemote(ctx, cfg, agents, tests)
 	}
 	o := sched.Options{
 		MaxPaths:      cfg.maxPaths,

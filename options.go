@@ -38,6 +38,9 @@ type config struct {
 	codeVersion  string
 	fleetLn      net.Listener
 	noCrossCheck bool
+
+	campaignURL string
+	tenant      string
 }
 
 func newConfig(opts []Option) *config {
@@ -161,6 +164,23 @@ func WithFleetListener(ln net.Listener) Option { return func(c *config) { c.flee
 // false explores (and caches) the matrix cells without crosschecking agent
 // pairs.
 func WithCrossCheck(on bool) Option { return func(c *config) { c.noCrossCheck = !on } }
+
+// WithCampaignService routes RunMatrix through an always-on campaign
+// service (`soft campaignd`) at baseURL instead of running in-process: the
+// matrix is submitted as one job, progress streams back through
+// WithProgress, and the returned report is parsed from the service's
+// canonical bytes — byte-identical to a local run of the same campaign,
+// but carrying the canonical surface only (no in-memory cell results).
+// Store, fleet, and worker options then live with the service;
+// WithFleetListener is mutually exclusive with this option.
+func WithCampaignService(baseURL string) Option {
+	return func(c *config) { c.campaignURL = baseURL }
+}
+
+// WithTenant names the submitting tenant for campaign-service jobs
+// (default "default"). The service schedules fair-share across tenants,
+// so one backlogged tenant cannot starve the rest.
+func WithTenant(name string) Option { return func(c *config) { c.tenant = name } }
 
 // WithLeaseTimeout bounds how long a distributed shard may stay leased to
 // one worker before the coordinator re-offers it to another (Serve and
