@@ -12,9 +12,15 @@
 #   make e2e-serve     campaign-service e2e (submit to soft campaignd,
 #                      SIGKILL the daemon mid-campaign, restart on the same
 #                      store, byte-identity of the resumed report)
+#   make e2e-scenario  scenario determinism e2e (sequential vs 4 workers vs a
+#                      2-worker fleet, byte-identity) plus the pinned stateful
+#                      ref-vs-ovs regression
 #   make dist-demo     run a coordinator and two workers locally for a quick look
 #   make bench-matrix  campaign throughput metrics: cold + warm 2×2 campaign,
 #                      writes BENCH_matrix.json (cells/sec, cache-hit rate)
+#   make bench-scenario cold scenario exploration baselines (paths/sec at
+#                      1/2/4/8 workers over two seed scenarios), merged into
+#                      BENCH_matrix.json's scenario_cold object
 #   make bench         the paper's evaluation benches + parallel scaling benches
 #   make bench-solver  solver-stack scaling benches (parallel explore, clause
 #                      sharing, sharded-cache crosscheck) — run on multicore
@@ -24,7 +30,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race e2e-dist e2e-matrix e2e-serve dist-demo bench bench-matrix bench-solver bench-smoke check
+.PHONY: build vet test race e2e-dist e2e-matrix e2e-serve e2e-scenario dist-demo bench bench-matrix bench-scenario bench-solver bench-smoke check
 
 build:
 	$(GO) build ./...
@@ -36,7 +42,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/sat/ ./internal/bitblast/ ./internal/symexec/ ./internal/harness/ ./internal/solver/ ./internal/crosscheck/ ./internal/dist/ ./internal/sched/ ./internal/campaignd/ .
+	$(GO) test -race ./internal/sat/ ./internal/bitblast/ ./internal/symexec/ ./internal/harness/ ./internal/solver/ ./internal/crosscheck/ ./internal/dist/ ./internal/sched/ ./internal/campaignd/ ./internal/scenario/ .
 
 e2e-dist:
 	$(GO) test -run TestDistE2E -v ./cmd/soft/
@@ -46,6 +52,9 @@ e2e-matrix:
 
 e2e-serve:
 	$(GO) test -run TestCampaignServeE2E -v ./cmd/soft/
+
+e2e-scenario:
+	$(GO) test -run 'TestScenarioDeterminismAcrossLayouts|TestScenarioExposesStatefulInconsistency' -v .
 
 # Campaign throughput trajectory: run the same small campaign cold (store
 # empty) then warm (all cells cached); both passes merge their metrics into
@@ -63,6 +72,20 @@ bench-matrix:
 		-tests "Packet Out,Stats Request" -store $$store \
 		-code-version bench -bench-json BENCH_matrix.json >/dev/null; \
 	status=$$?; rm -rf $$store; exit $$status
+	@cat BENCH_matrix.json
+
+# Cold scenario exploration baselines: paths/sec for two seed scenarios at
+# 1/2/4/8 workers, each run engine-cold (no store involved — the metric is
+# raw multi-message exploration throughput). Results merge into
+# BENCH_matrix.json's "scenario_cold" object keyed "<scenario>/w<N>".
+bench-scenario:
+	$(GO) build -o /tmp/soft-bench-scenario-bin ./cmd/soft
+	@for sc in "Add Modify" "Netplugin VXLAN"; do \
+		for w in 1 2 4 8; do \
+			/tmp/soft-bench-scenario-bin explore -scenario "$$sc" -workers $$w \
+				-bench-json BENCH_matrix.json -o /dev/null || exit 1; \
+		done; \
+	done
 	@cat BENCH_matrix.json
 
 # A 10-second look at distributed exploration on one machine: coordinator on

@@ -33,13 +33,16 @@ type (
 	CampaignJobState = campaignd.JobState
 )
 
-// Campaign job lifecycle states: queued → running → done | failed. A
-// coordinator restart moves running jobs back to queued, never to failed.
+// Campaign job lifecycle states: queued → running → done | failed |
+// cancelled. A coordinator restart moves running jobs back to queued,
+// never to failed; cancellation is journaled as terminal, so a restart
+// never requeues a cancelled job.
 const (
-	CampaignQueued  = campaignd.StateQueued
-	CampaignRunning = campaignd.StateRunning
-	CampaignDone    = campaignd.StateDone
-	CampaignFailed  = campaignd.StateFailed
+	CampaignQueued    = campaignd.StateQueued
+	CampaignRunning   = campaignd.StateRunning
+	CampaignDone      = campaignd.StateDone
+	CampaignFailed    = campaignd.StateFailed
+	CampaignCancelled = campaignd.StateCancelled
 )
 
 // NewCampaignClient returns a client for the campaign service at baseURL

@@ -31,6 +31,7 @@ func runCampaignd(e *env, args []string) error {
 	codeVersion := fs.String("code-version", "", "override the cache key's code version (default: the binary's VCS build stamp)")
 	storeMigrate := fs.Bool("store-migrate", false, "re-stamp a store recorded under a different code version instead of refusing it")
 	maxActive := fs.Int("max-active", 0, "concurrently running jobs (0 = default 2); queued jobs wait fair-share across tenants")
+	retain := fs.Int("retain", 0, "keep only the newest N terminal job records, pruning older ones at startup and as jobs finish (0 = keep all)")
 	workers := fs.Int("workers", 0, "in-process parallelism per job (0 = GOMAXPROCS)")
 	shardDepth := fs.String("shard-depth", "", "fleet frontier split depth: an integer, or \"auto\" for progress-driven balancing")
 	leaseTimeout := fs.Duration("lease-timeout", 0, "re-offer a fleet shard not completed in this long (0 = default, negative = never)")
@@ -65,6 +66,7 @@ func runCampaignd(e *env, args []string) error {
 		Store:       st,
 		CodeVersion: cv,
 		MaxActive:   *maxActive,
+		Retain:      *retain,
 		Workers:     *workers,
 		ShardDepth:  depth,
 		Adaptive:    adaptive,

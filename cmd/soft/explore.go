@@ -2,6 +2,7 @@ package main
 
 import (
 	"context"
+	"flag"
 	"fmt"
 	"os"
 	"sync"
@@ -22,6 +23,7 @@ func runExplore(e *env, args []string) error {
 	fs := newFlags(e, "explore")
 	agentName := fs.String("agent", "ref", "agent under test (see 'soft agents')")
 	testName := fs.String("test", "Packet Out", "Table 1 test name (see 'soft tests')")
+	scenarioName := fs.String("scenario", "", "scenario name instead of -test (see 'soft scenarios'; accepts gen:<index>)")
 	out := fs.String("o", "", "output file (default stdout)")
 	maxPaths := fs.Int("max-paths", 0, "cap on explored paths (0 = default)")
 	models := fs.Bool("models", true, "extract a concrete input example per path")
@@ -31,6 +33,7 @@ func runExplore(e *env, args []string) error {
 	timeout := fs.Duration("timeout", 0, "wall-clock limit; on expiry the partial result is still written")
 	progress := fs.Bool("progress", false, "report exploration progress on stderr")
 	verbose := fs.Bool("v", false, "report solver statistics (queries, cache hits, clause exchange) on stderr")
+	benchJSON := fs.String("bench-json", "", "merge this run's cold paths/sec into a bench JSON file (scenario runs only)")
 	if err := parse(fs, args); err != nil {
 		return err
 	}
@@ -42,9 +45,31 @@ func runExplore(e *env, args []string) error {
 	if err != nil {
 		return usageError{err}
 	}
-	t, ok := soft.TestByName(*testName)
-	if !ok {
-		return usagef("unknown test %q (run 'soft tests')", *testName)
+	var explicitTest bool
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "test" {
+			explicitTest = true
+		}
+	})
+	var t soft.Test
+	if *scenarioName != "" {
+		if explicitTest {
+			return usagef("-test and -scenario are mutually exclusive")
+		}
+		sc, ok := soft.ScenarioByName(*scenarioName)
+		if !ok {
+			return usagef("unknown scenario %q (run 'soft scenarios')", *scenarioName)
+		}
+		t = sc.Test()
+	} else {
+		var ok bool
+		t, ok = soft.TestByName(*testName)
+		if !ok {
+			return usagef("unknown test %q (run 'soft tests')", *testName)
+		}
+	}
+	if *benchJSON != "" && *scenarioName == "" {
+		return usagef("-bench-json requires -scenario")
 	}
 
 	ctx := context.Background()
@@ -93,6 +118,11 @@ func runExplore(e *env, args []string) error {
 	if *verbose {
 		fmt.Fprintf(e.stderr, "soft explore: %s\n", describeStats(res.SolverStats, res.BranchQueries))
 	}
+	if *benchJSON != "" {
+		if err := mergeScenarioBench(*benchJSON, *scenarioName, *workers, res); err != nil {
+			return err
+		}
+	}
 
 	if *out == "" {
 		return soft.WriteResults(e.stdout, res)
@@ -127,6 +157,29 @@ func agentsCmd() *command {
 				}
 				fmt.Fprintf(e.stdout, "%-10s %s\n", name, a.Name())
 			}
+			return nil
+		},
+	}
+}
+
+func scenariosCmd() *command {
+	return &command{
+		name:     "scenarios",
+		synopsis: "list the registered stateful multi-message scenarios",
+		run: func(e *env, args []string) error {
+			fs := newFlags(e, "scenarios")
+			if err := parse(fs, args); err != nil {
+				return err
+			}
+			if fs.NArg() != 0 {
+				return usagef("unexpected arguments %q", fs.Args())
+			}
+			for _, sc := range soft.Scenarios() {
+				fmt.Fprintf(e.stdout, "%-22s %s\n", sc.Name, sc.Desc)
+			}
+			fmt.Fprintf(e.stdout, "%-22s %s\n",
+				fmt.Sprintf("gen:0 .. gen:%d", soft.GeneratedScenarioCount()-1),
+				"Deterministic bounded step-sequence templates (resolved by index, no registration needed).")
 			return nil
 		},
 	}

@@ -131,6 +131,7 @@ func runJobs(e *env, args []string) error {
 	fs := newFlags(e, "jobs")
 	service := serviceFlag(fs)
 	tenant := fs.String("tenant", "", "list only this tenant's jobs")
+	cancel := fs.String("cancel", "", "cancel this job id (queued: dequeued; running: aborted) instead of listing")
 	if err := parse(fs, args); err != nil {
 		return err
 	}
@@ -138,6 +139,14 @@ func runJobs(e *env, args []string) error {
 		return usagef("unexpected arguments %q", fs.Args())
 	}
 	cl := soft.NewCampaignClient(*service)
+	if *cancel != "" {
+		j, err := cl.Cancel(context.Background(), *cancel)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(e.stdout, "cancelled %s (tenant %s)\n", j.ID, j.Spec.Tenant)
+		return nil
+	}
 	jobs, err := cl.Jobs(context.Background(), *tenant)
 	if err != nil {
 		return err

@@ -59,6 +59,7 @@ func commands() []*command {
 		quickstartCmd(),
 		agentsCmd(),
 		testsCmd(),
+		scenariosCmd(),
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"net"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strconv"
 	"strings"
 	"sync"
@@ -56,6 +57,7 @@ func runMatrix(e *env, args []string) error {
 	fs := newFlags(e, "matrix")
 	agentsFlag := fs.String("agents", "", "comma-separated agent names (default: all registered; see 'soft agents')")
 	testsFlag := fs.String("tests", "", "comma-separated Table 1 test names (default: the whole suite; see 'soft tests')")
+	scenariosFlag := fs.String("scenarios", "", "comma-separated scenario names to add as matrix columns (\"all\" = every registered scenario; accepts gen:<index>)")
 	addr := fs.String("addr", "", "listen for a soft-work fleet on this TCP address (use :0 for an ephemeral port); empty explores in-process")
 	workers := fs.Int("workers", 0, "in-process parallelism: exploration workers per cell (fleetless) and crosscheck solver workers (0 = GOMAXPROCS)")
 	maxPaths := fs.Int("max-paths", 0, "cap on explored paths per cell (0 = default); campaign truncation is canonical")
@@ -98,6 +100,17 @@ func runMatrix(e *env, args []string) error {
 			return usagef("unknown test %q (run 'soft tests')", t)
 		}
 	}
+	var scenarios []string
+	if *scenariosFlag == "all" {
+		scenarios = soft.ScenarioNames()
+	} else {
+		scenarios = splitList(*scenariosFlag)
+		for _, sc := range scenarios {
+			if _, ok := soft.ScenarioByName(sc); !ok {
+				return usagef("unknown scenario %q (run 'soft scenarios')", sc)
+			}
+		}
+	}
 	depth, adaptive, err := parseShardDepth(*shardDepth)
 	if err != nil {
 		return usageError{err}
@@ -127,6 +140,7 @@ func runMatrix(e *env, args []string) error {
 	}
 
 	opts := []soft.Option{
+		soft.WithScenarios(scenarios...),
 		soft.WithWorkers(*workers),
 		soft.WithMaxPaths(*maxPaths),
 		soft.WithModels(*models),
@@ -323,6 +337,54 @@ type benchFile struct {
 	Cold   *benchMetrics `json:"cold,omitempty"`
 	Warm   *benchMetrics `json:"warm,omitempty"`
 	Mixed  *benchMetrics `json:"mixed,omitempty"`
+	// ScenarioCold holds cold engine baselines from
+	// `soft explore -scenario X -workers N -bench-json`, keyed
+	// "<scenario>/w<N>" — raw paths/sec with no store in the loop (the
+	// ROADMAP "honest performance trajectory" numbers). Additive to the
+	// v2 schema: files without it parse unchanged.
+	ScenarioCold map[string]*scenarioBenchMetrics `json:"scenario_cold,omitempty"`
+}
+
+// scenarioBenchMetrics is one cold scenario exploration: pure engine
+// throughput, no cache anywhere.
+type scenarioBenchMetrics struct {
+	Workers     int     `json:"workers"`
+	Paths       int     `json:"paths"`
+	ElapsedSec  float64 `json:"elapsed_sec"`
+	PathsPerSec float64 `json:"paths_per_sec"`
+}
+
+// mergeScenarioBench merges one cold scenario run into the bench file
+// (same read-modify-write shape as writeBenchJSON, same schema).
+func mergeScenarioBench(path, scenarioName string, workers int, res *soft.Result) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	m := &scenarioBenchMetrics{
+		Workers:    workers,
+		Paths:      len(res.Paths),
+		ElapsedSec: res.Elapsed.Seconds(),
+	}
+	if s := res.Elapsed.Seconds(); s > 0 {
+		m.PathsPerSec = float64(len(res.Paths)) / s
+	}
+	var f benchFile
+	if existing, err := os.ReadFile(path); err == nil {
+		var parsed benchFile
+		if json.Unmarshal(existing, &parsed) == nil && parsed.Schema == benchSchema {
+			f = parsed
+		}
+	}
+	f.Schema = benchSchema
+	if f.ScenarioCold == nil {
+		f.ScenarioCold = map[string]*scenarioBenchMetrics{}
+	}
+	f.ScenarioCold[fmt.Sprintf("%s/w%d", scenarioName, workers)] = m
+	data, err := json.MarshalIndent(&f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 const benchSchema = "soft-bench-matrix v2"

@@ -12,6 +12,7 @@ import (
 	_ "github.com/soft-testing/soft/internal/agents/modified"  // register "modified"
 	_ "github.com/soft-testing/soft/internal/agents/ovs"       // register "ovs"
 	_ "github.com/soft-testing/soft/internal/agents/refswitch" // register "ref"
+	_ "github.com/soft-testing/soft/internal/scenario"         // register the scenario test source
 	"github.com/soft-testing/soft/internal/sched"
 	"github.com/soft-testing/soft/internal/store"
 )
@@ -311,4 +312,230 @@ func waitState(t *testing.T, s *Server, id string, want JobState) {
 		time.Sleep(20 * time.Millisecond)
 	}
 	t.Fatalf("job %s never reached %s", id, want)
+}
+
+// TestCancelQueuedJob cancels a job before any scheduler runs: the job
+// must leave the queue, journal as terminal cancelled, refuse a second
+// cancel, and stay cancelled across a coordinator restart.
+func TestCancelQueuedJob(t *testing.T) {
+	dir := t.TempDir()
+	s := newTestServer(t, dir) // never started: jobs stay queued
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	cl := NewClient(ts.URL)
+	ctx := context.Background()
+
+	first, err := cl.Submit(ctx, smallSpec("alice"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := cl.Submit(ctx, smallSpec("alice"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := cl.Cancel(ctx, first.ID)
+	if err != nil {
+		t.Fatalf("Cancel: %v", err)
+	}
+	if got.State != StateCancelled || got.FinishedUnix == 0 {
+		t.Fatalf("cancelled job = %+v, want terminal cancelled", got)
+	}
+	if _, err := cl.Cancel(ctx, first.ID); err == nil || !strings.Contains(err.Error(), "409") {
+		t.Fatalf("second Cancel = %v, want a 409", err)
+	}
+	if _, err := cl.Cancel(ctx, "j999999"); err == nil || !strings.Contains(err.Error(), "404") {
+		t.Fatalf("Cancel(unknown) = %v, want a 404", err)
+	}
+	st, err := cl.Status(ctx)
+	if err != nil || st.Cancelled != 1 || st.Queued != 1 {
+		t.Fatalf("Status = %+v (err %v), want 1 cancelled + 1 queued", st, err)
+	}
+
+	// A restarted coordinator must replay the cancellation as terminal —
+	// never requeue it — while the untouched job keeps its place.
+	s.Close()
+	ts.Close()
+	s2 := newTestServer(t, dir)
+	defer s2.Close()
+	if j, ok := s2.Job(first.ID); !ok || j.State != StateCancelled {
+		t.Fatalf("after restart, job %s = %+v, want cancelled", first.ID, j)
+	}
+	if j, ok := s2.Job(second.ID); !ok || j.State != StateQueued {
+		t.Fatalf("after restart, job %s = %+v, want queued", second.ID, j)
+	}
+}
+
+// TestCancelRunningJob cancels mid-execution: the running matrix must
+// abort (not run to completion), the job must settle as cancelled rather
+// than requeued or failed, and the scheduler slot must free up for the
+// next job.
+func TestCancelRunningJob(t *testing.T) {
+	s := newTestServer(t, t.TempDir())
+	ctx, cancel := context.WithCancel(context.Background())
+	defer func() { cancel(); s.Close() }()
+	s.Start(ctx)
+
+	// An expensive matrix so the job is reliably still running when the
+	// cancel lands; cancellation must cut it short long before the
+	// 120-second waitState ceiling.
+	slow := JobSpec{
+		Tenant:      "alice",
+		Agents:      []string{"ref", "ovs"},
+		Tests:       []string{"FlowMod", "Eth FlowMod"},
+		Models:      true,
+		CrossCheck:  true,
+		CodeVersion: "test-v1",
+	}
+	j, err := s.Submit(slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, s, j.ID, StateRunning)
+	rec, err := s.Cancel(j.ID)
+	if err != nil {
+		t.Fatalf("Cancel: %v", err)
+	}
+	if rec.State != StateCancelled {
+		t.Fatalf("Cancel returned state %s, want cancelled", rec.State)
+	}
+
+	// The execute goroutine unwinds: running drops to zero and the state
+	// stays cancelled (no requeue, no failure).
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		st := s.Status()
+		if st.Running == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("running count never drained after cancel: %+v", st)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if got, _ := s.Job(j.ID); got.State != StateCancelled {
+		t.Fatalf("job settled as %s, want cancelled", got.State)
+	}
+
+	// The freed slot must schedule new work.
+	next, err := s.Submit(smallSpec("alice"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, s, next.ID, StateDone)
+}
+
+// TestRetentionPrunesTerminalJobs bounds the journal with Retain=2: of
+// four terminal jobs only the newest two survive — in memory, in the
+// journal directory, and across a restart — while live jobs are immune.
+func TestRetentionPrunesTerminalJobs(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{Store: st, CodeVersion: "test-v1", Workers: 4, Retain: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	var ids []string
+	for i := 0; i < 5; i++ {
+		j, err := s.Submit(smallSpec("alice"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, j.ID)
+	}
+	// Cancellation is the cheapest terminal transition: retire the first
+	// four jobs oldest-first, leaving the fifth queued.
+	for _, id := range ids[:4] {
+		if _, err := s.Cancel(id); err != nil {
+			t.Fatalf("Cancel(%s): %v", id, err)
+		}
+	}
+
+	jobs := s.Jobs("")
+	var kept []string
+	for _, j := range jobs {
+		kept = append(kept, j.ID)
+	}
+	want := []string{ids[2], ids[3], ids[4]}
+	if len(kept) != len(want) || kept[0] != want[0] || kept[1] != want[1] || kept[2] != want[2] {
+		t.Fatalf("after pruning, jobs = %v, want %v", kept, want)
+	}
+	if j, _ := s.Job(ids[4]); j.State != StateQueued {
+		t.Fatalf("live job was disturbed by retention: %+v", j)
+	}
+
+	// The journal on disk must agree (pruned records deleted durably).
+	jr, err := openJournal(st.Dir() + "/campaignd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	onDisk, err := jr.jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(onDisk) != 3 {
+		t.Fatalf("journal holds %d records after pruning, want 3", len(onDisk))
+	}
+
+	// Startup pruning: reopen with a tighter bound and the replayed
+	// backlog shrinks again.
+	s.Close()
+	st2, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := New(Config{Store: st2, CodeVersion: "test-v1", Workers: 4, Retain: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if jobs := s2.Jobs(""); len(jobs) != 2 || jobs[0].ID != ids[3] || jobs[1].ID != ids[4] {
+		got := make([]string, 0, len(jobs))
+		for _, j := range jobs {
+			got = append(got, j.ID)
+		}
+		t.Fatalf("after tighter restart, jobs = %v, want [%s %s]", got, ids[3], ids[4])
+	}
+}
+
+// TestSubmitAcceptsScenarioNames checks the campaign service resolves
+// scenario-backed tests through the shared test registry: a scenario job
+// validates, runs, and reports like any Table 1 job.
+func TestSubmitAcceptsScenarioNames(t *testing.T) {
+	s := newTestServer(t, t.TempDir())
+	ctx, cancel := context.WithCancel(context.Background())
+	defer func() { cancel(); s.Close() }()
+	s.Start(ctx)
+	spec := JobSpec{
+		Tenant:      "alice",
+		Agents:      []string{"ref", "ovs"},
+		Tests:       []string{"Add Modify"},
+		Models:      true,
+		CrossCheck:  true,
+		CodeVersion: "test-v1",
+	}
+	j, err := s.Submit(spec)
+	if err != nil {
+		t.Fatalf("Submit(scenario): %v", err)
+	}
+	waitState(t, s, j.ID, StateDone)
+	final, _ := s.Job(j.ID)
+	if final.Inconsistencies < 1 {
+		t.Fatalf("scenario job found %d inconsistencies, want at least 1 (the stateful nw_tos divergence)", final.Inconsistencies)
+	}
+	if want := referenceBytes(t, spec); true {
+		got, ok, err := s.Report(j.ID)
+		if err != nil || !ok {
+			t.Fatalf("Report: ok=%t err=%v", ok, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatal("scenario job report differs from a direct sched run")
+		}
+	}
 }

@@ -107,6 +107,17 @@ func (c *Client) Job(ctx context.Context, id string) (*Job, error) {
 	return &j, nil
 }
 
+// Cancel cancels a queued or running job and returns its terminal record.
+// Unknown jobs and already-terminal jobs are errors (the service answers
+// 404 and 409 respectively).
+func (c *Client) Cancel(ctx context.Context, id string) (*Job, error) {
+	var j Job
+	if err := c.do(ctx, http.MethodDelete, apiPrefix+"/jobs/"+url.PathEscape(id), nil, &j); err != nil {
+		return nil, err
+	}
+	return &j, nil
+}
+
 // Report fetches a done job's canonical report bytes.
 func (c *Client) Report(ctx context.Context, id string) ([]byte, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet,

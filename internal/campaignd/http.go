@@ -2,6 +2,7 @@ package campaignd
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strings"
@@ -14,10 +15,11 @@ const apiPrefix = "/api/v1"
 //
 //	POST /api/v1/jobs             submit a JobSpec, 202 + the Job record
 //	GET  /api/v1/jobs[?tenant=t]  list jobs (submission order)
-//	GET  /api/v1/jobs/<id>        one job record
-//	GET  /api/v1/jobs/<id>/events SSE progress stream until terminal
-//	GET  /api/v1/jobs/<id>/report canonical report bytes (done jobs)
-//	GET  /api/v1/status           daemon counters
+//	GET    /api/v1/jobs/<id>        one job record
+//	DELETE /api/v1/jobs/<id>        cancel a queued or running job
+//	GET    /api/v1/jobs/<id>/events SSE progress stream until terminal
+//	GET    /api/v1/jobs/<id>/report canonical report bytes (done jobs)
+//	GET    /api/v1/status           daemon counters
 //
 // Routing is written against go1.21 ServeMux semantics (no method or
 // wildcard patterns).
@@ -69,8 +71,22 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, "no such job %q", id)
 		return
 	}
+	if r.Method == http.MethodDelete && sub == "" {
+		j, err := s.Cancel(id)
+		switch {
+		case errors.Is(err, ErrUnknownJob):
+			httpError(w, http.StatusNotFound, "no such job %q", id)
+		case errors.Is(err, ErrJobTerminal):
+			httpError(w, http.StatusConflict, "%v", err)
+		case err != nil:
+			httpError(w, http.StatusInternalServerError, "%v", err)
+		default:
+			writeJSON(w, http.StatusOK, j)
+		}
+		return
+	}
 	if r.Method != http.MethodGet {
-		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		httpError(w, http.StatusMethodNotAllowed, "GET only (DELETE on the job itself)")
 		return
 	}
 	switch sub {

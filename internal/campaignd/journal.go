@@ -13,19 +13,24 @@ import (
 // JobState is a job's position in the service lifecycle.
 type JobState string
 
-// The job lifecycle: queued → running → done | failed. A coordinator
-// restart moves running jobs back to queued (the journal's replay), never
-// to failed — execution state below the job level is recovered from the
-// result store, not the journal.
+// The job lifecycle: queued → running → done | failed | cancelled. A
+// coordinator restart moves running jobs back to queued (the journal's
+// replay), never to failed — execution state below the job level is
+// recovered from the result store, not the journal. Cancellation is
+// journaled as a terminal state, so a restarted coordinator does not
+// requeue a cancelled job.
 const (
-	StateQueued  JobState = "queued"
-	StateRunning JobState = "running"
-	StateDone    JobState = "done"
-	StateFailed  JobState = "failed"
+	StateQueued    JobState = "queued"
+	StateRunning   JobState = "running"
+	StateDone      JobState = "done"
+	StateFailed    JobState = "failed"
+	StateCancelled JobState = "cancelled"
 )
 
 // terminal reports whether a state is final.
-func (s JobState) terminal() bool { return s == StateDone || s == StateFailed }
+func (s JobState) terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
 
 // JobSpec is what a client submits: one campaign matrix plus the engine
 // configuration its cells share. Empty Agents/Tests mean "all registered";
@@ -194,6 +199,20 @@ func (jr *journal) writeAtomic(path string, data []byte) error {
 		return fmt.Errorf("campaignd: %w", err)
 	}
 	return nil
+}
+
+// remove deletes a job's journal record and report (retention pruning).
+// Missing files are fine — a cancelled or failed job has no report.
+func (jr *journal) remove(id string) error {
+	var firstErr error
+	for _, path := range []string{jr.jobPath(id), jr.reportPath(id)} {
+		if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("campaignd: %w", err)
+			}
+		}
+	}
+	return firstErr
 }
 
 // jobID renders the canonical id for a submission sequence number.

@@ -3,6 +3,7 @@ package campaignd
 import (
 	"bytes"
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"sync"
@@ -36,6 +37,11 @@ type Config struct {
 	ShardDepth int
 	Adaptive   bool
 	SplitAfter time.Duration
+	// Retain, when positive, bounds the journal: only the newest Retain
+	// terminal job records (done, failed, cancelled) are kept; older ones
+	// are pruned — journal record and report included — at startup and as
+	// jobs finish. Zero keeps everything. Live jobs are never pruned.
+	Retain int
 	// Log, when set, receives one line per service lifecycle event.
 	Log io.Writer
 }
@@ -58,6 +64,7 @@ type Status struct {
 	Running     int              `json:"running"`
 	Done        int              `json:"done"`
 	Failed      int              `json:"failed"`
+	Cancelled   int              `json:"cancelled"`
 	Tenants     int              `json:"tenants"`
 	FleetStats  *dist.FleetStats `json:"fleet_stats,omitempty"`
 }
@@ -83,6 +90,7 @@ type Server struct {
 	runningBy  map[string]int    // tenant → running job count
 	lastServed map[string]uint64 // tenant → dispatchSeq when last scheduled
 	subs       map[string]map[chan Event]bool
+	cancels    map[string]context.CancelFunc // running job id → abort its execution
 	nextSeq    uint64
 	dispatch   uint64 // global dispatch counter (jobs' StartSeq)
 	running    int
@@ -120,6 +128,7 @@ func New(cfg Config) (*Server, error) {
 		runningBy:  map[string]int{},
 		lastServed: map[string]uint64{},
 		subs:       map[string]map[chan Event]bool{},
+		cancels:    map[string]context.CancelFunc{},
 		nextSeq:    1,
 	}
 	s.cond = sync.NewCond(&s.mu)
@@ -153,6 +162,7 @@ func New(cfg Config) (*Server, error) {
 	if len(replayed) > 0 {
 		s.logf("journal replayed: %d job(s), %d resumed from a dead coordinator", len(replayed), resumed)
 	}
+	s.prune()
 	return s, nil
 }
 
@@ -366,6 +376,8 @@ func (s *Server) Status() Status {
 			st.Done++
 		case StateFailed:
 			st.Failed++
+		case StateCancelled:
+			st.Cancelled++
 		}
 	}
 	s.mu.Unlock()
@@ -409,6 +421,10 @@ func (s *Server) schedule(ctx context.Context) {
 		s.running++
 		s.runningBy[j.Spec.Tenant]++
 		s.lastServed[j.Spec.Tenant] = s.dispatch
+		// Each job runs under its own child context so Cancel can abort it
+		// without touching the scheduler or its siblings.
+		jctx, jcancel := context.WithCancel(ctx)
+		s.cancels[j.ID] = jcancel
 		rec := j.clone()
 		s.publishLocked(j)
 		s.mu.Unlock()
@@ -423,7 +439,11 @@ func (s *Server) schedule(ctx context.Context) {
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
-			s.execute(ctx, j)
+			defer jcancel()
+			s.execute(jctx, j)
+			s.mu.Lock()
+			delete(s.cancels, j.ID)
+			s.mu.Unlock()
 		}()
 	}
 }
@@ -454,6 +474,18 @@ func (s *Server) execute(ctx context.Context, j *Job) {
 		Log:           s.cfg.Log,
 	})
 
+	// Every transition below yields to an already-journaled cancellation:
+	// once Cancel marked the job, no completion, failure, or requeue may
+	// overwrite the terminal cancelled state.
+	cancelled := false
+	yield := func(j *Job) bool {
+		if j.State == StateCancelled {
+			cancelled = true
+			return true
+		}
+		return false
+	}
+
 	if err == nil {
 		var buf bytes.Buffer
 		if werr := rep.Write(&buf); werr == nil {
@@ -464,10 +496,17 @@ func (s *Server) execute(ctx context.Context, j *Job) {
 		}
 		if err == nil {
 			s.finish(j, func(j *Job) {
+				if yield(j) {
+					return
+				}
 				j.State = StateDone
 				j.Done = j.Total
 				j.Inconsistencies = rep.Inconsistencies()
 			})
+			if cancelled {
+				s.logf("job %s cancelled (completed result discarded)", j.ID)
+				return
+			}
 			s.logf("job %s done: %d cells, %d checks, %d inconsistencies, %d/%d cache hits",
 				j.ID, len(rep.Cells), len(rep.Checks), rep.Inconsistencies(),
 				rep.CacheHits, rep.CacheHits+rep.CacheMisses)
@@ -476,20 +515,35 @@ func (s *Server) execute(ctx context.Context, j *Job) {
 	}
 
 	if ctx.Err() != nil {
-		// Shutdown, not failure: the job goes back to the queue — in the
-		// journal too — so the next coordinator resumes it warm.
+		// The job's context died: either the whole coordinator is shutting
+		// down (requeue so the next one resumes warm) or this job was
+		// cancelled (keep the journaled terminal state).
 		s.finish(j, func(j *Job) {
+			if yield(j) {
+				return
+			}
 			j.State = StateQueued
 			j.Done, j.Total = 0, 0
 		})
-		s.logf("job %s requeued (shutdown)", j.ID)
+		if cancelled {
+			s.logf("job %s cancelled (execution aborted)", j.ID)
+		} else {
+			s.logf("job %s requeued (shutdown)", j.ID)
+		}
 		return
 	}
 	msg := err.Error()
 	s.finish(j, func(j *Job) {
+		if yield(j) {
+			return
+		}
 		j.State = StateFailed
 		j.Error = msg
 	})
+	if cancelled {
+		s.logf("job %s cancelled (failure superseded)", j.ID)
+		return
+	}
 	s.logf("job %s failed: %s", j.ID, msg)
 }
 
@@ -517,7 +571,116 @@ func (s *Server) finish(j *Job, apply func(*Job)) {
 	if err := s.jr.putJob(rec); err != nil {
 		s.logf("journal: %v", err)
 	}
+	if rec.State.terminal() {
+		s.prune()
+	}
 	s.cond.Broadcast()
+}
+
+// ErrUnknownJob and ErrJobTerminal classify Cancel failures for the API
+// layer (404 and 409 respectively).
+var (
+	ErrUnknownJob  = errors.New("campaignd: unknown job")
+	ErrJobTerminal = errors.New("campaignd: job already terminal")
+)
+
+// Cancel moves a job to the terminal cancelled state and returns its
+// record. A queued job is dequeued; a running job has its execution
+// context cancelled — completed cells stay in the store, so resubmitting
+// the same spec later resumes warm. The transition is journaled before
+// the run is interrupted, so a coordinator restarted at any instant
+// replays the job as cancelled and never requeues it.
+func (s *Server) Cancel(id string) (*Job, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	if !ok {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w %q", ErrUnknownJob, id)
+	}
+	if j.State.terminal() {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s is %s", ErrJobTerminal, id, j.State)
+	}
+	var cancelRun context.CancelFunc
+	was := j.State
+	wasQueued := was == StateQueued
+	if wasQueued {
+		q := s.queues[j.Spec.Tenant]
+		for i, cand := range q {
+			if cand == j {
+				s.queues[j.Spec.Tenant] = append(q[:i], q[i+1:]...)
+				break
+			}
+		}
+	} else {
+		cancelRun = s.cancels[id]
+	}
+	j.State = StateCancelled
+	j.FinishedUnix = time.Now().Unix()
+	rec := j.clone()
+	s.publishLocked(j)
+	for ch := range s.subs[id] {
+		close(ch)
+	}
+	delete(s.subs, id)
+	s.mu.Unlock()
+
+	// Journal before interrupting the run: the cancelled mark must be
+	// durable before execution can observe the abort and race a restart.
+	if err := s.jr.putJob(rec); err != nil {
+		s.logf("journal: %v", err)
+	}
+	if cancelRun != nil {
+		cancelRun()
+	}
+	s.logf("job %s cancelled (was %s)", id, was)
+	if wasQueued {
+		// A running job's execute unwind prunes; a dequeued job settles here.
+		s.prune()
+	}
+	s.cond.Broadcast()
+	return rec, nil
+}
+
+// prune enforces Config.Retain: keep only the newest Retain terminal job
+// records (by submission order), removing older ones from memory and from
+// the journal — report files included. Queued and running jobs are never
+// touched.
+func (s *Server) prune() {
+	if s.cfg.Retain <= 0 {
+		return
+	}
+	s.mu.Lock()
+	var terminal []string
+	for _, id := range s.order {
+		if s.jobs[id].State.terminal() {
+			terminal = append(terminal, id)
+		}
+	}
+	var victims []string
+	if drop := len(terminal) - s.cfg.Retain; drop > 0 {
+		victims = terminal[:drop]
+		gone := map[string]bool{}
+		for _, id := range victims {
+			gone[id] = true
+			delete(s.jobs, id)
+		}
+		kept := s.order[:0]
+		for _, id := range s.order {
+			if !gone[id] {
+				kept = append(kept, id)
+			}
+		}
+		s.order = kept
+	}
+	s.mu.Unlock()
+	for _, id := range victims {
+		if err := s.jr.remove(id); err != nil {
+			s.logf("retention: %v", err)
+		} else {
+			s.logf("retention: pruned job %s", id)
+		}
+	}
 }
 
 // progress records live campaign progress and fans it out to subscribers.

@@ -8,6 +8,8 @@
 package harness
 
 import (
+	"sync"
+
 	"github.com/soft-testing/soft/internal/agents"
 	"github.com/soft-testing/soft/internal/dataplane"
 	"github.com/soft-testing/soft/internal/openflow"
@@ -27,9 +29,11 @@ type Input struct {
 	Probe *dataplane.Packet
 }
 
-// Test is one experiment input sequence (a row of Table 1).
+// Test is one experiment input sequence (a row of Table 1, or a
+// registered scenario compiled down to the same shape).
 type Test struct {
-	// Name is the paper's test name ("Packet Out", "FlowMod", ...).
+	// Name is the paper's test name ("Packet Out", "FlowMod", ...) or a
+	// registered scenario name.
 	Name string
 	// Desc is the Table 1 description.
 	Desc string
@@ -38,6 +42,12 @@ type Test struct {
 	// Inputs builds the input sequence. It must be deterministic: the
 	// engine re-executes it on every path.
 	Inputs func(newSym NewSymFn) []Input
+	// DefHash identifies the input-sequence *definition* for result
+	// caching. Empty for the built-in suite (whose definitions are pinned
+	// by the code version); test sources whose definitions can change
+	// independently of the binary (scenarios) set it so edited
+	// definitions miss the store by construction.
+	DefHash string
 }
 
 // header writes a concrete OpenFlow header (§3.2.1: type and length stay
@@ -356,10 +366,36 @@ func Tests() []Test {
 	}
 }
 
-// TestByName returns the named Table 1 test.
+// testSources are extra name resolvers consulted by TestByName after the
+// built-in Table 1 suite (registered by the scenario subsystem, so every
+// layer that resolves tests by name — the scheduler, distributed workers,
+// the campaign service — resolves scenarios with no further plumbing).
+var (
+	testSourcesMu sync.RWMutex
+	testSources   []func(name string) (Test, bool)
+)
+
+// RegisterTestSource registers a test resolver consulted by TestByName
+// when a name is not in the built-in suite. Sources are tried in
+// registration order; typically called from a package init.
+func RegisterTestSource(fn func(name string) (Test, bool)) {
+	testSourcesMu.Lock()
+	defer testSourcesMu.Unlock()
+	testSources = append(testSources, fn)
+}
+
+// TestByName returns the named Table 1 test, or resolves the name
+// through the registered test sources (scenarios).
 func TestByName(name string) (Test, bool) {
 	for _, t := range Tests() {
 		if t.Name == name {
+			return t, true
+		}
+	}
+	testSourcesMu.RLock()
+	defer testSourcesMu.RUnlock()
+	for _, src := range testSources {
+		if t, ok := src(name); ok {
 			return t, true
 		}
 	}

@@ -1,0 +1,90 @@
+package scenario
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"strconv"
+
+	"github.com/soft-testing/soft/internal/harness"
+	"github.com/soft-testing/soft/internal/sym"
+)
+
+// Step is one element of a scenario: a builder for a single control
+// message or data plane probe. Build must be deterministic — the engine
+// re-executes it on every explored path.
+type Step struct {
+	// Name labels the step in descriptions and the definition hash.
+	Name string
+	// Build constructs the step's input. The NewSymFn it receives is
+	// already namespaced by step index, so two steps may both ask for a
+	// variable called "priority" without colliding.
+	Build func(newSym harness.NewSymFn) harness.Input
+}
+
+// Scenario is a named deterministic sequence of steps — a stateful
+// multi-message test case.
+type Scenario struct {
+	// Name identifies the scenario in the registry, the CLI, and matrix
+	// cells. Must not collide with a Table 1 test name.
+	Name string
+	// Desc is a one-line description.
+	Desc string
+	// Steps run in order against one agent instance, threading the
+	// agent's flow-table state from step to step.
+	Steps []Step
+}
+
+// stepSym namespaces a step's fresh symbolic variables by step index, so
+// exploration stays canonical no matter how steps are composed.
+func stepSym(i int, ns harness.NewSymFn) harness.NewSymFn {
+	prefix := "s" + strconv.Itoa(i) + "."
+	return func(name string, w int) *sym.Expr {
+		return ns(prefix+name, w)
+	}
+}
+
+// Test compiles the scenario to the harness.Test shape every layer of the
+// pipeline already schedules, explores, caches, and crosschecks.
+func (s *Scenario) Test() harness.Test {
+	steps := s.Steps
+	return harness.Test{
+		Name:     s.Name,
+		Desc:     s.Desc,
+		MsgCount: len(steps),
+		DefHash:  s.DefHash(),
+		Inputs: func(ns harness.NewSymFn) []harness.Input {
+			ins := make([]harness.Input, 0, len(steps))
+			for i, st := range steps {
+				ins = append(ins, st.Build(stepSym(i, ns)))
+			}
+			return ins
+		},
+	}
+}
+
+// DefHash hashes the scenario's *definition*: every step's built symbolic
+// bytes (messages) and canonical field rendering (probes), step-indexed.
+// It is a pure function of what the steps build — editing any byte of any
+// step changes it, so store entries keyed on it invalidate cleanly, while
+// renaming a step's Go helper or reordering unrelated code does not.
+func (s *Scenario) DefHash() string {
+	h := sha256.New()
+	io.WriteString(h, "soft-scenario v1\n")
+	for i, st := range s.Steps {
+		in := st.Build(stepSym(i, sym.Var))
+		fmt.Fprintf(h, "step %d %s\n", i, st.Name)
+		if in.Msg != nil {
+			fmt.Fprintf(h, "msg %d\n", in.Msg.Len())
+			for j := 0; j < in.Msg.Len(); j++ {
+				io.WriteString(h, in.Msg.Byte(j).String())
+				io.WriteString(h, "\n")
+			}
+		}
+		if in.Probe != nil {
+			fmt.Fprintf(h, "probe %s\n", in.Probe.CanonicalString())
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil)[:16])
+}

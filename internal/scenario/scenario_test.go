@@ -1,0 +1,213 @@
+package scenario
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/soft-testing/soft/internal/harness"
+	"github.com/soft-testing/soft/internal/openflow"
+	"github.com/soft-testing/soft/internal/sym"
+)
+
+func TestRegistrySeedsAndLookup(t *testing.T) {
+	names := Names()
+	if len(names) < 8 {
+		t.Fatalf("seed library registers %d scenarios, want at least 8", len(names))
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("Names() not sorted: %q before %q", names[i-1], names[i])
+		}
+	}
+	all := All()
+	if len(all) != len(names) {
+		t.Fatalf("All() returned %d scenarios for %d names", len(all), len(names))
+	}
+	for i, s := range all {
+		if s.Name != names[i] {
+			t.Fatalf("All()[%d].Name = %q, want %q", i, s.Name, names[i])
+		}
+		got, ok := ByName(s.Name)
+		if !ok || got != s {
+			t.Fatalf("ByName(%q) did not return the registered scenario", s.Name)
+		}
+	}
+	if _, ok := ByName("no such scenario"); ok {
+		t.Fatal("ByName resolved a nonexistent scenario")
+	}
+}
+
+func TestRegisterRejectsBadScenarios(t *testing.T) {
+	mustPanic := func(label string, s *Scenario) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("Register(%s) did not panic", label)
+			}
+		}()
+		Register(s)
+	}
+	step := Step{Name: "probe", Build: func(ns harness.NewSymFn) harness.Input {
+		return probeStep().Build(ns)
+	}}
+	mustPanic("nil", nil)
+	mustPanic("empty name", &Scenario{Steps: []Step{step}})
+	mustPanic("no steps", &Scenario{Name: "Stepless"})
+	mustPanic("gen prefix", &Scenario{Name: "gen:extra", Steps: []Step{step}})
+	mustPanic("Table 1 collision", &Scenario{Name: "Packet Out", Steps: []Step{step}})
+	mustPanic("duplicate", &Scenario{Name: Names()[0], Steps: []Step{step}})
+}
+
+// TestDefHashIsDefinitionSensitive pins the cache-key contract: equal
+// definitions hash equal across calls, and changing any part of any
+// step's built bytes changes the hash.
+func TestDefHashIsDefinitionSensitive(t *testing.T) {
+	base := func(cmd openflow.FlowModCommand) *Scenario {
+		spec := tcpMatchFM(cmd)
+		spec.actions = []actSpec{{output: 2}}
+		return &Scenario{
+			Name:  "local",
+			Steps: []Step{fmStep("install", spec), probeStep()},
+		}
+	}
+	a, b := base(openflow.FCAdd), base(openflow.FCAdd)
+	if a.DefHash() != a.DefHash() || a.DefHash() != b.DefHash() {
+		t.Fatal("DefHash is not stable across calls and equal definitions")
+	}
+	if got := a.DefHash(); len(got) != 32 {
+		t.Fatalf("DefHash length %d, want 32 hex chars", len(got))
+	}
+	if a.DefHash() == base(openflow.FCModify).DefHash() {
+		t.Fatal("changing a step's command did not change DefHash")
+	}
+
+	// A renamed step changes the hash (the name is part of the definition);
+	// so does dropping the probe.
+	renamed := base(openflow.FCAdd)
+	renamed.Steps[0].Name = "renamed"
+	if renamed.DefHash() == a.DefHash() {
+		t.Fatal("renaming a step did not change DefHash")
+	}
+	truncated := base(openflow.FCAdd)
+	truncated.Steps = truncated.Steps[:1]
+	if truncated.DefHash() == a.DefHash() {
+		t.Fatal("dropping a step did not change DefHash")
+	}
+
+	// The scenario's own Name is deliberately *not* hashed: the hash keys
+	// the definition, the name keys the registry.
+	renamedScenario := base(openflow.FCAdd)
+	renamedScenario.Name = "other"
+	if renamedScenario.DefHash() != a.DefHash() {
+		t.Fatal("renaming the scenario changed DefHash")
+	}
+
+	// Every seed and a sample of generated scenarios hash distinctly.
+	hashes := map[string]string{}
+	record := func(s *Scenario) {
+		t.Helper()
+		h := s.DefHash()
+		if prev, dup := hashes[h]; dup {
+			t.Fatalf("scenarios %q and %q share DefHash %s", prev, s.Name, h)
+		}
+		hashes[h] = s.Name
+	}
+	for _, s := range All() {
+		record(s)
+	}
+	for _, n := range []int{0, 1, 2, 40, GeneratedCount() - 1} {
+		g, ok := Generated(n)
+		if !ok {
+			t.Fatalf("Generated(%d) missing", n)
+		}
+		record(g)
+	}
+}
+
+// TestStepNamespacing checks that each step's symbolic variables are
+// prefixed by step index, so identical steps in one sequence stay
+// distinguishable and exploration stays canonical.
+func TestStepNamespacing(t *testing.T) {
+	spec := wildFM(openflow.FCAdd)
+	spec.symPriority = "priority"
+	spec.actions = []actSpec{{output: 2}}
+	s := &Scenario{
+		Name:  "local",
+		Steps: []Step{fmStep("first", spec), fmStep("second", spec), probeStep()},
+	}
+	test := s.Test()
+	if test.MsgCount != 3 {
+		t.Fatalf("MsgCount = %d, want 3", test.MsgCount)
+	}
+	inputs := test.Inputs(sym.Var)
+	if len(inputs) != 3 {
+		t.Fatalf("Inputs built %d steps, want 3", len(inputs))
+	}
+	for step, wantVar := range map[int]string{0: "(var s0.priority", 1: "(var s1.priority"} {
+		msg := inputs[step].Msg
+		if msg == nil {
+			t.Fatalf("step %d built no message", step)
+		}
+		found := false
+		for j := 0; j < msg.Len() && !found; j++ {
+			found = strings.Contains(msg.Byte(j).String(), wantVar)
+		}
+		if !found {
+			t.Errorf("step %d's message mentions no %q variable", step, wantVar)
+		}
+		// The other step's namespace must not leak in.
+		other := "(var s" + map[int]string{0: "1", 1: "0"}[step] + ".priority"
+		for j := 0; j < msg.Len(); j++ {
+			if strings.Contains(msg.Byte(j).String(), other) {
+				t.Errorf("step %d's message leaks variable %q", step, other)
+			}
+		}
+	}
+	if inputs[2].Probe == nil {
+		t.Fatal("final step built no probe")
+	}
+}
+
+func TestGeneratedEnumeration(t *testing.T) {
+	k := len(genOps())
+	if want := k*k + k*k*k; GeneratedCount() != want {
+		t.Fatalf("GeneratedCount() = %d, want %d", GeneratedCount(), want)
+	}
+	if _, ok := Generated(-1); ok {
+		t.Fatal("Generated(-1) resolved")
+	}
+	if _, ok := Generated(GeneratedCount()); ok {
+		t.Fatal("Generated(count) resolved")
+	}
+	seenDesc := map[string]int{}
+	for n := 0; n < GeneratedCount(); n++ {
+		g, ok := Generated(n)
+		if !ok {
+			t.Fatalf("Generated(%d) missing", n)
+		}
+		if g.Name != GenPrefix+strconv.Itoa(n) {
+			t.Fatalf("Generated(%d).Name = %q", n, g.Name)
+		}
+		wantSteps := 3
+		if n >= k*k {
+			wantSteps = 4
+		}
+		if len(g.Steps) != wantSteps {
+			t.Fatalf("Generated(%d) has %d steps, want %d", n, len(g.Steps), wantSteps)
+		}
+		if prev, dup := seenDesc[g.Desc]; dup {
+			t.Fatalf("Generated(%d) and Generated(%d) share description %q", prev, n, g.Desc)
+		}
+		seenDesc[g.Desc] = n
+		byName, ok := ByName(g.Name)
+		if !ok || byName.Desc != g.Desc {
+			t.Fatalf("ByName(%q) does not round-trip", g.Name)
+		}
+	}
+	for _, bad := range []string{"gen:", "gen:x", "gen:007", "gen:-3", "GEN:1"} {
+		if _, ok := genIndex(bad); ok {
+			t.Errorf("genIndex(%q) accepted a non-canonical name", bad)
+		}
+	}
+}

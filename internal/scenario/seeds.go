@@ -1,0 +1,308 @@
+package scenario
+
+import (
+	"github.com/soft-testing/soft/internal/agents"
+	"github.com/soft-testing/soft/internal/dataplane"
+	"github.com/soft-testing/soft/internal/harness"
+	"github.com/soft-testing/soft/internal/openflow"
+	"github.com/soft-testing/soft/internal/symbuf"
+)
+
+// The builders below follow the §3.2.1 structured-input discipline the
+// Table 1 suite uses: message type, length, and action boundaries are
+// always concrete; a step declares exactly which values are symbolic.
+
+// actSpec is one action slot of a Flow Mod: a concrete OUTPUT, a
+// STRIP_VLAN, or a SET_NW_TOS with a symbolic ToS argument — the §5.1.2
+// value-validation divergence (OVS silently drops the whole message when
+// the low ToS bits are set; the reference switch auto-masks with 0xfc).
+type actSpec struct {
+	output    uint16 // OUTPUT to this concrete port (when kind == actOutput)
+	symTos    string // SET_NW_TOS with this symbolic 8-bit argument
+	stripVLAN bool
+}
+
+// fmSpec assembles a Flow Mod message, concrete except where sym* fields
+// name variables. The zero value is unusable; start from tcpMatchFM or
+// wildFM.
+type fmSpec struct {
+	wild    uint32
+	dlVLAN  uint16
+	dlDst   uint64
+	dlType  uint16
+	nwProto uint8
+	tpDst   uint16
+
+	cookie      uint64
+	command     openflow.FlowModCommand
+	priority    uint16
+	symPriority string
+	idle, hard  uint16
+	symIdle     string
+	bufferID    uint32
+	symBufferID string
+	outPort     uint16
+	symOutPort  string
+	flags       uint16
+
+	actions []actSpec
+}
+
+// tcpMatchFM matches the TCP probe flow (dl_type=IPv4, nw_proto=TCP,
+// tp_dst=2000 — exactly what dataplane.TCPProbe carries).
+func tcpMatchFM(cmd openflow.FlowModCommand) fmSpec {
+	return fmSpec{
+		wild:     uint32(openflow.FWAll &^ (openflow.FWDLType | openflow.FWNWProto | openflow.FWTPDst)),
+		dlType:   uint16(dataplane.EtherTypeIPv4),
+		nwProto:  uint8(dataplane.ProtoTCP),
+		tpDst:    2000,
+		cookie:   7,
+		command:  cmd,
+		priority: 0x8000,
+		bufferID: openflow.NoBuffer,
+		outPort:  openflow.PortNone,
+	}
+}
+
+// wildFM matches everything (fully wildcarded).
+func wildFM(cmd openflow.FlowModCommand) fmSpec {
+	return fmSpec{
+		wild:     uint32(openflow.FWAll),
+		command:  cmd,
+		priority: 0x8000,
+		bufferID: openflow.NoBuffer,
+		outPort:  openflow.PortNone,
+	}
+}
+
+func (o fmSpec) build(ns harness.NewSymFn) *symbuf.Buffer {
+	buf := symbuf.New(openflow.FlowModFixedLen + 8*len(o.actions))
+	buf.PutConst(0, 1, openflow.Version)
+	buf.PutConst(1, 1, uint64(openflow.TypeFlowMod))
+	buf.PutConst(2, 2, uint64(buf.Len()))
+	buf.PutConst(4, 4, 0) // xid: concrete, normalized away anyway
+
+	m := agents.OffFMMatch
+	buf.PutConst(m+agents.MOffWildcards, 4, uint64(o.wild))
+	if o.wild&uint32(openflow.FWDLVLAN) == 0 {
+		buf.PutConst(m+agents.MOffDLVLAN, 2, uint64(o.dlVLAN))
+	}
+	if o.wild&uint32(openflow.FWDLDst) == 0 {
+		buf.PutConst(m+agents.MOffDLDst, 6, o.dlDst)
+	}
+	if o.wild&uint32(openflow.FWDLType) == 0 {
+		buf.PutConst(m+agents.MOffDLType, 2, uint64(o.dlType))
+	}
+	if o.wild&uint32(openflow.FWNWProto) == 0 {
+		buf.PutConst(m+agents.MOffNWProto, 1, uint64(o.nwProto))
+	}
+	if o.wild&uint32(openflow.FWTPDst) == 0 {
+		buf.PutConst(m+agents.MOffTPDst, 2, uint64(o.tpDst))
+	}
+
+	buf.PutConst(agents.OffFMCookie, 8, o.cookie)
+	buf.PutConst(agents.OffFMCommand, 2, uint64(o.command))
+	if o.symIdle != "" {
+		buf.Put(agents.OffFMIdle, ns(o.symIdle, 16))
+	} else {
+		buf.PutConst(agents.OffFMIdle, 2, uint64(o.idle))
+	}
+	buf.PutConst(agents.OffFMHard, 2, uint64(o.hard))
+	if o.symPriority != "" {
+		buf.Put(agents.OffFMPriority, ns(o.symPriority, 16))
+	} else {
+		buf.PutConst(agents.OffFMPriority, 2, uint64(o.priority))
+	}
+	if o.symBufferID != "" {
+		buf.Put(agents.OffFMBufferID, ns(o.symBufferID, 32))
+	} else {
+		buf.PutConst(agents.OffFMBufferID, 4, uint64(o.bufferID))
+	}
+	if o.symOutPort != "" {
+		buf.Put(agents.OffFMOutPort, ns(o.symOutPort, 16))
+	} else {
+		buf.PutConst(agents.OffFMOutPort, 2, uint64(o.outPort))
+	}
+	buf.PutConst(agents.OffFMFlags, 2, uint64(o.flags))
+
+	off := agents.OffFMActions
+	for _, a := range o.actions {
+		switch {
+		case a.symTos != "":
+			buf.PutConst(off, 2, uint64(openflow.ActSetNWTos))
+			buf.PutConst(off+2, 2, 8)
+			buf.Put(off+4, ns(a.symTos, 8))
+			// Pad bytes stay concrete zero.
+		case a.stripVLAN:
+			buf.PutConst(off, 2, uint64(openflow.ActStripVLAN))
+			buf.PutConst(off+2, 2, 8)
+		default:
+			buf.PutConst(off, 2, uint64(openflow.ActOutput))
+			buf.PutConst(off+2, 2, 8)
+			buf.PutConst(off+4, 2, uint64(a.output))
+			buf.PutConst(off+6, 2, 0xffff) // max_len
+		}
+		off += 8
+	}
+	return buf
+}
+
+// fmStep wraps an fmSpec as a scenario step.
+func fmStep(name string, o fmSpec) Step {
+	return Step{Name: name, Build: func(ns harness.NewSymFn) harness.Input {
+		return harness.Input{Msg: o.build(ns)}
+	}}
+}
+
+// probeStep injects the standard TCP probe (tp_dst=2000 — it hits
+// whatever the tcpMatchFM entries left in the table).
+func probeStep() Step {
+	return Step{Name: "probe", Build: func(harness.NewSymFn) harness.Input {
+		return harness.Input{Probe: dataplane.TCPProbe(1)}
+	}}
+}
+
+// seeds is the curated scenario library, aimed at the §5.1.2 divergence
+// classes that only flow-table *state* can expose.
+func seeds() []*Scenario {
+	withSym := func(o fmSpec, set func(*fmSpec)) fmSpec { set(&o); return o }
+
+	return []*Scenario{
+		{
+			Name: "Add Overlap",
+			Desc: "Concrete TCP ADD, then a fully wildcarded ADD with CHECK_OVERLAP and a symbolic priority, then a probing TCP packet.",
+			Steps: []Step{
+				fmStep("install", withSym(tcpMatchFM(openflow.FCAdd), func(o *fmSpec) {
+					o.actions = []actSpec{{output: 2}}
+				})),
+				fmStep("overlap-add", withSym(wildFM(openflow.FCAdd), func(o *fmSpec) {
+					o.symPriority = "priority"
+					o.flags = uint16(openflow.FlagCheckOverlap)
+					o.actions = []actSpec{{output: 3}}
+				})),
+				probeStep(),
+			},
+		},
+		{
+			Name: "Add Modify",
+			Desc: "Concrete TCP ADD, then a non-strict MODIFY carrying SET_NW_TOS with a symbolic argument, then a probing TCP packet — OVS's silent pre-validation drop vs the reference switch's auto-masking, visible only through the surviving table state.",
+			Steps: []Step{
+				fmStep("install", withSym(tcpMatchFM(openflow.FCAdd), func(o *fmSpec) {
+					o.actions = []actSpec{{output: 2}}
+				})),
+				fmStep("modify", withSym(wildFM(openflow.FCModify), func(o *fmSpec) {
+					o.actions = []actSpec{{symTos: "tos"}, {output: 2}}
+				})),
+				probeStep(),
+			},
+		},
+		{
+			Name: "Add Modify Strict",
+			Desc: "Concrete TCP ADD, then a MODIFY_STRICT with the same match but a symbolic priority (strict modify applies only on exact priority match), then a probing TCP packet.",
+			Steps: []Step{
+				fmStep("install", withSym(tcpMatchFM(openflow.FCAdd), func(o *fmSpec) {
+					o.actions = []actSpec{{output: 2}}
+				})),
+				fmStep("modify-strict", withSym(tcpMatchFM(openflow.FCModifyStrict), func(o *fmSpec) {
+					o.symPriority = "priority"
+					o.actions = []actSpec{{output: 3}}
+				})),
+				probeStep(),
+			},
+		},
+		{
+			Name: "Add Delete Probe",
+			Desc: "Concrete TCP ADD, then a fully wildcarded DELETE with a symbolic out_port filter, then a probing TCP packet — the probe observes whether the delete's port filter matched the entry's output action.",
+			Steps: []Step{
+				fmStep("install", withSym(tcpMatchFM(openflow.FCAdd), func(o *fmSpec) {
+					o.actions = []actSpec{{output: 2}}
+				})),
+				fmStep("delete", withSym(wildFM(openflow.FCDelete), func(o *fmSpec) {
+					o.symOutPort = "out_port"
+				})),
+				probeStep(),
+			},
+		},
+		{
+			Name: "Delete Strict Priority",
+			Desc: "Concrete TCP ADD, then a DELETE_STRICT with the same match but a symbolic priority (strict delete requires an exact priority match), then a probing TCP packet.",
+			Steps: []Step{
+				fmStep("install", withSym(tcpMatchFM(openflow.FCAdd), func(o *fmSpec) {
+					o.actions = []actSpec{{output: 2}}
+				})),
+				fmStep("delete-strict", withSym(tcpMatchFM(openflow.FCDeleteStrict), func(o *fmSpec) {
+					o.symPriority = "priority"
+				})),
+				probeStep(),
+			},
+		},
+		{
+			Name: "Priority Shadow",
+			Desc: "Concrete low-priority TCP ADD, then a fully wildcarded ADD with a symbolic priority, then a probing TCP packet — which entry forwards the probe depends on the symbolic priority comparison.",
+			Steps: []Step{
+				fmStep("install-low", withSym(tcpMatchFM(openflow.FCAdd), func(o *fmSpec) {
+					o.priority = 0x0100
+					o.actions = []actSpec{{output: 2}}
+				})),
+				fmStep("install-high", withSym(wildFM(openflow.FCAdd), func(o *fmSpec) {
+					o.symPriority = "priority"
+					o.actions = []actSpec{{output: 3}}
+				})),
+				probeStep(),
+			},
+		},
+		{
+			Name: "Buffered FlowMod",
+			Desc: "TCP ADD with a symbolic buffer_id, then a probing TCP packet — the reference switch fails the buffered-packet application silently while OVS reports the error but installs the flow anyway (§5.1.2).",
+			Steps: []Step{
+				fmStep("install-buffered", withSym(tcpMatchFM(openflow.FCAdd), func(o *fmSpec) {
+					o.symBufferID = "buffer_id"
+					o.actions = []actSpec{{output: 2}}
+				})),
+				probeStep(),
+			},
+		},
+		{
+			Name: "Emergency Add",
+			Desc: "TCP ADD flagged OFPFF_EMERG with a symbolic idle timeout, then a probing TCP packet — the reference switch validates emergency timeouts and installs; OVS rejects emergency flows outright (§5.1.2 missing features).",
+			Steps: []Step{
+				fmStep("install-emerg", withSym(tcpMatchFM(openflow.FCAdd), func(o *fmSpec) {
+					o.flags = uint16(openflow.FlagEmerg)
+					o.symIdle = "idle_timeout"
+					o.actions = []actSpec{{output: 2}}
+				})),
+				probeStep(),
+			},
+		},
+		{
+			Name: "Netplugin VXLAN",
+			Desc: "A realistic bridge table shaped after the flows the contiv netplugin programs (a VLAN-tag flow and a dst-MAC forwarding flow), then a wildcarded DELETE with a symbolic out_port filter, then a probing TCP packet.",
+			Steps: []Step{
+				fmStep("vlan-flow", withSym(fmSpec{
+					wild:     uint32(openflow.FWAll &^ openflow.FWDLVLAN),
+					dlVLAN:   10,
+					command:  openflow.FCAdd,
+					priority: 100,
+					bufferID: openflow.NoBuffer,
+					outPort:  openflow.PortNone,
+				}, func(o *fmSpec) {
+					o.actions = []actSpec{{stripVLAN: true}, {output: 2}}
+				})),
+				fmStep("mac-flow", withSym(fmSpec{
+					wild:     uint32(openflow.FWAll &^ openflow.FWDLDst),
+					dlDst:    0x0000000000aa, // the TCP probe's dst MAC
+					command:  openflow.FCAdd,
+					priority: 10,
+					bufferID: openflow.NoBuffer,
+					outPort:  openflow.PortNone,
+				}, func(o *fmSpec) {
+					o.actions = []actSpec{{output: 3}}
+				})),
+				fmStep("cleanup", withSym(wildFM(openflow.FCDelete), func(o *fmSpec) {
+					o.symOutPort = "out_port"
+				})),
+				probeStep(),
+			},
+		},
+	}
+}

@@ -177,14 +177,20 @@ func RunMatrix(ctx context.Context, agentNames, testNames []string, o Options) (
 		}
 		seen["a:"+a] = true
 	}
+	// Definition hashes of scenario-backed tests (empty for the built-in
+	// suite), captured once at validation and folded into the store keys
+	// below so an edited scenario definition misses the cache.
+	defHash := make(map[string]string, len(testNames))
 	for _, t := range testNames {
-		if _, ok := harness.TestByName(t); !ok {
+		ht, ok := harness.TestByName(t)
+		if !ok {
 			return nil, fmt.Errorf("sched: unknown test %q", t)
 		}
 		if seen["t:"+t] {
 			return nil, fmt.Errorf("sched: duplicate test %q", t)
 		}
 		seen["t:"+t] = true
+		defHash[t] = ht.DefHash
 	}
 	if o.MaxPaths == 0 {
 		o.MaxPaths = harness.DefaultMaxPaths
@@ -256,6 +262,7 @@ func RunMatrix(ctx context.Context, agentNames, testNames []string, o Options) (
 
 		key := store.Key{
 			Agent: cell.Agent, Test: cell.Test, CodeVersion: o.CodeVersion,
+			Scenario: defHash[cell.Test],
 			Config: store.Config{
 				MaxPaths: o.MaxPaths, MaxDepth: o.MaxDepth,
 				Models: o.Models, ClauseSharing: o.ClauseSharing, CanonicalCut: true,

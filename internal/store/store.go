@@ -60,15 +60,27 @@ type Key struct {
 	// DefaultCodeVersion for the running binary, or inject an explicit
 	// version (build tag, image digest) in deployments.
 	CodeVersion string
-	Config      Config
+	// Scenario is the definition hash of a scenario-backed test (empty
+	// for the built-in Table 1 suite, whose definitions the code version
+	// already pins). Scenario definitions can change without the binary
+	// changing, so the hash rides in the key: an edited scenario misses
+	// the store by construction.
+	Scenario string
+	Config   Config
 }
 
 // String renders the key canonically — the exact bytes that are hashed.
 func (k Key) String() string {
-	return fmt.Sprintf("agent=%q test=%q code=%q maxpaths=%d maxdepth=%d models=%t clausesharing=%t canonicalcut=%t",
+	s := fmt.Sprintf("agent=%q test=%q code=%q maxpaths=%d maxdepth=%d models=%t clausesharing=%t canonicalcut=%t",
 		k.Agent, k.Test, k.CodeVersion,
 		k.Config.MaxPaths, k.Config.MaxDepth,
 		k.Config.Models, k.Config.ClauseSharing, k.Config.CanonicalCut)
+	// Appended (not interleaved) so keys for the built-in suite render
+	// exactly as they always did and stay warm across this change.
+	if k.Scenario != "" {
+		s += fmt.Sprintf(" scenario=%q", k.Scenario)
+	}
+	return s
 }
 
 // Hash is the key's content address.

@@ -71,7 +71,7 @@ func CodeVersion() string { return store.DefaultCodeVersion() }
 // WithModels, WithClauseSharing, WithWorkers, WithBudget, WithStore,
 // WithCodeVersion, WithFleetListener, WithShardDepth, WithAdaptiveShards,
 // WithLeaseTimeout, WithCrossCheck, WithCampaignService, WithTenant,
-// WithProgress, WithLog.
+// WithScenarios, WithProgress, WithLog.
 func RunMatrix(ctx context.Context, agents, tests []string, opts ...Option) (*MatrixReport, error) {
 	cfg := newConfig(opts)
 	if len(agents) == 0 {
@@ -81,6 +81,12 @@ func RunMatrix(ctx context.Context, agents, tests []string, opts ...Option) (*Ma
 		for _, t := range Tests() {
 			tests = append(tests, t.Name)
 		}
+	}
+	if len(cfg.scenarios) > 0 {
+		// Scenario columns ride the tests axis: cells become
+		// agent × test∪scenario, and every downstream layer (store,
+		// fleet, campaign service) schedules them identically.
+		tests = append(append([]string(nil), tests...), cfg.scenarios...)
 	}
 	if cfg.campaignURL != "" {
 		return runMatrixRemote(ctx, cfg, agents, tests)

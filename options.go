@@ -41,6 +41,8 @@ type config struct {
 
 	campaignURL string
 	tenant      string
+
+	scenarios []string
 }
 
 func newConfig(opts []Option) *config {
@@ -181,6 +183,16 @@ func WithCampaignService(baseURL string) Option {
 // (default "default"). The service schedules fair-share across tenants,
 // so one backlogged tenant cannot starve the rest.
 func WithTenant(name string) Option { return func(c *config) { c.tenant = name } }
+
+// WithScenarios appends the named scenarios (registered via
+// RegisterScenario, or generated "gen:<index>" names) as extra columns of
+// a RunMatrix campaign: cells become agent × test∪scenario. Scenario
+// cells run through the same store/fleet/service machinery as Table 1
+// cells and carry their definition hash in the cache key, so editing a
+// scenario invalidates exactly its own cells.
+func WithScenarios(names ...string) Option {
+	return func(c *config) { c.scenarios = append(c.scenarios, names...) }
+}
 
 // WithLeaseTimeout bounds how long a distributed shard may stay leased to
 // one worker before the coordinator re-offers it to another (Serve and
