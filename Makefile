@@ -21,6 +21,10 @@
 #   make bench-scenario cold scenario exploration baselines (paths/sec at
 #                      1/2/4/8 workers over two seed scenarios), merged into
 #                      BENCH_matrix.json's scenario_cold object
+#   make bench-incremental before/after paths/sec for the incremental solver
+#                      stack on a FlowMod-class scenario (per-path solvers vs
+#                      assumption-stack sessions), merged into
+#                      BENCH_matrix.json's incremental object with speedups
 #   make bench         the paper's evaluation benches + parallel scaling benches
 #   make bench-solver  solver-stack scaling benches (parallel explore, clause
 #                      sharing, sharded-cache crosscheck) — run on multicore
@@ -30,7 +34,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race e2e-dist e2e-matrix e2e-serve e2e-scenario dist-demo bench bench-matrix bench-scenario bench-solver bench-smoke check
+.PHONY: build vet test race e2e-dist e2e-matrix e2e-serve e2e-scenario dist-demo bench bench-matrix bench-scenario bench-incremental bench-solver bench-smoke check
 
 build:
 	$(GO) build ./...
@@ -88,6 +92,23 @@ bench-scenario:
 	done
 	@cat BENCH_matrix.json
 
+# Incremental-solver before/after: the FlowMod test (the heaviest Table 2
+# workload the benches run) explored with per-path solvers
+# (-incremental=false, the old engine) and with assumption-stack sessions
+# (the default). Models are off so the metric is raw engine throughput.
+# Both halves merge into BENCH_matrix.json's "incremental" object keyed
+# "FlowMod/w<N>"; the speedup field appears once a key has both halves.
+# Run on quiet hardware.
+bench-incremental:
+	$(GO) build -o /tmp/soft-bench-incremental-bin ./cmd/soft
+	@for w in 1 4; do \
+		/tmp/soft-bench-incremental-bin explore -test FlowMod -models=false -workers $$w \
+			-incremental=false -bench-json BENCH_matrix.json -o /dev/null || exit 1; \
+		/tmp/soft-bench-incremental-bin explore -test FlowMod -models=false -workers $$w \
+			-bench-json BENCH_matrix.json -o /dev/null || exit 1; \
+	done
+	@cat BENCH_matrix.json
+
 # A 10-second look at distributed exploration on one machine: coordinator on
 # an ephemeral-ish port, two workers, result on stdout-adjacent files under
 # /tmp. The serve process exits once both workers have drained the shards.
@@ -113,5 +134,9 @@ bench-solver:
 
 bench-smoke:
 	$(GO) test -run NONE -bench 'ExploreParallel|CrossCheck' -benchtime=1x .
+	$(GO) build -o /tmp/soft-bench-smoke-bin ./cmd/soft
+	@/tmp/soft-bench-smoke-bin explore -scenario "Add Modify" -incremental=false -o /dev/null
+	@/tmp/soft-bench-smoke-bin explore -scenario "Add Modify" -incremental -o /dev/null
+	@/tmp/soft-bench-smoke-bin explore -scenario "Add Modify" -merge -o /dev/null
 
 check: build vet test

@@ -160,6 +160,46 @@ func BenchmarkExploreParallelClauseSharing(b *testing.B) {
 	}
 }
 
+// BenchmarkExploreParallelIncremental is the incremental-solver before/
+// after on the heaviest explore workload: per-path solvers (mode-baseline)
+// vs one assumption-stack session per worker (mode-incremental) vs
+// sessions plus diamond merging (mode-merge). Results are byte-identical
+// across all three; paths/sec is the number the ROADMAP tracks.
+func BenchmarkExploreParallelIncremental(b *testing.B) {
+	t, ok := harness.TestByName("FlowMod")
+	if !ok {
+		b.Fatal("unknown test FlowMod")
+	}
+	modes := []struct {
+		name               string
+		incremental, merge bool
+	}{
+		{"mode-baseline", false, false},
+		{"mode-incremental", true, false},
+		{"mode-merge", true, true},
+	}
+	for _, w := range []int{1, 4} {
+		for _, m := range modes {
+			w, m := w, m
+			b.Run(fmt.Sprintf("workers-%d/%s", w, m.name), func(b *testing.B) {
+				b.ReportAllocs()
+				var paths int
+				for i := 0; i < b.N; i++ {
+					r := harness.Explore(refswitch.New(), t, harness.Options{
+						MaxPaths: 2000, Workers: w,
+						Incremental: m.incremental, Merge: m.merge,
+					})
+					paths = len(r.Paths)
+				}
+				b.ReportMetric(float64(paths), "paths")
+				if sec := b.Elapsed().Seconds(); sec > 0 {
+					b.ReportMetric(float64(paths)*float64(b.N)/sec, "paths/sec")
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkCrossCheckParallel scales phase 2 across worker counts and the
 // two cache modes: one sharded single-flight cache shared by every worker,
 // versus per-worker copy-on-write clones. The shared cache solves each

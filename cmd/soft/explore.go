@@ -29,11 +29,13 @@ func runExplore(e *env, args []string) error {
 	models := fs.Bool("models", true, "extract a concrete input example per path")
 	workers := fs.Int("workers", 0, "parallel exploration workers (0 = GOMAXPROCS, 1 = sequential)")
 	clauseSharing := fs.Bool("clause-sharing", false, "share short learned clauses between path solvers (results are byte-identical either way)")
+	incremental := fs.Bool("incremental", true, "keep one assumption-stack solver session per worker instead of a fresh solver per path (results are byte-identical either way)")
+	merge := fs.Bool("merge", false, "enable diamond state merging on top of incremental solving (implies -incremental; results are byte-identical either way)")
 	canonicalCut := fs.Bool("canonical-cut", false, "make max-paths truncation canonical: keep the canonically smallest paths so truncated runs are reproducible across worker counts")
 	timeout := fs.Duration("timeout", 0, "wall-clock limit; on expiry the partial result is still written")
 	progress := fs.Bool("progress", false, "report exploration progress on stderr")
 	verbose := fs.Bool("v", false, "report solver statistics (queries, cache hits, clause exchange) on stderr")
-	benchJSON := fs.String("bench-json", "", "merge this run's cold paths/sec into a bench JSON file (scenario runs only)")
+	benchJSON := fs.String("bench-json", "", "merge this run's cold paths/sec and solver stats into a bench JSON file, keyed by the scenario or test name")
 	if err := parse(fs, args); err != nil {
 		return err
 	}
@@ -68,10 +70,6 @@ func runExplore(e *env, args []string) error {
 			return usagef("unknown test %q (run 'soft tests')", *testName)
 		}
 	}
-	if *benchJSON != "" && *scenarioName == "" {
-		return usagef("-bench-json requires -scenario")
-	}
-
 	ctx := context.Background()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
@@ -83,6 +81,8 @@ func runExplore(e *env, args []string) error {
 		soft.WithModels(*models),
 		soft.WithWorkers(*workers),
 		soft.WithClauseSharing(*clauseSharing),
+		soft.WithIncrementalSolver(*incremental),
+		soft.WithStateMerging(*merge),
 		soft.WithCanonicalCut(*canonicalCut),
 	}
 	if *progress {
@@ -119,7 +119,13 @@ func runExplore(e *env, args []string) error {
 		fmt.Fprintf(e.stderr, "soft explore: %s\n", describeStats(res.SolverStats, res.BranchQueries))
 	}
 	if *benchJSON != "" {
-		if err := mergeScenarioBench(*benchJSON, *scenarioName, *workers, res); err != nil {
+		// Scenario runs key by scenario name, Table 1 runs by test name —
+		// one namespace, the way the Makefile bench targets mix them.
+		benchName := *scenarioName
+		if benchName == "" {
+			benchName = t.Name
+		}
+		if err := mergeScenarioBench(*benchJSON, benchName, *workers, *incremental || *merge, *merge, res); err != nil {
 			return err
 		}
 	}

@@ -63,6 +63,8 @@ func runMatrix(e *env, args []string) error {
 	maxPaths := fs.Int("max-paths", 0, "cap on explored paths per cell (0 = default); campaign truncation is canonical")
 	models := fs.Bool("models", true, "extract a concrete input example per path")
 	clauseSharing := fs.Bool("clause-sharing", false, "enable learned-clause sharing inside each cell's exploration")
+	incremental := fs.Bool("incremental", true, "explore cells on per-worker assumption-stack solver sessions (results are byte-identical either way)")
+	merge := fs.Bool("merge", false, "enable diamond state merging inside each cell's exploration (implies -incremental)")
 	storeDir := fs.String("store", "", "result-store directory: cache cell results and groupings, skip unchanged cells on re-runs")
 	codeVersion := fs.String("code-version", "", "override the cache key's code version (default: the binary's VCS build stamp)")
 	storeMigrate := fs.Bool("store-migrate", false, "re-stamp a store recorded under a different code version instead of refusing it")
@@ -145,6 +147,8 @@ func runMatrix(e *env, args []string) error {
 		soft.WithMaxPaths(*maxPaths),
 		soft.WithModels(*models),
 		soft.WithClauseSharing(*clauseSharing),
+		soft.WithIncrementalSolver(*incremental),
+		soft.WithStateMerging(*merge),
 		soft.WithShardDepth(depth),
 		soft.WithAdaptiveShards(adaptive),
 		soft.WithLeaseTimeout(*leaseTimeout),
@@ -326,6 +330,39 @@ type benchMetrics struct {
 	ElapsedSec   float64 `json:"elapsed_sec"`
 	CellsPerSec  float64 `json:"cells_per_sec"`
 	CacheHitRate float64 `json:"cache_hit_rate"`
+	// SolverStats breaks the pass's solver work down (see benchSolverStats);
+	// fully cached passes legitimately report all zeros.
+	SolverStats *benchSolverStats `json:"solver_stats,omitempty"`
+}
+
+// benchSolverStats is the solver-side view of one bench pass: how the
+// satisfiability decisions were made (assumption-stack session vs
+// from-scratch per-path solver), how much structure was reused (activation
+// cache, merge memo, hash-cons table), and the clause-exchange volume.
+type benchSolverStats struct {
+	Queries           int64 `json:"queries"`
+	CacheHits         int64 `json:"cache_hits"`
+	AssumptionSolves  int64 `json:"assumption_solves"`
+	FullSolves        int64 `json:"full_solves"`
+	ConstraintsReused int64 `json:"constraints_reused"`
+	MergeHits         int64 `json:"merge_hits"`
+	InternHits        int64 `json:"intern_hits"`
+	ClauseExports     int64 `json:"clause_exports"`
+	ClauseImports     int64 `json:"clause_imports"`
+}
+
+func toBenchSolverStats(st soft.SolverStats) *benchSolverStats {
+	return &benchSolverStats{
+		Queries:           st.Queries,
+		CacheHits:         st.CacheHits,
+		AssumptionSolves:  st.AssumptionSolves,
+		FullSolves:        st.FullSolves,
+		ConstraintsReused: st.ConstraintsReused,
+		MergeHits:         st.MergeHits,
+		InternHits:        st.InternHits,
+		ClauseExports:     st.ClauseExports,
+		ClauseImports:     st.ClauseImports,
+	}
 }
 
 // benchFile is the whole BENCH_matrix.json: both passes of the cold/warm
@@ -340,34 +377,79 @@ type benchFile struct {
 	// ScenarioCold holds cold engine baselines from
 	// `soft explore -scenario X -workers N -bench-json`, keyed
 	// "<scenario>/w<N>" — raw paths/sec with no store in the loop (the
-	// ROADMAP "honest performance trajectory" numbers). Additive to the
+	// ROADMAP "honest performance trajectory" numbers). Only default-mode
+	// runs (incremental solving, no merging) land here; explicit baseline
+	// and merge runs go to the Incremental object instead. Additive to the
 	// v2 schema: files without it parse unchanged.
 	ScenarioCold map[string]*scenarioBenchMetrics `json:"scenario_cold,omitempty"`
+	// ScenarioFamilies aggregates ScenarioCold per scenario across worker
+	// counts: total paths and elapsed, and one paths/sec over the sums.
+	// Individual sub-millisecond runs are pure timer noise — the family
+	// aggregate is the number worth tracking for fast scenarios.
+	ScenarioFamilies map[string]*scenarioFamilyMetrics `json:"scenario_families,omitempty"`
+	// Incremental holds before/after pairs for the incremental solver
+	// stack, keyed "<scenario>/w<N>": the same scenario run with
+	// -incremental=false (baseline) and -incremental (or -merge), with the
+	// speedup computed once both halves are in.
+	Incremental map[string]*incrementalBenchMetrics `json:"incremental,omitempty"`
 }
 
 // scenarioBenchMetrics is one cold scenario exploration: pure engine
-// throughput, no cache anywhere.
+// throughput, no cache anywhere. PathsPerSec stays zero for runs faster
+// than benchMinElapsed — a ratio over a sub-millisecond denominator is
+// timer noise, not a throughput measurement (see ScenarioFamilies).
 type scenarioBenchMetrics struct {
 	Workers     int     `json:"workers"`
 	Paths       int     `json:"paths"`
 	ElapsedSec  float64 `json:"elapsed_sec"`
-	PathsPerSec float64 `json:"paths_per_sec"`
+	PathsPerSec float64 `json:"paths_per_sec,omitempty"`
+	// TooFast marks a run under benchMinElapsed whose paths/sec was
+	// deliberately not reported.
+	TooFast     bool              `json:"too_fast,omitempty"`
+	SolverStats *benchSolverStats `json:"solver_stats,omitempty"`
 }
+
+// scenarioFamilyMetrics aggregates every recorded worker count of one
+// scenario: noise-resistant totals for scenarios whose individual runs are
+// too fast to time.
+type scenarioFamilyMetrics struct {
+	Runs        int     `json:"runs"`
+	Paths       int     `json:"paths"`
+	ElapsedSec  float64 `json:"elapsed_sec"`
+	PathsPerSec float64 `json:"paths_per_sec,omitempty"`
+}
+
+// incrementalBenchMetrics is one before/after cell of the incremental
+// bench: the same scenario and worker count run with the per-path solver
+// baseline and with the assumption-stack session stack.
+type incrementalBenchMetrics struct {
+	Workers                int     `json:"workers"`
+	Paths                  int     `json:"paths"`
+	BaselinePathsPerSec    float64 `json:"baseline_paths_per_sec,omitempty"`
+	IncrementalPathsPerSec float64 `json:"incremental_paths_per_sec,omitempty"`
+	// Speedup is incremental over baseline, present once both halves ran.
+	Speedup float64 `json:"speedup,omitempty"`
+}
+
+// benchMinElapsed is the shortest run whose paths/sec is worth reporting;
+// anything faster is dominated by timer granularity and scheduler jitter.
+const benchMinElapsed = time.Millisecond
 
 // mergeScenarioBench merges one cold scenario run into the bench file
 // (same read-modify-write shape as writeBenchJSON, same schema).
-func mergeScenarioBench(path, scenarioName string, workers int, res *soft.Result) error {
+// Default-mode runs (incremental, no merge) refresh scenario_cold and the
+// family aggregates; every run also lands in its half of the incremental
+// before/after object.
+func mergeScenarioBench(path, scenarioName string, workers int, incremental, merge bool, res *soft.Result) error {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	m := &scenarioBenchMetrics{
-		Workers:    workers,
-		Paths:      len(res.Paths),
-		ElapsedSec: res.Elapsed.Seconds(),
+	pathsPerSec := 0.0
+	tooFast := res.Elapsed < benchMinElapsed
+	if s := res.Elapsed.Seconds(); s > 0 && !tooFast {
+		pathsPerSec = float64(len(res.Paths)) / s
 	}
-	if s := res.Elapsed.Seconds(); s > 0 {
-		m.PathsPerSec = float64(len(res.Paths)) / s
-	}
+
 	var f benchFile
 	if existing, err := os.ReadFile(path); err == nil {
 		var parsed benchFile
@@ -376,15 +458,75 @@ func mergeScenarioBench(path, scenarioName string, workers int, res *soft.Result
 		}
 	}
 	f.Schema = benchSchema
-	if f.ScenarioCold == nil {
-		f.ScenarioCold = map[string]*scenarioBenchMetrics{}
+	key := fmt.Sprintf("%s/w%d", scenarioName, workers)
+
+	if incremental && !merge {
+		if f.ScenarioCold == nil {
+			f.ScenarioCold = map[string]*scenarioBenchMetrics{}
+		}
+		f.ScenarioCold[key] = &scenarioBenchMetrics{
+			Workers:     workers,
+			Paths:       len(res.Paths),
+			ElapsedSec:  res.Elapsed.Seconds(),
+			PathsPerSec: pathsPerSec,
+			TooFast:     tooFast,
+			SolverStats: toBenchSolverStats(res.SolverStats),
+		}
+		f.ScenarioFamilies = aggregateFamilies(f.ScenarioCold)
 	}
-	f.ScenarioCold[fmt.Sprintf("%s/w%d", scenarioName, workers)] = m
+
+	if f.Incremental == nil {
+		f.Incremental = map[string]*incrementalBenchMetrics{}
+	}
+	inc := f.Incremental[key]
+	if inc == nil {
+		inc = &incrementalBenchMetrics{Workers: workers}
+		f.Incremental[key] = inc
+	}
+	inc.Paths = len(res.Paths)
+	if incremental {
+		inc.IncrementalPathsPerSec = pathsPerSec
+	} else {
+		inc.BaselinePathsPerSec = pathsPerSec
+	}
+	if inc.BaselinePathsPerSec > 0 && inc.IncrementalPathsPerSec > 0 {
+		inc.Speedup = inc.IncrementalPathsPerSec / inc.BaselinePathsPerSec
+	}
+
 	data, err := json.MarshalIndent(&f, "", "  ")
 	if err != nil {
 		return err
 	}
 	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// aggregateFamilies recomputes the per-scenario totals from every recorded
+// scenario_cold entry (keys are "<scenario>/w<N>").
+func aggregateFamilies(cold map[string]*scenarioBenchMetrics) map[string]*scenarioFamilyMetrics {
+	if len(cold) == 0 {
+		return nil
+	}
+	fams := map[string]*scenarioFamilyMetrics{}
+	for key, m := range cold {
+		name := key
+		if i := strings.LastIndex(key, "/w"); i >= 0 {
+			name = key[:i]
+		}
+		fam := fams[name]
+		if fam == nil {
+			fam = &scenarioFamilyMetrics{}
+			fams[name] = fam
+		}
+		fam.Runs++
+		fam.Paths += m.Paths
+		fam.ElapsedSec += m.ElapsedSec
+	}
+	for _, fam := range fams {
+		if fam.ElapsedSec > 0 {
+			fam.PathsPerSec = float64(fam.Paths) / fam.ElapsedSec
+		}
+	}
+	return fams
 }
 
 const benchSchema = "soft-bench-matrix v2"
@@ -429,6 +571,7 @@ func writeBenchJSON(path, pass string, rep *soft.MatrixReport, elapsed time.Dura
 	if len(rep.Cells) > 0 {
 		m.CacheHitRate = float64(rep.CacheHits) / float64(len(rep.Cells))
 	}
+	m.SolverStats = toBenchSolverStats(rep.SolverStats)
 
 	// Merge with the passes already on disk so cold and warm runs build one
 	// file between them; a file in the old flat schema is replaced.

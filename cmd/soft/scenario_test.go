@@ -48,9 +48,28 @@ func TestScenarioCLI(t *testing.T) {
 		t.Fatal("scenario exploration differs between -workers 1 and -workers 4")
 	}
 
+	// A baseline run of the same scenario fills the other half of the
+	// incremental before/after object.
+	if _, stderr, code := runCLI(t, "explore", "-scenario", "Add Delete Probe", "-workers", "4",
+		"-incremental=false", "-bench-json", bench, "-o", os.DevNull); code != 0 {
+		t.Fatalf("explore -incremental=false: exit %d\n%s", code, stderr)
+	}
+
 	var benchDoc struct {
-		Schema       string                     `json:"schema"`
-		ScenarioCold map[string]json.RawMessage `json:"scenario_cold"`
+		Schema       string `json:"schema"`
+		ScenarioCold map[string]struct {
+			SolverStats *struct {
+				AssumptionSolves int64 `json:"assumption_solves"`
+				FullSolves       int64 `json:"full_solves"`
+			} `json:"solver_stats"`
+		} `json:"scenario_cold"`
+		ScenarioFamilies map[string]struct {
+			Runs  int `json:"runs"`
+			Paths int `json:"paths"`
+		} `json:"scenario_families"`
+		Incremental map[string]struct {
+			Workers int `json:"workers"`
+		} `json:"incremental"`
 	}
 	data, err := os.ReadFile(bench)
 	if err != nil {
@@ -59,8 +78,20 @@ func TestScenarioCLI(t *testing.T) {
 	if err := json.Unmarshal(data, &benchDoc); err != nil {
 		t.Fatalf("bench JSON: %v\n%s", err, data)
 	}
-	if benchDoc.ScenarioCold["Add Delete Probe/w4"] == nil {
+	coldEntry, ok := benchDoc.ScenarioCold["Add Delete Probe/w4"]
+	if !ok {
 		t.Fatalf("bench JSON misses scenario_cold[\"Add Delete Probe/w4\"]:\n%s", data)
+	}
+	// The default explore mode is incremental: the run must have been
+	// answered by assumption solves, never per-path full solves.
+	if coldEntry.SolverStats == nil || coldEntry.SolverStats.AssumptionSolves == 0 || coldEntry.SolverStats.FullSolves != 0 {
+		t.Fatalf("scenario_cold solver_stats not from an incremental run:\n%s", data)
+	}
+	if fam, ok := benchDoc.ScenarioFamilies["Add Delete Probe"]; !ok || fam.Runs == 0 || fam.Paths == 0 {
+		t.Fatalf("bench JSON misses scenario_families[\"Add Delete Probe\"]:\n%s", data)
+	}
+	if inc, ok := benchDoc.Incremental["Add Delete Probe/w4"]; !ok || inc.Workers != 4 {
+		t.Fatalf("bench JSON misses incremental[\"Add Delete Probe/w4\"]:\n%s", data)
 	}
 
 	// Flag validation.
@@ -70,8 +101,18 @@ func TestScenarioCLI(t *testing.T) {
 	if _, stderr, code := runCLI(t, "explore", "-scenario", "Add Modify", "-test", "Packet Out"); code != 2 || !strings.Contains(stderr, "mutually exclusive") {
 		t.Fatalf("explore -scenario -test: exit %d\n%s", code, stderr)
 	}
-	if _, stderr, code := runCLI(t, "explore", "-bench-json", bench); code != 2 || !strings.Contains(stderr, "requires -scenario") {
-		t.Fatalf("explore -bench-json without -scenario: exit %d\n%s", code, stderr)
+	// -bench-json also accepts plain Table 1 test runs, keyed by test name
+	// (the bench-incremental Makefile target records FlowMod this way).
+	if _, stderr, code := runCLI(t, "explore", "-test", "Concrete", "-workers", "1",
+		"-bench-json", bench, "-o", os.DevNull); code != 0 {
+		t.Fatalf("explore -test -bench-json: exit %d\n%s", code, stderr)
+	}
+	testBench, err := os.ReadFile(bench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(testBench), `"Concrete/w1"`) {
+		t.Fatalf("bench JSON misses test-keyed entry \"Concrete/w1\":\n%s", testBench)
 	}
 	if _, stderr, code := runCLI(t, "matrix", "-scenarios", "no such"); code != 2 || !strings.Contains(stderr, "unknown scenario") {
 		t.Fatalf("matrix -scenarios bogus: exit %d\n%s", code, stderr)

@@ -27,6 +27,8 @@ func runServe(e *env, args []string) error {
 	out := fs.String("o", "", "output file (default stdout)")
 	maxPaths := fs.Int("max-paths", 0, "cap on explored paths (0 = default); distributed truncation is canonical")
 	models := fs.Bool("models", true, "extract a concrete input example per path")
+	incremental := fs.Bool("incremental", true, "workers keep one assumption-stack solver session per exploration worker (results are byte-identical either way)")
+	merge := fs.Bool("merge", false, "workers use diamond state merging (implies -incremental; results are byte-identical either way)")
 	shardDepth := fs.String("shard-depth", "", "frontier split depth: an integer (forks deeper than this become worker shards), or \"auto\" for progress-driven balancing")
 	leaseTimeout := fs.Duration("lease-timeout", 0, "re-offer a shard not completed in this long (0 = default, negative = never)")
 	canonicalCut := fs.Bool("canonical-cut", true, "keep the canonically smallest max-paths paths instead of the first to complete")
@@ -73,6 +75,8 @@ func runServe(e *env, args []string) error {
 	opts := []soft.Option{
 		soft.WithMaxPaths(*maxPaths),
 		soft.WithModels(*models),
+		soft.WithIncrementalSolver(*incremental),
+		soft.WithStateMerging(*merge),
 		soft.WithShardDepth(depth),
 		soft.WithAdaptiveShards(adaptive),
 		soft.WithLeaseTimeout(*leaseTimeout),

@@ -19,6 +19,16 @@ func describeStats(st soft.SolverStats, branchQueries int64) string {
 	if st.SolveTime > 0 {
 		s += fmt.Sprintf(", %s solving", st.SolveTime.Round(time.Millisecond))
 	}
+	if st.AssumptionSolves > 0 || st.FullSolves > 0 {
+		s += fmt.Sprintf("; sessions: %d assumption solves, %d full solves, %d constraints reused",
+			st.AssumptionSolves, st.FullSolves, st.ConstraintsReused)
+	}
+	if st.MergeHits > 0 {
+		s += fmt.Sprintf(", %d merge hits", st.MergeHits)
+	}
+	if st.InternHits > 0 {
+		s += fmt.Sprintf("; intern: %d hits", st.InternHits)
+	}
 	s += fmt.Sprintf("; clause exchange: %d exported, %d imported",
 		st.ClauseExports, st.ClauseImports)
 	return s

@@ -62,6 +62,8 @@ func ServeListener(ctx context.Context, ln net.Listener, agent, test string, opt
 		MaxDepth:       cfg.maxDepth,
 		WantModels:     cfg.models,
 		ClauseSharing:  cfg.clauseSharing,
+		Incremental:    cfg.incremental,
+		Merge:          cfg.merge,
 		NoCanonicalCut: !cfg.canonicalCutOr(true),
 		ShardDepth:     cfg.shardDepth,
 		AdaptiveShards: cfg.adaptiveShards,

@@ -17,13 +17,18 @@ type JobConfig struct {
 	AgentName string
 	TestName  string
 
-	// MaxPaths/MaxDepth/WantModels/ClauseSharing mirror harness.Options and
-	// are forwarded to every worker; all shards must share them for the
-	// merged result to be canonical.
+	// MaxPaths/MaxDepth/WantModels/ClauseSharing/Incremental/Merge mirror
+	// harness.Options and are forwarded to every worker. The limits and
+	// models flag must agree across shards for the merged result to be
+	// canonical; the solver-mode flags are forwarded so every shard runs
+	// the configured speed mode (determinism makes the bytes identical
+	// either way).
 	MaxPaths      int
 	MaxDepth      int
 	WantModels    bool
 	ClauseSharing bool
+	Incremental   bool
+	Merge         bool
 	// NoCanonicalCut opts out of canonical MaxPaths truncation. Distributed
 	// runs default to the canonical cut (the zero value): without it a
 	// truncated run's path selection would depend on which shards finished
@@ -200,6 +205,8 @@ func (j *jobRun) jobMsg() jobMsg {
 		maxDepth:      j.cfg.MaxDepth,
 		models:        j.cfg.WantModels,
 		clauseSharing: j.cfg.ClauseSharing,
+		incremental:   j.cfg.Incremental,
+		merge:         j.cfg.Merge,
 		canonicalCut:  !j.cfg.NoCanonicalCut,
 	}
 }
@@ -241,6 +248,8 @@ func (j *jobRun) exploreOptions() harness.Options {
 		MaxDepth:      j.cfg.MaxDepth,
 		WantModels:    j.cfg.WantModels,
 		ClauseSharing: j.cfg.ClauseSharing,
+		Incremental:   j.cfg.Incremental,
+		Merge:         j.cfg.Merge,
 		CanonicalCut:  !j.cfg.NoCanonicalCut,
 		Workers:       1,
 	}

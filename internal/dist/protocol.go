@@ -70,7 +70,7 @@ import (
 // mismatch instead of a raw decode error). Version 2 added job-scoped
 // frames (job/lease/progress/result carry a job id), multi-prefix leases,
 // and the reject frame.
-const protocolVersion = 2
+const protocolVersion = 3
 
 // maxFrame bounds a frame (type byte + payload). It matches the results
 // reader's line buffer: anything bigger is a corrupt or hostile peer.
@@ -322,6 +322,8 @@ type jobMsg struct {
 	maxPaths, maxDepth int
 	models             bool
 	clauseSharing      bool
+	incremental        bool
+	merge              bool
 	canonicalCut       bool
 }
 
@@ -334,6 +336,8 @@ func encodeJob(j jobMsg) []byte {
 	e.i64(int64(j.maxDepth))
 	e.boolean(j.models)
 	e.boolean(j.clauseSharing)
+	e.boolean(j.incremental)
+	e.boolean(j.merge)
 	e.boolean(j.canonicalCut)
 	return e.b
 }
@@ -349,6 +353,8 @@ func decodeJob(p []byte) (jobMsg, error) {
 	}
 	j.models = d.boolean()
 	j.clauseSharing = d.boolean()
+	j.incremental = d.boolean()
+	j.merge = d.boolean()
 	j.canonicalCut = d.boolean()
 	return j, d.done()
 }
@@ -419,6 +425,11 @@ func (e *enc) stats(st solver.Stats) {
 	e.i64(st.FastPathConst)
 	e.i64(st.ClauseExports)
 	e.i64(st.ClauseImports)
+	e.i64(st.AssumptionSolves)
+	e.i64(st.FullSolves)
+	e.i64(st.ConstraintsReused)
+	e.i64(st.MergeHits)
+	e.i64(st.InternHits)
 }
 
 func (d *dec) stats() solver.Stats {
@@ -434,6 +445,12 @@ func (d *dec) stats() solver.Stats {
 		FastPathConst: d.i64(),
 		ClauseExports: d.i64(),
 		ClauseImports: d.i64(),
+
+		AssumptionSolves:  d.i64(),
+		FullSolves:        d.i64(),
+		ConstraintsReused: d.i64(),
+		MergeHits:         d.i64(),
+		InternHits:        d.i64(),
 	}
 }
 

@@ -155,6 +155,8 @@ func Work(ctx context.Context, addr string, cfg WorkerConfig) error {
 					MaxDepth:      job.cfg.maxDepth,
 					WantModels:    job.cfg.models,
 					ClauseSharing: job.cfg.clauseSharing,
+					Incremental:   job.cfg.incremental,
+					Merge:         job.cfg.merge,
 					CanonicalCut:  job.cfg.canonicalCut,
 					Workers:       cfg.Workers,
 					Prefix:        prefix,

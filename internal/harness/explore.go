@@ -40,6 +40,14 @@ type Options struct {
 	// worker count and shard layout (see symexec.Engine.CanonicalCut).
 	// Distributed exploration always runs with it on.
 	CanonicalCut bool
+	// Incremental runs each exploration worker on a persistent
+	// assumption-stack solver session instead of a fresh solver per path
+	// (see symexec.Engine.Incremental). Results are byte-identical either
+	// way; the public soft API and CLI enable it by default.
+	Incremental bool
+	// Merge enables diamond state merging on top of Incremental (see
+	// symexec.Engine.Merge). Answer-preserving and off by default.
+	Merge bool
 	// Prefix seeds exploration at the subtree below the given decision
 	// prefix (a distributed shard; see symexec.Engine.Prefix).
 	Prefix []bool
@@ -156,6 +164,7 @@ func ExploreContext(ctx context.Context, a agents.Agent, t Test, o Options) *Res
 		s = solver.New()
 	}
 	statsBefore := s.Stats()
+	internHitsBefore, _ := sym.InternStats()
 
 	eng := &symexec.Engine{
 		Solver:        s,
@@ -167,6 +176,8 @@ func ExploreContext(ctx context.Context, a agents.Agent, t Test, o Options) *Res
 		Workers:       o.Workers,
 		ClauseSharing: o.ClauseSharing,
 		CanonicalCut:  o.CanonicalCut,
+		Incremental:   o.Incremental,
+		Merge:         o.Merge,
 		Prefix:        o.Prefix,
 		ShardDepth:    o.ShardDepth,
 		ShardSink:     o.ShardSink,
@@ -203,6 +214,12 @@ func ExploreContext(ctx context.Context, a agents.Agent, t Test, o Options) *Res
 	out.SolverStats = s.Stats().Sub(statsBefore)
 	out.SolverStats.ClauseExports = res.ClauseExports
 	out.SolverStats.ClauseImports = res.ClauseImports
+	out.SolverStats.AssumptionSolves = res.AssumptionSolves
+	out.SolverStats.FullSolves = res.FullSolves
+	out.SolverStats.ConstraintsReused = res.ConstraintsReused
+	out.SolverStats.MergeHits = res.MergeHits
+	internHitsAfter, _ := sym.InternStats()
+	out.SolverStats.InternHits = int64(internHitsAfter - internHitsBefore)
 	for _, p := range res.Paths {
 		cond := p.Condition()
 		out.Paths = append(out.Paths, PathResult{

@@ -27,6 +27,12 @@ type Options struct {
 	MaxDepth      int
 	Models        bool
 	ClauseSharing bool
+	// Incremental/Merge select the exploration solver mode (see
+	// harness.Options). They never change results, so they are deliberately
+	// NOT part of the store cache key — a cached cell answers for every
+	// solver mode.
+	Incremental bool
+	Merge       bool
 
 	// Workers is the in-process parallelism: exploration workers for
 	// fleetless cells, solver workers for the crosscheck phase (0 =
@@ -290,6 +296,7 @@ func RunMatrix(ctx context.Context, agentNames, testNames []string, o Options) (
 				AgentName: cell.Agent, TestName: cell.Test,
 				MaxPaths: o.MaxPaths, MaxDepth: o.MaxDepth,
 				WantModels: o.Models, ClauseSharing: o.ClauseSharing,
+				Incremental: o.Incremental, Merge: o.Merge,
 				ShardDepth: o.ShardDepth, Adaptive: o.Adaptive, SplitAfter: o.SplitAfter,
 			})
 			if err != nil {
@@ -309,6 +316,7 @@ func RunMatrix(ctx context.Context, agentNames, testNames []string, o Options) (
 			res := harness.ExploreContext(runCtx, agent, test, harness.Options{
 				MaxPaths: o.MaxPaths, MaxDepth: o.MaxDepth,
 				WantModels: o.Models, ClauseSharing: o.ClauseSharing,
+				Incremental: o.Incremental, Merge: o.Merge,
 				CanonicalCut: true, Workers: o.Workers,
 			})
 			if res.Cancelled || runCtx.Err() != nil {

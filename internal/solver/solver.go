@@ -49,6 +49,20 @@ type Stats struct {
 	// exploration engine fills them in; plain Check queries never share).
 	ClauseExports int64
 	ClauseImports int64
+	// The incremental-exploration counters below are filled in by the
+	// harness from the engine's run (plain Check queries always pay a full
+	// solve): AssumptionSolves/FullSolves split satisfiability decisions by
+	// whether an assumption-stack session or a from-scratch per-path solver
+	// served them, ConstraintsReused counts path conjuncts served from a
+	// session's activation cache instead of being re-bitblasted, MergeHits
+	// counts frontier queries answered by the state-merging memo, and
+	// InternHits counts expression constructions answered by the hash-cons
+	// table (process-wide, windowed to the run).
+	AssumptionSolves  int64
+	FullSolves        int64
+	ConstraintsReused int64
+	MergeHits         int64
+	InternHits        int64
 }
 
 // Add accumulates other into s (used to merge per-worker solver stats).
@@ -66,6 +80,11 @@ func (s *Stats) Add(other Stats) {
 	s.FastPathConst += other.FastPathConst
 	s.ClauseExports += other.ClauseExports
 	s.ClauseImports += other.ClauseImports
+	s.AssumptionSolves += other.AssumptionSolves
+	s.FullSolves += other.FullSolves
+	s.ConstraintsReused += other.ConstraintsReused
+	s.MergeHits += other.MergeHits
+	s.InternHits += other.InternHits
 }
 
 // Sub returns the difference s - earlier (a per-stage delta of cumulative
@@ -83,6 +102,12 @@ func (s Stats) Sub(earlier Stats) Stats {
 		FastPathConst: s.FastPathConst - earlier.FastPathConst,
 		ClauseExports: s.ClauseExports - earlier.ClauseExports,
 		ClauseImports: s.ClauseImports - earlier.ClauseImports,
+
+		AssumptionSolves:  s.AssumptionSolves - earlier.AssumptionSolves,
+		FullSolves:        s.FullSolves - earlier.FullSolves,
+		ConstraintsReused: s.ConstraintsReused - earlier.ConstraintsReused,
+		MergeHits:         s.MergeHits - earlier.MergeHits,
+		InternHits:        s.InternHits - earlier.InternHits,
 	}
 }
 

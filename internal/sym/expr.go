@@ -133,8 +133,11 @@ func hashMix(h, v uint64) uint64 {
 	return h
 }
 
-// finish computes and caches the structural hash and size of a node. It is
-// called exactly once, by the constructors, before the node escapes.
+// finish computes and caches the structural hash and size of a node, then
+// hash-conses it: the returned node is the canonical representative for the
+// structure, pointer-equal across every path and worker that builds it (see
+// intern.go). It is called exactly once, by the constructors, before the
+// node escapes.
 func (e *Expr) finish() *Expr {
 	h := uint64(fnvOffset)
 	h = hashMix(h, uint64(e.Op))
@@ -154,7 +157,7 @@ func (e *Expr) finish() *Expr {
 	}
 	e.hash = h
 	e.size = sz
-	return e
+	return intern(e)
 }
 
 // Hash returns the structural hash of e. Structurally equal expressions

@@ -1,0 +1,67 @@
+package sym
+
+import "sync"
+import "sync/atomic"
+
+// Hash-consed interning. Every constructor funnels its freshly built node
+// through finish -> intern, so structurally equal expressions are (almost
+// always) pointer-equal across paths and workers. That turns the engine's
+// per-node memoization (bitblast's encode memo, LAnd/LOr dedup, Vars walks)
+// into O(1) pointer hits instead of structural re-encodes, which is what
+// makes incremental solving along the path tree pay off: sibling paths
+// rebuild the same conjuncts and get back the very same *Expr.
+//
+// Interning is a pure optimization: Expr is immutable, so returning a
+// previously built identical node never changes an answer. The table is
+// capped — past the cap new nodes are returned un-interned, degrading to
+// the old allocate-per-build behavior without affecting correctness.
+
+// internShardCount spreads the table over independently locked shards so
+// parallel exploration workers rarely contend.
+const internShardCount = 64
+
+// internShardCap bounds entries per shard (~1M nodes total). Exploration
+// workloads hold well under this; the cap only guards pathological runs.
+const internShardCap = 1 << 14
+
+type internShard struct {
+	mu sync.Mutex
+	m  map[uint64][]*Expr
+	n  int
+}
+
+var internShards [internShardCount]internShard
+
+var internHits, internMisses atomic.Uint64
+
+// intern returns the canonical node structurally equal to e, registering e
+// as the canonical node on first sight. e must be fully finished (hash and
+// size computed) and must not yet have escaped to any other goroutine.
+func intern(e *Expr) *Expr {
+	s := &internShards[e.hash%internShardCount]
+	s.mu.Lock()
+	if s.m == nil {
+		s.m = make(map[uint64][]*Expr)
+	}
+	for _, cand := range s.m[e.hash] {
+		if Equal(cand, e) {
+			s.mu.Unlock()
+			internHits.Add(1)
+			return cand
+		}
+	}
+	if s.n < internShardCap {
+		s.m[e.hash] = append(s.m[e.hash], e)
+		s.n++
+	}
+	s.mu.Unlock()
+	internMisses.Add(1)
+	return e
+}
+
+// InternStats reports the cumulative process-wide intern table traffic:
+// hits (a construction returned an existing canonical node) and misses
+// (a genuinely new node). The harness reports per-run deltas.
+func InternStats() (hits, misses uint64) {
+	return internHits.Load(), internMisses.Load()
+}

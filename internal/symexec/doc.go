@@ -16,11 +16,13 @@
 // re-execution — which is cheap for agent models — and with none of the
 // state-snapshotting machinery.
 //
-// Branch feasibility is decided per path. Each in-flight path carries an
-// incrementally built SAT encoding of its path condition (a private
-// bitblast.Blaster with its own CDCL core), so a feasibility query at a
-// branch reuses all the encoding and learned clauses accumulated along the
-// path.
+// Branch feasibility is decided per path. With Engine.Incremental (the
+// default) each worker keeps one persistent assumption-stack solver session
+// across all its paths (see "Incremental solving along the path tree"
+// below); with it off, each in-flight path carries a private incrementally
+// built SAT encoding of its path condition (its own bitblast.Blaster and
+// CDCL core), so a feasibility query still reuses the encoding and learned
+// clauses accumulated along that one path.
 //
 // # Parallel exploration
 //
@@ -33,10 +35,10 @@
 //     prefixes, ordered by its own instance of the configured search
 //     strategy (WorkerStrategy.ForWorker derives the per-worker instances;
 //     randomized strategies get deterministic per-worker seeds).
-//   - The hot path is share-nothing: path execution uses a path-private
-//     constraint encoding and CDCL core, forks push onto the worker-local
-//     frontier, and the branch-query counter is worker-local. No locks, no
-//     atomics while a path runs.
+//   - The hot path is share-nothing: path execution uses a worker-private
+//     constraint encoding and CDCL core (path-private with Incremental
+//     off), forks push onto the worker-local frontier, and the branch-query
+//     counter is worker-local. No locks, no atomics while a path runs.
 //   - A shared steal pool balances load. A worker that drains its local
 //     frontier blocks in the pool; busy workers observe the (lock-free)
 //     idle count at fork time and donate forks — or half their backlog —
@@ -85,6 +87,45 @@
 // assignment, a pure function of the path condition rather than of the
 // CDCL search trajectory. Sequential runs may also enable sharing; clauses
 // then flow between successive paths of the same run.
+//
+// # Incremental solving along the path tree
+//
+// Engine.Incremental (the default) replaces the fresh-solver-per-path
+// scheme with one persistent bitblast.Session per worker. A session keeps a
+// single SAT core and encoding memo alive across every path the worker
+// attempts: each path-condition conjunct is Tseitin-encoded once, guarded
+// by an activation literal a_c via the clause (¬a_c ∨ lit(c)), and a path's
+// feasibility query becomes one solve under the assumption stack
+// (a_1..a_k) of its conjuncts. Sibling paths — which share their entire
+// constraint prefix — therefore share CNF, learned clauses, and VSIDS
+// activity instead of re-blasting and re-learning it per path; that reuse
+// is where the paths/sec win on conflict-rich workloads comes from
+// (internal/sym's hash-consed interning makes the per-conjunct cache a
+// pointer lookup on the hot path). Activation variables live in the
+// canonical numbering as named "!act/"-prefixed space variables, so
+// sessions compose with clause sharing and the canonical-model guarantee
+// unchanged.
+//
+// Sessions preserve answers exactly: assumptions are decided on the same
+// formula a fresh solver would decide, learned clauses are resolvents of
+// database clauses only (never of assumptions), and witnesses are still
+// canonical models. The determinism sweep tests (incremental_test.go here,
+// incremental_sweep_test.go in harness) pin byte-identical output across
+// incremental on/off, merge on/off, and worker counts.
+//
+// Engine.Merge (off by default, implies Incremental) adds veritesting-style
+// diamond state-merging on top: at a frontier query the engine first solves
+// a *relaxed* query with the newest branch decision dropped — exactly the
+// constraint of the diamond formed by the two siblings that disagree on
+// that decision. A relaxed UNSAT kills the arm on both siblings, so the
+// verdict is memoized engine-wide (mergeMemo) and the second sibling's
+// query becomes a map lookup; a relaxed SAT says nothing and the exact
+// query proceeds as usual. Memo keys store the full conjunct-hash sequence,
+// so a hash collision can never smuggle a wrong "unsatisfiable" verdict in.
+// Merging only ever removes solver work, never paths, so output stays
+// byte-identical; whether it wins depends on the diamond density of the
+// workload (on FlowMod the relaxed queries currently cost slightly more
+// than they save — measure before enabling).
 //
 // # Determinism
 //

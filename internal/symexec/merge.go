@@ -1,0 +1,91 @@
+package symexec
+
+import (
+	"sync"
+
+	"github.com/soft-testing/soft/internal/sym"
+)
+
+// mergeMemo is the engine-wide store of relaxed frontier queries proven
+// unsatisfiable, the mechanism behind Engine.Merge. A relaxed query is a
+// path condition with its newest branch-decision conjunct dropped, plus the
+// queried arm constraint: exactly the constraint of the diamond formed by
+// the two sibling paths that disagree on that decision and meet at the same
+// frontier node. Proving the relaxed query unsatisfiable kills the arm on
+// *both* siblings, so the first sibling's verdict is memoized and the
+// second's query becomes a map lookup.
+//
+// Only unsatisfiable verdicts are stored: a satisfiable relaxed query says
+// nothing about either exact query. Keys are the ordered structural hashes
+// of the remaining conjuncts plus the arm constraint; the full key slice is
+// stored and compared so a 64-bit hash collision can never smuggle a wrong
+// "unsatisfiable" verdict into a path (it would silently drop real paths).
+//
+// The memo is shared across workers and taken under a mutex; it is touched
+// only on frontier queries (never on replays), where a solve — the
+// alternative — costs orders of magnitude more than the lock.
+type mergeMemo struct {
+	mu sync.Mutex
+	m  map[uint64][][]uint64
+}
+
+func newMergeMemo() *mergeMemo {
+	return &mergeMemo{m: make(map[uint64][][]uint64)}
+}
+
+// mergeKey builds the memo key for a relaxed query: the combined hash used
+// as the map index, and the full per-conjunct hash sequence compared on
+// lookup.
+func mergeKey(keep []*sym.Expr, q *sym.Expr) (uint64, []uint64) {
+	key := make([]uint64, 0, len(keep)+1)
+	for _, c := range keep {
+		key = append(key, c.Hash())
+	}
+	key = append(key, q.Hash())
+	const offset, prime = 14695981039346656037, 1099511628211
+	h := uint64(offset)
+	for _, k := range key {
+		for i := 0; i < 8; i++ {
+			h ^= (k >> (8 * i)) & 0xff
+			h *= prime
+		}
+	}
+	return h, key
+}
+
+func sameKey(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// knownUnsat reports whether this relaxed query was already proven
+// unsatisfiable.
+func (m *mergeMemo) knownUnsat(hash uint64, key []uint64) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, cand := range m.m[hash] {
+		if sameKey(cand, key) {
+			return true
+		}
+	}
+	return false
+}
+
+// recordUnsat stores an unsatisfiable relaxed-query verdict.
+func (m *mergeMemo) recordUnsat(hash uint64, key []uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, cand := range m.m[hash] {
+		if sameKey(cand, key) {
+			return
+		}
+	}
+	m.m[hash] = append(m.m[hash], key)
+}

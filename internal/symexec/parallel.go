@@ -104,7 +104,8 @@ type workerState struct {
 	paths      []*Path
 	infeasible int
 	depthTrunc int
-	queries    int64
+	counters   pathCounters
+	sess       *bitblast.Session // persistent incremental session, when enabled
 	inputs     map[string]*sym.Expr
 	cov        *coverage.Set // worker-cumulative; feeds coverage-guided Pop
 }
@@ -120,7 +121,7 @@ type workerState struct {
 // cancel.Done() and calls frontier.halt(), which wakes blocked stealers and
 // makes every worker exit at its next loop check. Paths already completed
 // are kept, so a cancelled run returns the partial set explored so far.
-func (e *Engine) runParallel(cancel context.Context, h Handler, workers int, share *bitblast.Space, res *Result) {
+func (e *Engine) runParallel(cancel context.Context, h Handler, workers int, share *bitblast.Space, merge *mergeMemo, res *Result) {
 	f := newFrontier(workers)
 	f.global = append(f.global, e.rootItem())
 
@@ -151,6 +152,9 @@ func (e *Engine) runParallel(cancel context.Context, h Handler, workers int, sha
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		ws := &workerState{inputs: make(map[string]*sym.Expr)}
+		if e.incremental() {
+			ws.sess = bitblast.NewSession(share)
+		}
 		if e.CovMap != nil {
 			ws.cov = e.CovMap.NewSet()
 		}
@@ -194,7 +198,7 @@ func (e *Engine) runParallel(cancel context.Context, h Handler, workers int, sha
 				if cut != nil && cut.prune(it.decisions) {
 					continue
 				}
-				ctx := e.newContext(it, enqueue, &ws.queries, share)
+				ctx := e.newContext(it, enqueue, &ws.counters, ws.sess, share, merge)
 				outcome := runOne(ctx, h)
 				for name, v := range ctx.inputs {
 					ws.inputs[name] = v
@@ -243,7 +247,7 @@ func (e *Engine) runParallel(cancel context.Context, h Handler, workers int, sha
 		res.Paths = append(res.Paths, ws.paths...)
 		res.Infeasible += ws.infeasible
 		res.DepthTruncated += ws.depthTrunc
-		res.BranchQueries += ws.queries
+		addSolveCounters(res, &ws.counters, ws.sess)
 		for name, v := range ws.inputs {
 			res.Inputs[name] = v
 		}

@@ -32,17 +32,41 @@ type abortPanic struct {
 	msg  string
 }
 
+// pathSolver is the constraint back end a Context drives: a fresh
+// bitblast.Blaster per path attempt (the classic mode), or a per-worker
+// bitblast.Session that keeps CNF, learned clauses, and heuristics across
+// the worker's paths (Engine.Incremental). Both return identical answers
+// and identical canonical models, so the choice never changes a Result.
+type pathSolver interface {
+	Assert(e *sym.Expr)
+	SolveAssuming(es ...*sym.Expr) bool
+	Solve() bool
+	CanonicalModel() sym.Assignment
+}
+
+// pathCounters accumulates one worker's solver-facing counters. Owned by
+// the executing worker; no atomics needed.
+type pathCounters struct {
+	branchQueries int64
+	fullSolves    int64 // from-scratch solves on per-path blasters
+	mergeHits     int64 // frontier queries answered by the merge memo
+}
+
 // Context is the per-path execution context handed to the Handler. It is
 // valid only for the duration of one handler invocation. A Context holds no
-// reference to shared engine state: forks go through the enqueue callback
-// and feasibility queries run against the path-private blaster, so parallel
-// workers execute paths without locking on the hot path.
+// reference to locked engine state: forks go through the enqueue callback
+// and feasibility queries run against the worker-private solver, so
+// parallel workers execute paths without locking on the hot path (the
+// merge memo, consulted only at frontier queries, is the one exception).
 type Context struct {
 	maxDepth  int
 	enqueue   func(*workItem)
-	queries   *int64 // owned by the executing worker; no atomics needed
-	blaster   *bitblast.Blaster
-	decisions []bool // prescribed prefix (replay), then grown by new decisions
+	counters  *pathCounters
+	blaster   pathSolver
+	sess      *bitblast.Session // non-nil iff blaster is the worker's session
+	merge     *mergeMemo        // non-nil iff state merging is on
+	lastDec   int               // pc index of the newest branch-decision conjunct, -1 if none
+	decisions []bool            // prescribed prefix (replay), then grown by new decisions
 	sites     []coverage.BranchID
 	depth     int // next decision index
 	pc        []*sym.Expr
@@ -104,6 +128,9 @@ func (c *Context) Assume(cond *sym.Expr) {
 	if cond.IsFalse() {
 		panic(abortPanic{kind: abortInfeasible, msg: "assumption is false"})
 	}
+	if c.sess == nil {
+		c.counters.fullSolves++
+	}
 	if !c.blaster.SolveAssuming(cond) {
 		panic(abortPanic{kind: abortInfeasible, msg: "assumption contradicts path condition"})
 	}
@@ -142,14 +169,14 @@ func (c *Context) BranchSite(site coverage.BranchID, cond *sym.Expr) bool {
 	}
 
 	// Frontier: decide which arms are feasible.
-	*c.queries++
-	satTrue := c.blaster.SolveAssuming(cond)
+	c.counters.branchQueries++
+	satTrue := c.branchFeasible(cond)
 	var satFalse bool
 	if !satTrue {
 		// The path condition is feasible, so at least one arm is.
 		satFalse = true
 	} else {
-		satFalse = c.blaster.SolveAssuming(sym.LNot(cond))
+		satFalse = c.branchFeasible(sym.LNot(cond))
 	}
 
 	switch {
@@ -173,6 +200,38 @@ func (c *Context) BranchSite(site coverage.BranchID, cond *sym.Expr) bool {
 	}
 }
 
+// branchFeasible decides one frontier arm's feasibility. With state merging
+// the exact query is first relaxed by dropping the newest branch-decision
+// conjunct — the pivot of a diamond: sibling paths that differ only in that
+// decision and meet again at the same frontier node issue the *same*
+// relaxed query, which is exactly the ite/or-merged constraint of the
+// diamond. An unsatisfiable relaxed query proves both siblings' exact
+// queries unsatisfiable (it is strictly weaker), so the verdict is memoized
+// engine-wide and the sibling's arm dies without touching the solver. A
+// satisfiable relaxed query proves nothing and falls through to the exact
+// solve, so answers — and therefore Results — are identical with merging
+// on or off.
+func (c *Context) branchFeasible(q *sym.Expr) bool {
+	if c.merge != nil && c.sess != nil && c.lastDec >= 0 {
+		keep := make([]*sym.Expr, 0, len(c.pc)-1)
+		keep = append(keep, c.pc[:c.lastDec]...)
+		keep = append(keep, c.pc[c.lastDec+1:]...)
+		hash, key := mergeKey(keep, q)
+		if c.merge.knownUnsat(hash, key) {
+			c.counters.mergeHits++
+			return false
+		}
+		if !c.sess.SolveSubset(keep, q) {
+			c.merge.recordUnsat(hash, key)
+			return false
+		}
+	}
+	if c.sess == nil {
+		c.counters.fullSolves++
+	}
+	return c.blaster.SolveAssuming(q)
+}
+
 // take commits a branch direction: extends the path condition, the
 // incremental encoding, and coverage.
 func (c *Context) take(site coverage.BranchID, cond *sym.Expr, taken bool) {
@@ -181,6 +240,7 @@ func (c *Context) take(site coverage.BranchID, cond *sym.Expr, taken bool) {
 		eff = sym.LNot(cond)
 	}
 	c.pc = append(c.pc, eff)
+	c.lastDec = len(c.pc) - 1
 	c.blaster.Assert(eff)
 	c.coverBranch(site, taken)
 }
@@ -253,6 +313,18 @@ type Result struct {
 	// adopted from the inter-path exchange (zero unless ClauseSharing).
 	ClauseExports int64
 	ClauseImports int64
+	// AssumptionSolves counts satisfiability decisions served by incremental
+	// sessions (assumption-stack solves); FullSolves counts decisions that
+	// paid a from-scratch per-path solver. Exactly one of the two grows per
+	// engine-level query, depending on Engine.Incremental.
+	AssumptionSolves int64
+	FullSolves       int64
+	// ConstraintsReused counts path conjuncts served from a session's
+	// already-encoded activation cache instead of being re-bitblasted.
+	ConstraintsReused int64
+	// MergeHits counts frontier feasibility queries answered by the
+	// state-merging memo without any solving (zero unless Engine.Merge).
+	MergeHits int64
 }
 
 // AvgConstraintSize returns the mean constraint size across paths.
@@ -356,6 +428,22 @@ type Engine struct {
 	// byte-identical with sharing on or off — it only shortcuts repeated
 	// conflict work across structurally similar paths. See doc.go.
 	ClauseSharing bool
+	// Incremental gives each worker one persistent bitblast.Session instead
+	// of a fresh blaster per path attempt: a path's conjuncts are encoded
+	// once, guarded by activation literals, and a child path's solve pushes
+	// only its new branch constraint as an assumption — CNF, learned
+	// clauses, and VSIDS activity carry over across the worker's whole
+	// subtree. Answers and canonical witness models are identical either
+	// way (see bitblast.Session), so exhaustive Results are byte-identical
+	// with the mode on or off; it only changes how fast the tree burns
+	// down. See doc.go.
+	Incremental bool
+	// Merge enables veritesting-style diamond state merging: frontier
+	// feasibility queries are first relaxed by dropping the newest branch
+	// decision, and relaxed-unsatisfiable verdicts are memoized engine-wide
+	// so the sibling path's mirrored query is answered without solving.
+	// Answer-preserving (see Context.branchFeasible); implies Incremental.
+	Merge bool
 	// Progress, when set, is invoked after each completed path with the
 	// cumulative number of paths kept so far. With Workers > 1 it is called
 	// from worker goroutines and must be safe for concurrent use; counts are
@@ -364,8 +452,8 @@ type Engine struct {
 	// reporting for long runs and has no effect on exploration.
 	Progress func(pathsDone int)
 
-	queue         Strategy
-	branchQueries int64
+	queue    Strategy
+	counters pathCounters
 }
 
 // Run explores h and returns all completed paths in canonical
@@ -412,12 +500,16 @@ func (e *Engine) RunContext(ctx context.Context, h Handler) *Result {
 		// conflicts on later paths of the same handler.
 		share = bitblast.NewSpace(0)
 	}
+	var merge *mergeMemo
+	if e.Merge {
+		merge = newMergeMemo()
+	}
 
 	start := time.Now()
 	if workers == 1 {
-		e.runSequential(ctx, h, share, res)
+		e.runSequential(ctx, h, share, merge, res)
 	} else {
-		e.runParallel(ctx, h, workers, share, res)
+		e.runParallel(ctx, h, workers, share, merge, res)
 	}
 	if share != nil {
 		st := share.Stats()
@@ -432,22 +524,47 @@ func (e *Engine) RunContext(ctx context.Context, h Handler) *Result {
 	return res
 }
 
-// newContext builds the execution context for one path attempt. With
-// clause sharing, the path's blaster joins the run's shared space (a nil
-// share degrades to a private blaster).
-func (e *Engine) newContext(it *workItem, enqueue func(*workItem), queries *int64, share *bitblast.Space) *Context {
+// incremental reports whether workers run persistent sessions (Merge needs
+// droppable per-conjunct assumptions, so it implies Incremental).
+func (e *Engine) incremental() bool { return e.Incremental || e.Merge }
+
+// newContext builds the execution context for one path attempt. A non-nil
+// sess is the worker's persistent incremental session, reset for the new
+// path; otherwise the path gets a fresh blaster. With clause sharing either
+// back end joins the run's shared space (a nil share degrades to private
+// numbering).
+func (e *Engine) newContext(it *workItem, enqueue func(*workItem), counters *pathCounters, sess *bitblast.Session, share *bitblast.Space, merge *mergeMemo) *Context {
 	ctx := &Context{
 		maxDepth:  e.MaxDepth,
 		enqueue:   enqueue,
-		queries:   queries,
-		blaster:   bitblast.NewShared(share),
+		counters:  counters,
+		merge:     merge,
+		lastDec:   -1,
 		decisions: it.decisions,
 		inputs:    make(map[string]*sym.Expr),
+	}
+	if sess != nil {
+		sess.Reset()
+		ctx.blaster, ctx.sess = sess, sess
+	} else {
+		ctx.blaster = bitblast.NewShared(share)
 	}
 	if e.CovMap != nil {
 		ctx.cov = e.CovMap.NewSet()
 	}
 	return ctx
+}
+
+// addSolveCounters folds one worker's counters (and its session's, when
+// incremental) into the result.
+func addSolveCounters(res *Result, c *pathCounters, sess *bitblast.Session) {
+	res.BranchQueries += c.branchQueries
+	res.FullSolves += c.fullSolves
+	res.MergeHits += c.mergeHits
+	if sess != nil {
+		res.AssumptionSolves += sess.AssumptionSolves
+		res.ConstraintsReused += sess.ConstraintsReused
+	}
 }
 
 // completePath turns a finished context into a Path (with model extraction
@@ -463,6 +580,9 @@ func (e *Engine) completePath(ctx *Context) *Path {
 		Decisions: ctx.decisions,
 	}
 	if e.WantModels {
+		if ctx.sess == nil {
+			ctx.counters.fullSolves++
+		}
 		if ctx.blaster.Solve() {
 			// Canonical extraction keeps the model a pure function of the
 			// path condition: the same path yields the same witness bytes
@@ -477,12 +597,16 @@ func (e *Engine) completePath(ctx *Context) *Path {
 // runSequential is the single-threaded exploration loop. cancel is the
 // run's context.Context (named to keep ctx free for the per-path execution
 // Context).
-func (e *Engine) runSequential(cancel context.Context, h Handler, share *bitblast.Space, res *Result) {
+func (e *Engine) runSequential(cancel context.Context, h Handler, share *bitblast.Space, merge *mergeMemo, res *Result) {
 	e.queue = e.Strategy
 	if e.queue == nil {
 		e.queue = NewInterleaved(1)
 	}
-	e.branchQueries = 0
+	e.counters = pathCounters{}
+	var sess *bitblast.Session
+	if e.incremental() {
+		sess = bitblast.NewSession(share)
+	}
 	cut := e.newCanonCut()
 
 	enqueue := func(it *workItem) {
@@ -510,7 +634,7 @@ func (e *Engine) runSequential(cancel context.Context, h Handler, share *bitblas
 		if cut != nil && cut.prune(it.decisions) {
 			continue
 		}
-		ctx := e.newContext(it, enqueue, &e.branchQueries, share)
+		ctx := e.newContext(it, enqueue, &e.counters, sess, share, merge)
 		outcome := runOne(ctx, h)
 		for name, v := range ctx.inputs {
 			res.Inputs[name] = v
@@ -539,7 +663,7 @@ func (e *Engine) runSequential(cancel context.Context, h Handler, share *bitblas
 			}
 		}
 	}
-	res.BranchQueries = e.branchQueries
+	addSolveCounters(res, &e.counters, sess)
 	e.applyCanonCut(cut, res)
 }
 

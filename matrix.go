@@ -96,6 +96,8 @@ func RunMatrix(ctx context.Context, agents, tests []string, opts ...Option) (*Ma
 		MaxDepth:      cfg.maxDepth,
 		Models:        cfg.models,
 		ClauseSharing: cfg.clauseSharing,
+		Incremental:   cfg.incremental,
+		Merge:         cfg.merge,
 		Workers:       cfg.workers,
 		ShardDepth:    cfg.shardDepth,
 		Adaptive:      cfg.adaptiveShards,

@@ -25,6 +25,8 @@ type config struct {
 	progress      func(Event)
 	clauseSharing bool
 	sharedCache   bool
+	incremental   bool
+	merge         bool
 
 	canonicalCut    bool
 	canonicalCutSet bool
@@ -46,7 +48,7 @@ type config struct {
 }
 
 func newConfig(opts []Option) *config {
-	cfg := &config{sharedCache: true}
+	cfg := &config{sharedCache: true, incremental: true}
 	for _, o := range opts {
 		o(cfg)
 	}
@@ -107,6 +109,25 @@ func WithSolver(s *Solver) Option { return func(c *config) { c.solver = s } }
 // byte-identical with sharing on or off — sharing only cuts repeated
 // conflict work on structurally similar paths. Default off.
 func WithClauseSharing(on bool) Option { return func(c *config) { c.clauseSharing = on } }
+
+// WithIncrementalSolver controls the assumption-stack solver sessions used
+// by exploration (Explore, ExploreHandler, Serve, and RunMatrix cells;
+// CrossCheck ignores it). On — the default — each exploration worker keeps
+// one persistent SAT core for its whole run: every path-condition conjunct
+// is encoded once behind an activation literal, a child path pushes only
+// its new branch constraint, and sibling paths share the session's clause
+// database and learned conflicts. Results are byte-identical on or off;
+// the switch exists to benchmark the win and to fall back to per-path
+// solvers if a workload ever regresses.
+func WithIncrementalSolver(on bool) Option { return func(c *config) { c.incremental = on } }
+
+// WithStateMerging enables diamond state merging on top of the incremental
+// sessions (it implies WithIncrementalSolver for the run): at each branch
+// frontier the engine first asks a relaxed query that drops the newest
+// branch decision, and a relaxed UNSAT — which covers both diamond
+// siblings at once — is memoized engine-wide so the matching sibling's arm
+// is pruned without any solver call. Answer-preserving; off by default.
+func WithStateMerging(on bool) Option { return func(c *config) { c.merge = on } }
 
 // WithSharedCache controls how CrossCheck workers use the solver's query
 // cache (Explore ignores it — path feasibility runs on path-private SAT

@@ -183,6 +183,8 @@ func Explore(ctx context.Context, a Agent, t Test, opts ...Option) (*Result, err
 		Solver:        cfg.solver,
 		Workers:       cfg.workers,
 		ClauseSharing: cfg.clauseSharing,
+		Incremental:   cfg.incremental,
+		Merge:         cfg.merge,
 		CanonicalCut:  cfg.canonicalCutOr(false),
 	}
 	agent, test := a.Name(), t.Name
@@ -224,6 +226,8 @@ func ExploreHandler(ctx context.Context, h Handler, opts ...Option) (*HandlerRes
 		WantModels:    cfg.models,
 		Workers:       cfg.workers,
 		ClauseSharing: cfg.clauseSharing,
+		Incremental:   cfg.incremental,
+		Merge:         cfg.merge,
 		CanonicalCut:  cfg.canonicalCutOr(false),
 	}
 	if cfg.progress != nil {
