@@ -27,6 +27,9 @@ type (
 	CampaignJobSpec = campaignd.JobSpec
 	// CampaignEvent is one progress event on a job's stream.
 	CampaignEvent = campaignd.Event
+	// CampaignJobMetrics is one job's derived timing metrics: queue wait,
+	// run duration, and restart count computed from the journal timestamps.
+	CampaignJobMetrics = campaignd.JobMetrics
 	// CampaignStatus is the service's daemon-level counter snapshot.
 	CampaignStatus = campaignd.Status
 	// CampaignJobState is a job's lifecycle position.

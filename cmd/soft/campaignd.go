@@ -35,6 +35,7 @@ func runCampaignd(e *env, args []string) error {
 	workers := fs.Int("workers", 0, "in-process parallelism per job (0 = GOMAXPROCS)")
 	shardDepth := fs.String("shard-depth", "", "fleet frontier split depth: an integer, or \"auto\" for progress-driven balancing")
 	leaseTimeout := fs.Duration("lease-timeout", 0, "re-offer a fleet shard not completed in this long (0 = default, negative = never)")
+	pprofFlag := fs.Bool("pprof", false, "also mount net/http/pprof under /debug/pprof/ on the API address")
 	verbose := fs.Bool("v", false, "report job lifecycle and fleet events on stderr")
 	if err := parse(fs, args); err != nil {
 		return err
@@ -110,7 +111,16 @@ func runCampaignd(e *env, args []string) error {
 	defer stop()
 	srv.Start(ctx)
 
-	httpSrv := &http.Server{Handler: srv.Handler()}
+	handler := srv.Handler()
+	if *pprofFlag {
+		// The API handler already serves GET /metrics; -pprof adds the
+		// profiler on the same address behind an explicit opt-in.
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		addPprof(mux)
+		handler = mux
+	}
+	httpSrv := &http.Server{Handler: handler}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.Serve(ln) }()
 

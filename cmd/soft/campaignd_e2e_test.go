@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"io"
 	"net/http"
 	"os"
 	"os/exec"
@@ -208,6 +209,50 @@ func TestCampaignServeE2E(t *testing.T) {
 	}
 	if !bytes.Equal(remoteBytes, wantReport) {
 		t.Fatal("soft matrix -service report differs from the local reference")
+	}
+
+	// Observability smoke: the daemon serves Prometheus text on GET
+	// /metrics — the campaign lifecycle series must be present (they are
+	// registered at init, so presence is version-skew-proof even when a
+	// counter is still zero) — and `soft stats` renders both views.
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	metricsBody, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: HTTP %d\n%s", resp.StatusCode, metricsBody)
+	}
+	for _, want := range []string{
+		"soft_campaignd_jobs_submitted_total",
+		"soft_campaignd_jobs_done_total",
+		"soft_campaignd_run_duration_ns_count",
+		"soft_sat_solves_total",
+		"soft_store_result_hits_total",
+	} {
+		if !strings.Contains(string(metricsBody), want) {
+			t.Errorf("/metrics misses series %s", want)
+		}
+	}
+	stats := exec.Command(bin, "stats", "-service", base, "-job", jobID)
+	statsOut, err := stats.CombinedOutput()
+	if err != nil {
+		t.Fatalf("soft stats -job: %v\n%s", err, statsOut)
+	}
+	if !strings.Contains(string(statsOut), jobID) || !strings.Contains(string(statsOut), "done") {
+		t.Errorf("soft stats -job output misses the job record:\n%s", statsOut)
+	}
+	statsAll := exec.Command(bin, "stats", "-service", base)
+	statsAllOut, err := statsAll.CombinedOutput()
+	if err != nil {
+		t.Fatalf("soft stats: %v\n%s", err, statsAllOut)
+	}
+	if !strings.Contains(string(statsAllOut), "soft_campaignd_jobs_done_total") {
+		t.Errorf("soft stats output misses the registry:\n%s", statsAllOut)
 	}
 
 	// Graceful shutdown: SIGTERM exits 0 after requeueing running jobs.

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"github.com/soft-testing/soft"
+	"github.com/soft-testing/soft/internal/bitblast"
 )
 
 func exploreCmd() *command {
@@ -36,6 +37,7 @@ func runExplore(e *env, args []string) error {
 	progress := fs.Bool("progress", false, "report exploration progress on stderr")
 	verbose := fs.Bool("v", false, "report solver statistics (queries, cache hits, clause exchange) on stderr")
 	benchJSON := fs.String("bench-json", "", "merge this run's cold paths/sec and solver stats into a bench JSON file, keyed by the scenario or test name")
+	traceOut := fs.String("trace", "", "write a Chrome-trace-event JSON of this run's spans to this file (load in Perfetto; results are byte-identical either way)")
 	if err := parse(fs, args); err != nil {
 		return err
 	}
@@ -101,10 +103,23 @@ func runExplore(e *env, args []string) error {
 			fmt.Fprintf(e.stderr, "soft explore: %d paths...\n", ev.Done)
 		}))
 	}
+	var flushTrace func() error
+	if *traceOut != "" {
+		flushTrace = startTrace(*traceOut)
+	}
+	// Snapshot the process-global solve-latency histogram around the run so
+	// the bench file records this run's quantiles, not the process's.
+	latBefore := bitblast.MSolveLatency.Snapshot()
 	res, err := soft.Explore(ctx, a, t, opts...)
+	if flushTrace != nil {
+		if ferr := flushTrace(); ferr != nil && err == nil {
+			err = ferr
+		}
+	}
 	if err != nil {
 		return err
 	}
+	solveLat := bitblast.MSolveLatency.Snapshot().Sub(latBefore)
 
 	mark := ""
 	if res.Cancelled {
@@ -125,7 +140,7 @@ func runExplore(e *env, args []string) error {
 		if benchName == "" {
 			benchName = t.Name
 		}
-		if err := mergeScenarioBench(*benchJSON, benchName, *workers, *incremental || *merge, *merge, res); err != nil {
+		if err := mergeScenarioBench(*benchJSON, benchName, *workers, *incremental || *merge, *merge, res, solveLat); err != nil {
 			return err
 		}
 	}

@@ -156,7 +156,8 @@ func runJobs(e *env, args []string) error {
 		return nil
 	}
 	tw := tabwriter.NewWriter(e.stdout, 2, 8, 2, ' ', 0)
-	fmt.Fprintln(tw, "JOB\tTENANT\tSTATE\tMATRIX\tPROGRESS\tRESTARTS\tSUBMITTED")
+	fmt.Fprintln(tw, "JOB\tTENANT\tSTATE\tMATRIX\tPROGRESS\tWAIT\tRUN\tRESTARTS\tSUBMITTED")
+	now := time.Now()
 	for _, j := range jobs {
 		progress := "-"
 		if j.Total > 0 {
@@ -166,13 +167,44 @@ func runJobs(e *env, args []string) error {
 		if j.State == soft.CampaignFailed && j.Error != "" {
 			detail += ": " + ellipsis(j.Error, 40)
 		}
-		fmt.Fprintf(tw, "%s\t%s\t%s\t%d×%d\t%s\t%d\t%s\n",
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%d×%d\t%s\t%s\t%s\t%d\t%s\n",
 			j.ID, j.Spec.Tenant, detail,
 			len(j.Spec.Agents), len(j.Spec.Tests),
-			progress, j.Restarts,
+			progress, queueWait(j, now), runTime(j, now), j.Restarts,
 			time.Unix(j.SubmittedUnix, 0).UTC().Format("2006-01-02 15:04:05"))
 	}
 	return tw.Flush()
+}
+
+// queueWait derives a job's submission → dispatch wait from the journal
+// timestamps ("-" before either phase; still counting for queued jobs).
+func queueWait(j *soft.CampaignJob, now time.Time) string {
+	switch {
+	case j.StartedUnix > 0:
+		return fmtSeconds(j.StartedUnix - j.SubmittedUnix)
+	case j.SubmittedUnix > 0:
+		return fmtSeconds(now.Unix() - j.SubmittedUnix)
+	}
+	return "-"
+}
+
+// runTime derives a job's dispatch → terminal duration (still counting for
+// running jobs).
+func runTime(j *soft.CampaignJob, now time.Time) string {
+	switch {
+	case j.StartedUnix > 0 && j.FinishedUnix > 0:
+		return fmtSeconds(j.FinishedUnix - j.StartedUnix)
+	case j.StartedUnix > 0:
+		return fmtSeconds(now.Unix() - j.StartedUnix)
+	}
+	return "-"
+}
+
+func fmtSeconds(s int64) string {
+	if s < 0 {
+		s = 0
+	}
+	return (time.Duration(s) * time.Second).String()
 }
 
 func ellipsis(s string, n int) string {

@@ -9,6 +9,7 @@
 //	soft submit      submit a campaign job to a campaign service
 //	soft jobs        list a campaign service's jobs
 //	soft fetch       fetch a finished job's canonical report
+//	soft stats       fetch a running service's live metrics
 //	soft serve       coordinate a distributed phase-1 run across workers
 //	soft work        explore shard leases for a coordinator fleet
 //	soft group       group a results file by output behavior
@@ -51,6 +52,7 @@ func commands() []*command {
 		submitCmd(),
 		jobsCmd(),
 		fetchCmd(),
+		statsCmd(),
 		serveCmd(),
 		workCmd(),
 		groupCmd(),

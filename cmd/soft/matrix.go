@@ -14,6 +14,8 @@ import (
 	"time"
 
 	"github.com/soft-testing/soft"
+	"github.com/soft-testing/soft/internal/bitblast"
+	"github.com/soft-testing/soft/internal/obs"
 	"github.com/soft-testing/soft/internal/store"
 )
 
@@ -78,6 +80,7 @@ func runMatrix(e *env, args []string) error {
 	out := fs.String("o", "", "write the canonical campaign report to this file (byte-identical across reruns)")
 	benchJSON := fs.String("bench-json", "", "merge this run's throughput metrics (cells/sec, cache-hit rate) into this JSON file as its cold or warm pass")
 	benchPass := fs.String("bench-pass", "auto", "which -bench-json pass this run is: cold, warm, or auto (classify by cache hits)")
+	traceOut := fs.String("trace", "", "write a Chrome-trace-event JSON of this campaign's spans to this file (load in Perfetto; results are byte-identical either way)")
 	timeout := fs.Duration("timeout", 0, "wall-clock limit; on expiry the campaign aborts")
 	progress := fs.Bool("progress", false, "report fleet lifecycle and cell/check progress on stderr")
 	verbose := fs.Bool("v", false, "report cache, fleet, and solver statistics on stderr")
@@ -206,11 +209,24 @@ func runMatrix(e *env, args []string) error {
 		}))
 	}
 
+	var flushTrace func() error
+	if *traceOut != "" {
+		flushTrace = startTrace(*traceOut)
+	}
+	// Snapshot the process-global solve-latency histogram around the run so
+	// the bench file records this campaign's quantiles, not the process's.
+	latBefore := bitblast.MSolveLatency.Snapshot()
 	start := time.Now()
 	rep, err := soft.RunMatrix(ctx, agents, tests, opts...)
+	if flushTrace != nil {
+		if ferr := flushTrace(); ferr != nil && err == nil {
+			err = ferr
+		}
+	}
 	if err != nil {
 		return err
 	}
+	solveLat := bitblast.MSolveLatency.Snapshot().Sub(latBefore)
 
 	// Human-readable summary: deterministic content plus run annotations
 	// (cache markers) that describe this run, not the result.
@@ -281,7 +297,7 @@ func runMatrix(e *env, args []string) error {
 		}
 	}
 	if *benchJSON != "" {
-		if err := writeBenchJSON(*benchJSON, *benchPass, rep, time.Since(start)); err != nil {
+		if err := writeBenchJSON(*benchJSON, *benchPass, rep, time.Since(start), solveLat); err != nil {
 			return err
 		}
 	}
@@ -349,10 +365,16 @@ type benchSolverStats struct {
 	InternHits        int64 `json:"intern_hits"`
 	ClauseExports     int64 `json:"clause_exports"`
 	ClauseImports     int64 `json:"clause_imports"`
+	// SolveLatencyP50Ns/P99Ns summarize the run's SAT solve-latency
+	// histogram (power-of-two buckets: the quantile is an upper bound
+	// within 2× of the true value). Zero when the pass did no local
+	// solving — fully cached and service-side runs.
+	SolveLatencyP50Ns int64 `json:"solve_latency_p50_ns,omitempty"`
+	SolveLatencyP99Ns int64 `json:"solve_latency_p99_ns,omitempty"`
 }
 
-func toBenchSolverStats(st soft.SolverStats) *benchSolverStats {
-	return &benchSolverStats{
+func toBenchSolverStats(st soft.SolverStats, lat obs.HistogramSnapshot) *benchSolverStats {
+	b := &benchSolverStats{
 		Queries:           st.Queries,
 		CacheHits:         st.CacheHits,
 		AssumptionSolves:  st.AssumptionSolves,
@@ -363,6 +385,11 @@ func toBenchSolverStats(st soft.SolverStats) *benchSolverStats {
 		ClauseExports:     st.ClauseExports,
 		ClauseImports:     st.ClauseImports,
 	}
+	if lat.Count() > 0 {
+		b.SolveLatencyP50Ns = lat.Quantile(0.5)
+		b.SolveLatencyP99Ns = lat.Quantile(0.99)
+	}
+	return b
 }
 
 // benchFile is the whole BENCH_matrix.json: both passes of the cold/warm
@@ -440,7 +467,7 @@ const benchMinElapsed = time.Millisecond
 // Default-mode runs (incremental, no merge) refresh scenario_cold and the
 // family aggregates; every run also lands in its half of the incremental
 // before/after object.
-func mergeScenarioBench(path, scenarioName string, workers int, incremental, merge bool, res *soft.Result) error {
+func mergeScenarioBench(path, scenarioName string, workers int, incremental, merge bool, res *soft.Result, solveLat obs.HistogramSnapshot) error {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -470,7 +497,7 @@ func mergeScenarioBench(path, scenarioName string, workers int, incremental, mer
 			ElapsedSec:  res.Elapsed.Seconds(),
 			PathsPerSec: pathsPerSec,
 			TooFast:     tooFast,
-			SolverStats: toBenchSolverStats(res.SolverStats),
+			SolverStats: toBenchSolverStats(res.SolverStats, solveLat),
 		}
 		f.ScenarioFamilies = aggregateFamilies(f.ScenarioCold)
 	}
@@ -548,7 +575,7 @@ func classifyBenchPass(pass string, rep *soft.MatrixReport) string {
 	}
 }
 
-func writeBenchJSON(path, pass string, rep *soft.MatrixReport, elapsed time.Duration) error {
+func writeBenchJSON(path, pass string, rep *soft.MatrixReport, elapsed time.Duration, solveLat obs.HistogramSnapshot) error {
 	paths := 0
 	for i := range rep.Cells {
 		paths += rep.Cells[i].Paths
@@ -571,7 +598,7 @@ func writeBenchJSON(path, pass string, rep *soft.MatrixReport, elapsed time.Dura
 	if len(rep.Cells) > 0 {
 		m.CacheHitRate = float64(rep.CacheHits) / float64(len(rep.Cells))
 	}
-	m.SolverStats = toBenchSolverStats(rep.SolverStats)
+	m.SolverStats = toBenchSolverStats(rep.SolverStats, solveLat)
 
 	// Merge with the passes already on disk so cold and warm runs build one
 	// file between them; a file in the old flat schema is replaced.

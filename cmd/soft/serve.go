@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"net"
+	"net/http"
 	"os"
 	"sync"
 	"time"
@@ -33,6 +34,8 @@ func runServe(e *env, args []string) error {
 	leaseTimeout := fs.Duration("lease-timeout", 0, "re-offer a shard not completed in this long (0 = default, negative = never)")
 	canonicalCut := fs.Bool("canonical-cut", true, "keep the canonically smallest max-paths paths instead of the first to complete")
 	timeout := fs.Duration("timeout", 0, "wall-clock limit; on expiry the run aborts (distributed partial results are not deterministic)")
+	metricsAddr := fs.String("metrics-addr", "", "also serve Prometheus text on http://<addr>/metrics while the run is live (use :0 for an ephemeral port)")
+	pprofFlag := fs.Bool("pprof", false, "with -metrics-addr: also mount net/http/pprof under /debug/pprof/")
 	progress := fs.Bool("progress", false, "report lease grants and exploration progress on stderr")
 	verbose := fs.Bool("v", false, "report aggregated solver statistics (queries, cache hits, clause exchange) on stderr")
 	if err := parse(fs, args); err != nil {
@@ -63,6 +66,10 @@ func runServe(e *env, args []string) error {
 		defer cancel()
 	}
 
+	if *pprofFlag && *metricsAddr == "" {
+		return usagef("-pprof needs -metrics-addr: the profiler rides the metrics endpoint")
+	}
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
@@ -71,6 +78,20 @@ func runServe(e *env, args []string) error {
 	// The chosen address goes out before any worker could need it — e2e
 	// harnesses and humans alike parse this line to start workers.
 	fmt.Fprintf(e.stderr, "soft serve: listening on %s\n", ln.Addr())
+
+	if *metricsAddr != "" {
+		// The observability endpoint lives on its own listener so the
+		// coordinator's worker protocol socket stays protocol-pure. It dies
+		// with the run; scrape it while the exploration is live.
+		mln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(e.stderr, "soft serve: metrics on http://%s/metrics\n", mln.Addr())
+		msrv := &http.Server{Handler: newMetricsMux(*pprofFlag)}
+		go msrv.Serve(mln)
+		defer msrv.Close()
+	}
 
 	opts := []soft.Option{
 		soft.WithMaxPaths(*maxPaths),

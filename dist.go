@@ -70,21 +70,25 @@ func ServeListener(ctx context.Context, ln net.Listener, agent, test string, opt
 		LeaseTimeout:   cfg.leaseTimeout,
 		Log:            cfg.log,
 	}
+	var pq *progressQueue
 	if cfg.progress != nil {
-		progress := cfg.progress
+		pq = newProgressQueue(cfg.progress)
 		dc.Progress = func(done int) {
-			progress(Event{Phase: PhaseExplore, Agent: agent, Test: test, Done: done})
+			pq.send(Event{Phase: PhaseExplore, Agent: agent, Test: test, Done: done})
 		}
 	}
 	res, err := dist.Serve(ctx, ln, dc)
 	if err != nil {
+		if pq != nil {
+			pq.close()
+		}
 		return nil, err
 	}
-	if cfg.progress != nil {
+	if pq != nil {
 		// Final event: solver statistics aggregated across the coordinator's
 		// split run and every worker shard — the same shape Explore's final
 		// event carries, so -v style consumers work unchanged.
-		cfg.progress(Event{
+		pq.close(Event{
 			Phase: PhaseExplore, Agent: agent, Test: test,
 			Done:  len(res.Paths),
 			Stats: &res.SolverStats,

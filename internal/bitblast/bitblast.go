@@ -13,6 +13,7 @@ package bitblast
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"github.com/soft-testing/soft/internal/sat"
 	"github.com/soft-testing/soft/internal/sym"
@@ -229,7 +230,13 @@ func (b *Blaster) assert(e *sym.Expr) {
 }
 
 // Solve decides satisfiability of everything asserted so far.
-func (b *Blaster) Solve() bool { return b.S.Solve() }
+func (b *Blaster) Solve() bool {
+	start := time.Now()
+	ok := b.S.Solve()
+	MSolves.Inc()
+	MSolveLatency.ObserveSince(start)
+	return ok
+}
 
 // SolveAssuming decides satisfiability under extra assumption expressions
 // without permanently asserting them.
@@ -239,7 +246,11 @@ func (b *Blaster) SolveAssuming(es ...*sym.Expr) bool {
 		b.reserveVars(e)
 		lits[i] = b.enc1(e)
 	}
-	return b.S.Solve(lits...)
+	start := time.Now()
+	ok := b.S.Solve(lits...)
+	MSolves.Inc()
+	MSolveLatency.ObserveSince(start)
+	return ok
 }
 
 // Model extracts the assignment of every bitvector variable mentioned in

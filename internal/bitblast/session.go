@@ -3,6 +3,7 @@ package bitblast
 import (
 	"sort"
 	"strconv"
+	"time"
 
 	"github.com/soft-testing/soft/internal/sat"
 	"github.com/soft-testing/soft/internal/sym"
@@ -165,6 +166,7 @@ func (s *Session) assert(e *sym.Expr) {
 func (s *Session) actFor(e *sym.Expr) sat.Lit {
 	if a, ok := s.acts[e]; ok {
 		s.ConstraintsReused++
+		MConstraintsReused.Inc()
 		return a
 	}
 	if prev, ok := s.actHash[e.Hash()]; ok && sym.Equal(prev, e) {
@@ -172,6 +174,7 @@ func (s *Session) actFor(e *sym.Expr) sat.Lit {
 		a := s.acts[prev]
 		s.acts[e] = a
 		s.ConstraintsReused++
+		MConstraintsReused.Inc()
 		return a
 	}
 	s.ConstraintsNew++
@@ -215,10 +218,14 @@ func (s *Session) newActLit(e *sym.Expr) sat.Lit {
 // literals, with the session's liveness check.
 func (s *Session) solve(extra ...sat.Lit) bool {
 	s.AssumptionSolves++
+	MAssumptionSolves.Inc()
+	MAssumptionDepth.Observe(int64(len(s.stack)))
 	lits := make([]sat.Lit, 0, len(s.stack)+len(extra))
 	lits = append(lits, s.stack...)
 	lits = append(lits, extra...)
+	start := time.Now()
 	ok := s.b.S.Solve(lits...)
+	MSolveLatency.ObserveSince(start)
 	if !ok && !s.b.S.Okay() {
 		panic("bitblast: incremental session database became unsatisfiable (engine bug)")
 	}
@@ -245,6 +252,8 @@ func (s *Session) SolveAssuming(es ...*sym.Expr) bool {
 // some path of this session (its guard is served from the cache).
 func (s *Session) SolveSubset(conjuncts []*sym.Expr, extra ...*sym.Expr) bool {
 	s.AssumptionSolves++
+	MAssumptionSolves.Inc()
+	MAssumptionDepth.Observe(int64(len(s.stack)))
 	lits := make([]sat.Lit, 0, len(conjuncts)+len(extra))
 	for _, c := range conjuncts {
 		lits = s.appendActs(lits, c)
@@ -253,7 +262,9 @@ func (s *Session) SolveSubset(conjuncts []*sym.Expr, extra ...*sym.Expr) bool {
 		s.touchVars(e)
 		lits = append(lits, s.b.enc1(e))
 	}
+	start := time.Now()
 	ok := s.b.S.Solve(lits...)
+	MSolveLatency.ObserveSince(start)
 	if !ok && !s.b.S.Okay() {
 		panic("bitblast: incremental session database became unsatisfiable (engine bug)")
 	}

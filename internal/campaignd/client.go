@@ -140,6 +140,16 @@ func (c *Client) Report(ctx context.Context, id string) ([]byte, error) {
 	return data, nil
 }
 
+// Metrics fetches one job's derived timing metrics (queue wait, run
+// duration, restarts) as computed by the service from its journal.
+func (c *Client) Metrics(ctx context.Context, id string) (*JobMetrics, error) {
+	var m JobMetrics
+	if err := c.do(ctx, http.MethodGet, apiPrefix+"/jobs/"+url.PathEscape(id)+"/metrics", nil, &m); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
 // Status fetches daemon counters.
 func (c *Client) Status(ctx context.Context) (*Status, error) {
 	var st Status

@@ -1,0 +1,139 @@
+package campaignd
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+)
+
+// TestWatchReconnectsAfterStreamDrop pins Watch's reconnect contract
+// against a scripted service: the first SSE connection drops mid-stream
+// without a terminal event (a proxy timeout, as far as the client can
+// tell), the liveness poll reports the job still running, and the second
+// connection re-snapshots and finishes. Watch must resume transparently,
+// deliver the terminal event exactly once, and return the done record.
+func TestWatchReconnectsAfterStreamDrop(t *testing.T) {
+	var (
+		mu       sync.Mutex
+		connects int
+		finished bool
+	)
+	mux := http.NewServeMux()
+	mux.HandleFunc(apiPrefix+"/jobs/j1/events", func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		connects++
+		n := connects
+		mu.Unlock()
+		w.Header().Set("Content-Type", "text/event-stream")
+		fl := w.(http.Flusher)
+		send := func(ev Event) {
+			data, err := json.Marshal(ev)
+			if err != nil {
+				t.Errorf("marshal event: %v", err)
+				return
+			}
+			fmt.Fprintf(w, "data: %s\n\n", data)
+			fl.Flush()
+		}
+		if n == 1 {
+			// Snapshot plus one progress frame, then return — closing the
+			// connection with no terminal event.
+			send(Event{Job: "j1", State: StateRunning, Done: 1, Total: 4})
+			send(Event{Job: "j1", State: StateRunning, Done: 2, Total: 4})
+			return
+		}
+		// Reconnect: the service re-snapshots current state on every
+		// connect, then the job finishes. finished flips before the
+		// terminal event goes out so the client's final Job fetch — which
+		// races only against lines already on the wire — sees done.
+		send(Event{Job: "j1", State: StateRunning, Done: 2, Total: 4})
+		mu.Lock()
+		finished = true
+		mu.Unlock()
+		send(Event{Job: "j1", State: StateDone, Done: 4, Total: 4})
+	})
+	mux.HandleFunc(apiPrefix+"/jobs/j1", func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		state := StateRunning
+		if finished {
+			state = StateDone
+		}
+		mu.Unlock()
+		json.NewEncoder(w).Encode(&Job{ID: "j1", State: state, Done: 4, Total: 4})
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	var events []Event
+	final, err := NewClient(ts.URL).Watch(context.Background(), "j1",
+		func(ev Event) { events = append(events, ev) })
+	if err != nil {
+		t.Fatalf("Watch: %v", err)
+	}
+	if final.State != StateDone {
+		t.Fatalf("final state = %s, want done", final.State)
+	}
+	mu.Lock()
+	n := connects
+	mu.Unlock()
+	if n != 2 {
+		t.Fatalf("event-stream connects = %d, want 2 (drop, then one reconnect)", n)
+	}
+	terminals := 0
+	for _, ev := range events {
+		if ev.State.terminal() {
+			terminals++
+		}
+	}
+	if terminals != 1 {
+		t.Fatalf("terminal events delivered = %d, want exactly 1 (events: %+v)", terminals, events)
+	}
+	if last := events[len(events)-1]; !last.State.terminal() {
+		t.Fatalf("last event = %+v, want the terminal one", last)
+	}
+}
+
+// TestWatchPollsOutTerminalRace covers the other reconnect leg: the
+// stream drops and by the time the client polls, the job has already
+// finished. Watch must return the terminal record from the poll without
+// opening another stream — no lost terminal, no extra connection.
+func TestWatchPollsOutTerminalRace(t *testing.T) {
+	var (
+		mu       sync.Mutex
+		connects int
+	)
+	mux := http.NewServeMux()
+	mux.HandleFunc(apiPrefix+"/jobs/j2/events", func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		connects++
+		mu.Unlock()
+		w.Header().Set("Content-Type", "text/event-stream")
+		fl := w.(http.Flusher)
+		fmt.Fprintf(w, "data: %s\n\n", `{"job":"j2","state":"running","done":3,"total":4}`)
+		fl.Flush()
+		// Drop; the job completes while the client is reconnecting.
+	})
+	mux.HandleFunc(apiPrefix+"/jobs/j2", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(&Job{ID: "j2", State: StateDone, Done: 4, Total: 4})
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	final, err := NewClient(ts.URL).Watch(context.Background(), "j2", nil)
+	if err != nil {
+		t.Fatalf("Watch: %v", err)
+	}
+	if final.State != StateDone {
+		t.Fatalf("final state = %s, want done", final.State)
+	}
+	mu.Lock()
+	n := connects
+	mu.Unlock()
+	if n != 1 {
+		t.Fatalf("event-stream connects = %d, want 1 (the poll resolves the terminal state)", n)
+	}
+}

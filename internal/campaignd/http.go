@@ -6,6 +6,9 @@ import (
 	"fmt"
 	"net/http"
 	"strings"
+	"time"
+
+	"github.com/soft-testing/soft/internal/obs"
 )
 
 // apiPrefix roots every route; bump it with any wire-incompatible change.
@@ -19,7 +22,9 @@ const apiPrefix = "/api/v1"
 //	DELETE /api/v1/jobs/<id>        cancel a queued or running job
 //	GET    /api/v1/jobs/<id>/events SSE progress stream until terminal
 //	GET    /api/v1/jobs/<id>/report canonical report bytes (done jobs)
+//	GET    /api/v1/jobs/<id>/metrics per-job timing snapshot (JSON)
 //	GET    /api/v1/status           daemon counters
+//	GET    /metrics                 Prometheus text exposition
 //
 // Routing is written against go1.21 ServeMux semantics (no method or
 // wildcard patterns).
@@ -34,7 +39,20 @@ func (s *Server) Handler() http.Handler {
 	})
 	mux.HandleFunc(apiPrefix+"/jobs", s.handleJobs)
 	mux.HandleFunc(apiPrefix+"/jobs/", s.handleJob)
+	mux.HandleFunc("/metrics", handleMetrics)
 	return mux
+}
+
+// handleMetrics serves the process-global registry as Prometheus text —
+// solver, store, fleet, and campaignd metrics alike, since they all share
+// the default registry.
+func handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	obs.WritePrometheus(w)
 }
 
 func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
@@ -99,6 +117,13 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, j)
 	case "events":
 		s.handleEvents(w, r, id)
+	case "metrics":
+		j, ok := s.Job(id)
+		if !ok {
+			httpError(w, http.StatusNotFound, "no such job %q", id)
+			return
+		}
+		writeJSON(w, http.StatusOK, metricsOf(j, time.Now()))
 	case "report":
 		data, ok, err := s.Report(id)
 		if err != nil {

@@ -12,6 +12,7 @@ import (
 	"github.com/soft-testing/soft/internal/agents"
 	"github.com/soft-testing/soft/internal/dist"
 	"github.com/soft-testing/soft/internal/harness"
+	"github.com/soft-testing/soft/internal/obs"
 	"github.com/soft-testing/soft/internal/sched"
 	"github.com/soft-testing/soft/internal/store"
 )
@@ -149,6 +150,7 @@ func New(cfg Config) (*Server, error) {
 			// deterministically.
 			j.State = StateQueued
 			j.Restarts++
+			mJobsRestarted.Inc()
 			if err := jr.putJob(j); err != nil {
 				return nil, err
 			}
@@ -162,6 +164,7 @@ func New(cfg Config) (*Server, error) {
 	if len(replayed) > 0 {
 		s.logf("journal replayed: %d job(s), %d resumed from a dead coordinator", len(replayed), resumed)
 	}
+	s.syncGaugesLocked()
 	s.prune()
 	return s, nil
 }
@@ -308,6 +311,10 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 		s.mu.Unlock()
 		return nil, err
 	}
+	mJobsSubmitted.Inc()
+	s.mu.Lock()
+	s.syncGaugesLocked()
+	s.mu.Unlock()
 	s.logf("job %s (tenant %s) submitted: %d agent(s) × %d test(s), crosscheck=%t",
 		j.ID, spec.Tenant, len(spec.Agents), len(spec.Tests), spec.CrossCheck)
 	s.cond.Broadcast()
@@ -427,6 +434,8 @@ func (s *Server) schedule(ctx context.Context) {
 		s.cancels[j.ID] = jcancel
 		rec := j.clone()
 		s.publishLocked(j)
+		s.syncGaugesLocked()
+		mQueueWait.Observe((j.StartedUnix - j.SubmittedUnix) * int64(time.Second))
 		s.mu.Unlock()
 
 		// Journal the ownership transition before execution starts; if the
@@ -440,7 +449,9 @@ func (s *Server) schedule(ctx context.Context) {
 		go func() {
 			defer s.wg.Done()
 			defer jcancel()
+			sp := obs.StartSpan("job:" + j.ID)
 			s.execute(jctx, j)
+			sp.End()
 			s.mu.Lock()
 			delete(s.cancels, j.ID)
 			s.mu.Unlock()
@@ -561,6 +572,7 @@ func (s *Server) finish(j *Job, apply func(*Job)) {
 	s.runningBy[j.Spec.Tenant]--
 	rec := j.clone()
 	s.publishLocked(j)
+	s.syncGaugesLocked()
 	if j.State.terminal() {
 		for ch := range s.subs[j.ID] {
 			close(ch)
@@ -568,6 +580,16 @@ func (s *Server) finish(j *Job, apply func(*Job)) {
 		delete(s.subs, j.ID)
 	}
 	s.mu.Unlock()
+	// Cancellations are counted in Cancel (the transition's true site —
+	// finish only observes the already-journaled state).
+	switch rec.State {
+	case StateDone:
+		mJobsDone.Inc()
+		mRunDuration.Observe((rec.FinishedUnix - rec.StartedUnix) * int64(time.Second))
+	case StateFailed:
+		mJobsFailed.Inc()
+		mRunDuration.Observe((rec.FinishedUnix - rec.StartedUnix) * int64(time.Second))
+	}
 	if err := s.jr.putJob(rec); err != nil {
 		s.logf("journal: %v", err)
 	}
@@ -619,11 +641,13 @@ func (s *Server) Cancel(id string) (*Job, error) {
 	j.FinishedUnix = time.Now().Unix()
 	rec := j.clone()
 	s.publishLocked(j)
+	s.syncGaugesLocked()
 	for ch := range s.subs[id] {
 		close(ch)
 	}
 	delete(s.subs, id)
 	s.mu.Unlock()
+	mJobsCancelled.Inc()
 
 	// Journal before interrupting the run: the cancelled mark must be
 	// durable before execution can observe the abort and race a restart.

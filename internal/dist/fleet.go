@@ -360,6 +360,8 @@ func (f *Fleet) next(conn net.Conn) (*grant, bool) {
 			if n > 1 {
 				f.stats.BatchedLeases++
 			}
+			mLeases.Inc()
+			mShardsLeased.Add(int64(n))
 			return g, true
 		}
 		f.waiting++
@@ -387,6 +389,7 @@ func (f *Fleet) release(g *grant) {
 	g.job.liveDone -= g.done
 	g.done = 0
 	f.stats.Requeues += requeued
+	mRequeues.Add(int64(requeued))
 	f.mu.Unlock()
 	if requeued > 0 {
 		f.logf("lease %d re-queued %d shard(s) (worker lost)", g.id, requeued)
@@ -419,7 +422,9 @@ func (f *Fleet) completeShard(g *grant, idx int, result *harness.Shard) {
 	switch {
 	case s.status == shardDone || s.status == shardCancelled || s.covered() || s.redundant():
 		f.stats.StaleResults++
+		mStaleResults.Inc()
 	default:
+		mLeaseRTT.Observe(int64(time.Since(s.leasedAt)))
 		if s.status == shardPending {
 			// The lease expired and the shard went back to the queue, but
 			// the original worker finished first: take its result and pull
@@ -522,6 +527,7 @@ func (f *Fleet) watch() {
 					j.pending = append(j.pending, s)
 					requeued++
 					f.stats.Expirations++
+					mExpirations.Inc()
 					continue
 				}
 				// Adaptive split: a shard that is slow while workers starve
@@ -589,6 +595,7 @@ func (f *Fleet) split(j *jobRun, s *shard) {
 	}
 	f.stats.Splits++
 	f.stats.SplitShards += len(childPrefixes)
+	mSplits.Inc()
 	if !j.completed && j.failed == nil && j.doneLocked() {
 		// A shallow subtree can be fully covered by the stub alone.
 		j.completed = true
@@ -626,6 +633,7 @@ func (f *Fleet) handle(conn net.Conn) {
 		f.mu.Lock()
 		f.stats.WorkersRejected++
 		f.mu.Unlock()
+		mWorkersRejected.Inc()
 		f.logf("worker %q rejected: protocol version %d != %d", h.name, h.version, protocolVersion)
 		writeFrame(conn, msgReject, encodeReject(reject{want: protocolVersion}))
 		return
@@ -636,6 +644,7 @@ func (f *Fleet) handle(conn net.Conn) {
 	f.mu.Lock()
 	f.stats.WorkersJoined++
 	f.mu.Unlock()
+	mWorkersJoined.Inc()
 	f.logf("worker %q connected", h.name)
 
 	sentJobs := make(map[uint64]bool)
@@ -680,6 +689,9 @@ func (f *Fleet) handle(conn net.Conn) {
 					f.logf("worker %q: %v", h.name, err)
 					return
 				}
+				// Deltas describe worker-global solver activity, so they
+				// aggregate even when the frame's lease id has gone stale.
+				addRemote(p)
 				if p.lease == g.id {
 					f.progress(g, int(p.done))
 				}

@@ -69,8 +69,11 @@ import (
 // reject frame naming the version it wants, so the worker can report the
 // mismatch instead of a raw decode error). Version 2 added job-scoped
 // frames (job/lease/progress/result carry a job id), multi-prefix leases,
-// and the reject frame.
-const protocolVersion = 3
+// and the reject frame. Version 4 extended progress frames with
+// worker-local metric deltas (SAT solves, solve time, assumption solves,
+// constraint reuses) so the coordinator can aggregate fleet-wide solver
+// throughput live.
+const protocolVersion = 4
 
 // maxFrame bounds a frame (type byte + payload). It matches the results
 // reader's line buffer: anything bigger is a corrupt or hostile peer.
@@ -391,11 +394,20 @@ func decodeLease(p []byte) (lease, error) {
 }
 
 // progressMsg streams a lease's completed-path count while it runs (summed
-// across the lease's prefixes).
+// across the lease's prefixes), plus the worker's metric deltas since its
+// previous progress frame (v4): SAT solves, solve nanoseconds, assumption
+// solves, and activation-cache constraint reuses. The deltas are advisory
+// observability data — the coordinator aggregates them fleet-wide and
+// nothing else reads them, so they can never affect a merged result.
 type progressMsg struct {
 	job   uint64
 	lease uint64
 	done  uint64
+
+	dSolves     uint64
+	dSolveNanos uint64
+	dAssumption uint64
+	dReused     uint64
 }
 
 func encodeProgress(p progressMsg) []byte {
@@ -403,12 +415,20 @@ func encodeProgress(p progressMsg) []byte {
 	e.u64(p.job)
 	e.u64(p.lease)
 	e.u64(p.done)
+	e.u64(p.dSolves)
+	e.u64(p.dSolveNanos)
+	e.u64(p.dAssumption)
+	e.u64(p.dReused)
 	return e.b
 }
 
 func decodeProgress(p []byte) (progressMsg, error) {
 	d := dec{b: p}
 	m := progressMsg{job: d.u64(), lease: d.u64(), done: d.u64()}
+	m.dSolves = d.u64()
+	m.dSolveNanos = d.u64()
+	m.dAssumption = d.u64()
+	m.dReused = d.u64()
 	return m, d.done()
 }
 

@@ -189,10 +189,17 @@ func Work(ctx context.Context, addr string, cfg WorkerConfig) error {
 // progress frames, sending at most one per progressInterval. Counts are a
 // monotone high-water mark (engine callbacks may arrive out of order); send
 // errors are ignored — the connection's main loop will see them.
+//
+// Each frame also carries the worker's solver-metric deltas since the
+// previous frame, sampled from the process-global SAT counters. Deltas
+// accrued after the lease's last throttled frame are shipped with the next
+// lease's first frame (or lost at disconnect) — acceptable for advisory
+// observability data.
 func throttledProgress(jobID, leaseID uint64, send func(msgType, []byte) error) func(int) {
 	var mu sync.Mutex
 	var last time.Time
 	hi := 0
+	snap := sampleWorkerMetrics()
 	return func(done int) {
 		mu.Lock()
 		if done <= hi {
@@ -205,7 +212,14 @@ func throttledProgress(jobID, leaseID uint64, send func(msgType, []byte) error) 
 			return
 		}
 		last = time.Now()
+		cur := sampleWorkerMetrics()
+		d := cur.sub(snap)
+		snap = cur
 		mu.Unlock()
-		send(msgProgress, encodeProgress(progressMsg{job: jobID, lease: leaseID, done: uint64(done)}))
+		send(msgProgress, encodeProgress(progressMsg{
+			job: jobID, lease: leaseID, done: uint64(done),
+			dSolves: d.solves, dSolveNanos: d.solveNanos,
+			dAssumption: d.assumption, dReused: d.reused,
+		}))
 	}
 }

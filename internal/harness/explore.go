@@ -6,6 +6,7 @@ import (
 
 	"github.com/soft-testing/soft/internal/agents"
 	"github.com/soft-testing/soft/internal/coverage"
+	"github.com/soft-testing/soft/internal/obs"
 	"github.com/soft-testing/soft/internal/openflow"
 	"github.com/soft-testing/soft/internal/solver"
 	"github.com/soft-testing/soft/internal/sym"
@@ -153,6 +154,8 @@ func Explore(a agents.Agent, t Test, o Options) *Result {
 // engine stops at the next path boundary and the Result comes back with
 // Cancelled and Truncated set, carrying the paths completed so far.
 func ExploreContext(ctx context.Context, a agents.Agent, t Test, o Options) *Result {
+	sp := obs.StartSpan("explore:" + a.Name() + "/" + t.Name)
+	defer sp.End()
 	if o.MaxPaths == 0 {
 		o.MaxPaths = DefaultMaxPaths
 	}

@@ -1,0 +1,178 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. The zero value is usable,
+// but counters are normally created through NewCounter so they appear in
+// the registry's exposition.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be non-negative to keep the counter monotone).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down (queue lengths, active jobs).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores n.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adds n (negative to decrease).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// metricKind tags a registry entry for the exposition writer.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// metric is one registered entry; exactly one of the three pointers is set.
+type metric struct {
+	name string
+	kind metricKind
+	ctr  *Counter
+	gau  *Gauge
+	hist *Histogram
+}
+
+// regShards is the registry fan-out. Creation hashes the name to a shard,
+// so even heavy dynamic registration (there is none today — metrics are
+// package vars) would not serialize on one lock. The update path holds no
+// lock at all: handles are bare atomics.
+const regShards = 16
+
+type registryShard struct {
+	mu      sync.Mutex
+	metrics map[string]*metric
+}
+
+// Registry holds named metrics. The package-level Default registry is the
+// one all SOFT instrumentation uses; independent registries exist for
+// tests.
+type Registry struct {
+	shards [regShards]registryShard
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	r := &Registry{}
+	for i := range r.shards {
+		r.shards[i].metrics = make(map[string]*metric)
+	}
+	return r
+}
+
+// Default is the process-wide registry backing NewCounter, NewGauge,
+// NewHistogram, and WritePrometheus.
+var Default = NewRegistry()
+
+func (r *Registry) shardFor(name string) *registryShard {
+	h := uint32(2166136261)
+	for i := 0; i < len(name); i++ {
+		h = (h ^ uint32(name[i])) * 16777619
+	}
+	return &r.shards[h%regShards]
+}
+
+// lookupOrCreate returns the entry for name, creating it with make when
+// absent. It panics if name is already registered with a different kind —
+// that is a programming error, caught at init time since metrics are
+// package vars.
+func (r *Registry) lookupOrCreate(name string, kind metricKind, make func() *metric) *metric {
+	sh := r.shardFor(name)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if m, ok := sh.metrics[name]; ok {
+		if m.kind != kind {
+			panic("obs: metric " + name + " re-registered as " + kind.String() + ", was " + m.kind.String())
+		}
+		return m
+	}
+	m := make()
+	sh.metrics[name] = m
+	return m
+}
+
+// Counter returns the named counter, creating it if needed.
+func (r *Registry) Counter(name string) *Counter {
+	m := r.lookupOrCreate(name, kindCounter, func() *metric {
+		return &metric{name: name, kind: kindCounter, ctr: &Counter{}}
+	})
+	return m.ctr
+}
+
+// Gauge returns the named gauge, creating it if needed.
+func (r *Registry) Gauge(name string) *Gauge {
+	m := r.lookupOrCreate(name, kindGauge, func() *metric {
+		return &metric{name: name, kind: kindGauge, gau: &Gauge{}}
+	})
+	return m.gau
+}
+
+// Histogram returns the named histogram, creating it if needed.
+func (r *Registry) Histogram(name string) *Histogram {
+	m := r.lookupOrCreate(name, kindHistogram, func() *metric {
+		return &metric{name: name, kind: kindHistogram, hist: &Histogram{}}
+	})
+	return m.hist
+}
+
+// snapshot returns every registered metric sorted by name.
+func (r *Registry) snapshot() []*metric {
+	var all []*metric
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.Lock()
+		for _, m := range sh.metrics {
+			all = append(all, m)
+		}
+		sh.mu.Unlock()
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].name < all[j].name })
+	return all
+}
+
+// NewCounter registers (or fetches) a counter in the Default registry.
+func NewCounter(name string) *Counter { return Default.Counter(name) }
+
+// NewGauge registers (or fetches) a gauge in the Default registry.
+func NewGauge(name string) *Gauge { return Default.Gauge(name) }
+
+// NewHistogram registers (or fetches) a histogram in the Default registry.
+func NewHistogram(name string) *Histogram { return Default.Histogram(name) }

@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultTraceEvents bounds a tracer's in-memory event buffer. At ~64
+// bytes an event this is a few tens of MB worst case; overflow drops the
+// event and counts it rather than growing without bound (see doc.go).
+const DefaultTraceEvents = 1 << 18
+
+// traceDropped counts span events discarded because a tracer's buffer
+// was full.
+var traceDropped = NewCounter("soft_trace_events_dropped_total")
+
+// traceEvent is one completed span in Chrome trace-event terms: a
+// complete ("ph":"X") event with microsecond timestamp and duration.
+type traceEvent struct {
+	name string
+	ts   int64 // µs since the tracer started
+	dur  int64 // µs
+	tid  int64
+}
+
+// Tracer collects spans for one run. Exactly one tracer is active
+// process-wide at a time (StartTracing installs, Stop uninstalls); with
+// none active, StartSpan is a single atomic load returning a no-op Span.
+type Tracer struct {
+	start time.Time
+	limit int
+
+	mu     sync.Mutex
+	events []traceEvent
+}
+
+// activeTracer is the installed tracer, nil when tracing is off.
+var activeTracer atomic.Pointer[Tracer]
+
+// StartTracing installs a fresh tracer with the default buffer bound and
+// returns it. A previously installed tracer is displaced (its spans stop
+// accumulating but remain writable).
+func StartTracing() *Tracer {
+	t := &Tracer{start: time.Now(), limit: DefaultTraceEvents}
+	activeTracer.Store(t)
+	return t
+}
+
+// Tracing reports whether a tracer is installed.
+func Tracing() bool { return activeTracer.Load() != nil }
+
+// Stop uninstalls t if it is the active tracer. Spans started before the
+// stop still record into t when they end.
+func (t *Tracer) Stop() {
+	activeTracer.CompareAndSwap(t, nil)
+}
+
+// record appends one completed span, dropping on overflow.
+func (t *Tracer) record(ev traceEvent) {
+	t.mu.Lock()
+	if len(t.events) >= t.limit {
+		t.mu.Unlock()
+		traceDropped.Inc()
+		return
+	}
+	t.events = append(t.events, ev)
+	t.mu.Unlock()
+}
+
+// WriteJSON renders the collected spans as a Chrome trace-event JSON
+// object ({"traceEvents": [...]}) loadable by Perfetto. (Not named
+// WriteTo: this is not the io.WriterTo contract.)
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	t.mu.Lock()
+	events := t.events
+	t.mu.Unlock()
+	bw := bufio.NewWriter(w)
+	bw.WriteString("{\"traceEvents\":[\n")
+	for i, ev := range events {
+		sep := ","
+		if i == len(events)-1 {
+			sep = ""
+		}
+		fmt.Fprintf(bw, "{\"name\":%q,\"ph\":\"X\",\"ts\":%d,\"dur\":%d,\"pid\":1,\"tid\":%d}%s\n",
+			ev.name, ev.ts, ev.dur, ev.tid, sep)
+	}
+	bw.WriteString("]}\n")
+	return bw.Flush()
+}
+
+// Span is one phase under measurement. The zero Span (tracing off) is
+// valid and End is a no-op on it.
+type Span struct {
+	t     *Tracer
+	start time.Time
+	name  string
+	tid   int64
+}
+
+// StartSpan begins a span against the active tracer, or returns a no-op
+// Span when tracing is off.
+func StartSpan(name string) Span {
+	t := activeTracer.Load()
+	if t == nil {
+		return Span{}
+	}
+	return Span{t: t, name: name, start: time.Now()}
+}
+
+// WithTID tags the span with a lane id (worker index, job number) so
+// concurrent phases render on separate tracks.
+func (s Span) WithTID(tid int) Span {
+	s.tid = int64(tid)
+	return s
+}
+
+// End completes the span and records it.
+func (s Span) End() { s.EndMin(0) }
+
+// EndMin completes the span but records it only if it lasted at least
+// min — the gate that keeps very hot call sites (individual SAT solves)
+// from flooding the buffer with sub-threshold events.
+func (s Span) EndMin(min time.Duration) {
+	if s.t == nil {
+		return
+	}
+	dur := time.Since(s.start)
+	if dur < min {
+		return
+	}
+	s.t.record(traceEvent{
+		name: s.name,
+		ts:   s.start.Sub(s.t.start).Microseconds(),
+		dur:  dur.Microseconds(),
+		tid:  s.tid,
+	})
+}

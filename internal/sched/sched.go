@@ -13,6 +13,7 @@ import (
 	"github.com/soft-testing/soft/internal/dist"
 	"github.com/soft-testing/soft/internal/group"
 	"github.com/soft-testing/soft/internal/harness"
+	"github.com/soft-testing/soft/internal/obs"
 	"github.com/soft-testing/soft/internal/solver"
 	"github.com/soft-testing/soft/internal/store"
 )
@@ -264,6 +265,8 @@ func RunMatrix(ctx context.Context, agentNames, testNames []string, o Options) (
 		cell := &rep.Cells[ai*len(testNames)+ti]
 		cell.Agent = agentNames[ai]
 		cell.Test = testNames[ti]
+		sp := obs.StartSpan("cell:" + cell.Agent + "/" + cell.Test)
+		defer sp.End()
 		cellStart := time.Now()
 
 		key := store.Key{
@@ -439,10 +442,12 @@ func RunMatrix(ctx context.Context, agentNames, testNames []string, o Options) (
 					if err != nil {
 						return nil, err
 					}
+					csp := obs.StartSpan("crosscheck:" + test + ":" + agentNames[ai] + "-vs-" + agentNames[bi])
 					check := crosscheck.RunOpts(ctx, ga, gb, crosscheck.Opts{
 						Budget:  o.Budget,
 						Workers: o.Workers,
 					})
+					csp.End()
 					if check.Cancelled {
 						return nil, ctx.Err()
 					}

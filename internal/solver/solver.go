@@ -14,7 +14,17 @@ import (
 	"time"
 
 	"github.com/soft-testing/soft/internal/bitblast"
+	"github.com/soft-testing/soft/internal/obs"
 	"github.com/soft-testing/soft/internal/sym"
+)
+
+// Façade-level metrics, process-global across every Solver instance (the
+// per-instance atomic counters below remain the per-stage accounting the
+// reports use). Observation only — see internal/obs doc.go.
+var (
+	mQueries      = obs.NewCounter("soft_solver_queries_total")
+	mCacheHits    = obs.NewCounter("soft_solver_cache_hits_total")
+	mSolveLatency = obs.NewHistogram("soft_solver_solve_latency_ns")
 )
 
 // Result is the outcome of a satisfiability query.
@@ -286,6 +296,7 @@ func (s *Solver) Check(constraints ...*sym.Expr) (Result, sym.Assignment) {
 	}
 
 	s.queries.Add(1)
+	mQueries.Inc()
 	s.bumpMaxQuery(int64(e.Size()))
 
 	// Fast path: simplification decided the query.
@@ -314,6 +325,7 @@ func (s *Solver) Check(constraints ...*sym.Expr) (Result, sym.Assignment) {
 		<-ent.done // single-flight: wait out an in-progress solve
 		if !ent.failed {
 			s.cacheHits.Add(1)
+			mCacheHits.Inc()
 			s.noteResult(ent.res)
 			return ent.res, cloneModel(ent.model)
 		}
@@ -362,7 +374,9 @@ func (s *Solver) solve(e *sym.Expr) (Result, sym.Assignment) {
 		res = Sat
 		model = b.CanonicalModel()
 	}
-	s.solveNanos.Add(int64(time.Since(start)))
+	elapsed := time.Since(start)
+	s.solveNanos.Add(int64(elapsed))
+	mSolveLatency.Observe(int64(elapsed))
 	s.clausesTotal.Add(int64(b.Clauses))
 	s.auxVarsTotal.Add(int64(b.Aux))
 	return res, model

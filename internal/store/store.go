@@ -39,6 +39,18 @@ import (
 
 	"github.com/soft-testing/soft/internal/group"
 	"github.com/soft-testing/soft/internal/harness"
+	"github.com/soft-testing/soft/internal/obs"
+)
+
+// Store metrics, aggregated across every open Store in the process.
+// Observation only — cache decisions never read them.
+var (
+	mResultHits   = obs.NewCounter("soft_store_result_hits_total")
+	mResultMisses = obs.NewCounter("soft_store_result_misses_total")
+	mGroupHits    = obs.NewCounter("soft_store_group_hits_total")
+	mGroupMisses  = obs.NewCounter("soft_store_group_misses_total")
+	mBytesRead    = obs.NewCounter("soft_store_bytes_read_total")
+	mBytesWritten = obs.NewCounter("soft_store_bytes_written_total")
 )
 
 // Config is the engine-configuration component of a result key: every
@@ -209,17 +221,26 @@ func (s *Store) groupsPath(resultHash, codeVersion string) string {
 // stored entry that fails to parse is treated as a miss (and the error
 // returned), never as a result.
 func (s *Store) GetResult(k Key) (*harness.SerializedResult, bool, error) {
+	sp := obs.StartSpan("store:get-result")
+	defer sp.End()
 	f, err := os.Open(s.resultPath(k.Hash()))
 	if os.IsNotExist(err) {
+		mResultMisses.Inc()
 		return nil, false, nil
 	}
 	if err != nil {
+		mResultMisses.Inc()
 		return nil, false, fmt.Errorf("store: %w", err)
 	}
 	defer f.Close()
 	res, err := harness.ReadResults(f)
 	if err != nil {
+		mResultMisses.Inc()
 		return nil, false, fmt.Errorf("store: corrupt entry %s: %w", k.Hash(), err)
+	}
+	mResultHits.Inc()
+	if fi, err := f.Stat(); err == nil {
+		mBytesRead.Add(fi.Size())
 	}
 	return res, true, nil
 }
@@ -227,6 +248,8 @@ func (s *Store) GetResult(k Key) (*harness.SerializedResult, bool, error) {
 // PutResult stores a result under k, atomically. A concurrent Put of the
 // same key is harmless — determinism makes the contents identical.
 func (s *Store) PutResult(k Key, r *harness.SerializedResult) error {
+	sp := obs.StartSpan("store:put-result")
+	defer sp.End()
 	hash := k.Hash()
 	err := s.writeAtomic(s.resultPath(hash), func(f *os.File) error { return r.Write(f) })
 	if err != nil {
@@ -241,17 +264,26 @@ func (s *Store) PutResult(k Key, r *harness.SerializedResult) error {
 // hash (see ResultHash) and the code version that would construct it,
 // returning (nil, false, nil) on a miss.
 func (s *Store) GetGroups(resultHash, codeVersion string) (*group.Result, bool, error) {
+	sp := obs.StartSpan("store:get-groups")
+	defer sp.End()
 	f, err := os.Open(s.groupsPath(resultHash, codeVersion))
 	if os.IsNotExist(err) {
+		mGroupMisses.Inc()
 		return nil, false, nil
 	}
 	if err != nil {
+		mGroupMisses.Inc()
 		return nil, false, fmt.Errorf("store: %w", err)
 	}
 	defer f.Close()
 	g, err := group.Read(f)
 	if err != nil {
+		mGroupMisses.Inc()
 		return nil, false, fmt.Errorf("store: corrupt groups entry %s: %w", resultHash, err)
+	}
+	mGroupHits.Inc()
+	if fi, err := f.Stat(); err == nil {
+		mBytesRead.Add(fi.Size())
 	}
 	return g, true, nil
 }
@@ -275,6 +307,9 @@ func (s *Store) writeAtomic(path string, write func(*os.File) error) error {
 		f.Close()
 		os.Remove(tmp)
 		return fmt.Errorf("store: %w", err)
+	}
+	if fi, err := f.Stat(); err == nil {
+		mBytesWritten.Add(fi.Size())
 	}
 	if err := f.Close(); err != nil {
 		os.Remove(tmp)

@@ -7,7 +7,17 @@ import (
 
 	"github.com/soft-testing/soft/internal/bitblast"
 	"github.com/soft-testing/soft/internal/coverage"
+	"github.com/soft-testing/soft/internal/obs"
 	"github.com/soft-testing/soft/internal/sym"
+)
+
+// Work-stealing metrics: how often workers donate to and steal from the
+// global pool, and the per-worker local-frontier depth sampled at each
+// pop. Observation only — the balancing heuristics never read these.
+var (
+	mDonations     = obs.NewCounter("soft_explore_donations_total")
+	mSteals        = obs.NewCounter("soft_explore_steals_total")
+	mFrontierDepth = obs.NewHistogram("soft_explore_frontier_depth")
 )
 
 // frontier is the shared work pool of the parallel engine. Workers keep
@@ -45,6 +55,7 @@ func (f *frontier) donate(it *workItem) {
 	f.global = append(f.global, it)
 	f.mu.Unlock()
 	f.cond.Signal()
+	mDonations.Inc()
 }
 
 // steal blocks until a global work item is available or exploration is
@@ -66,6 +77,7 @@ func (f *frontier) steal() (*workItem, bool) {
 			it := f.global[n-1]
 			f.global[n-1] = nil
 			f.global = f.global[:n-1]
+			mSteals.Inc()
 			return it, true
 		}
 		if f.idle == f.n {
@@ -189,6 +201,7 @@ func (e *Engine) runParallel(cancel context.Context, h Handler, workers int, sha
 						f.donate(it)
 					}
 				}
+				mFrontierDepth.Observe(int64(local.Len()))
 				it, ok := local.Pop(ws.cov)
 				if !ok {
 					if it, ok = f.steal(); !ok {

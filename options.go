@@ -233,10 +233,15 @@ func WithLog(w io.Writer) Option { return func(c *config) { c.log = w } }
 // "hostname/pid").
 func WithWorkerName(name string) Option { return func(c *config) { c.workerName = name } }
 
-// WithProgress streams progress events from long runs to fn. The callback
-// may be invoked concurrently when the run uses multiple workers, and must
-// not block for long — it runs on the hot path's completion edge. Events
-// are advisory: they never affect results.
+// WithProgress streams progress events from long runs to fn. Events are
+// dispatched through a bounded queue drained by a single goroutine: fn is
+// never invoked concurrently, always sees events in enqueue order, and may
+// block without stalling exploration — when it falls behind, incremental
+// events are dropped (counted in the soft_progress_events_dropped_total
+// metric; counts are monotone high-water marks, so drops only coarsen the
+// stream). The final event a stage emits — the one carrying Stats — is
+// never dropped, and fn has returned from every call before the entry
+// point returns. Events are advisory: they never affect results.
 func WithProgress(fn func(Event)) Option { return func(c *config) { c.progress = fn } }
 
 // Phase identifies which pipeline stage emitted an Event.

@@ -1,0 +1,60 @@
+package soft
+
+import (
+	"github.com/soft-testing/soft/internal/obs"
+)
+
+// mProgressDropped counts incremental progress events discarded because a
+// WithProgress consumer could not keep up.
+var mProgressDropped = obs.NewCounter("soft_progress_events_dropped_total")
+
+// progressQueueDepth bounds the dispatch queue. Deep enough to absorb
+// callback latency spikes at full parallel-exploration throughput, small
+// enough that a stuck consumer costs a fixed amount of memory.
+const progressQueueDepth = 1024
+
+// progressQueue decouples WithProgress callbacks from engine hot paths:
+// worker goroutines enqueue events with a non-blocking send, and a single
+// consumer goroutine invokes the user callback — so a slow or blocking
+// callback can never stall exploration, and events are delivered in the
+// order they were enqueued. When the consumer falls behind, incremental
+// events are dropped (counted in soft_progress_events_dropped_total);
+// that is always acceptable because counts are monotone high-water marks.
+// Final events enqueue blocking via close, so a stage's terminal event —
+// the one carrying Stats — is never lost.
+type progressQueue struct {
+	ch   chan Event
+	done chan struct{}
+}
+
+func newProgressQueue(fn func(Event)) *progressQueue {
+	q := &progressQueue{ch: make(chan Event, progressQueueDepth), done: make(chan struct{})}
+	go func() {
+		defer close(q.done)
+		for ev := range q.ch {
+			fn(ev)
+		}
+	}()
+	return q
+}
+
+// send enqueues an incremental event without blocking, dropping it when
+// the queue is full. Safe for concurrent use.
+func (q *progressQueue) send(ev Event) {
+	select {
+	case q.ch <- ev:
+	default:
+		mProgressDropped.Inc()
+	}
+}
+
+// close enqueues any final events (blocking — they are never dropped),
+// then waits for the consumer to drain, so every callback has returned
+// before the entry point does.
+func (q *progressQueue) close(final ...Event) {
+	for _, ev := range final {
+		q.ch <- ev
+	}
+	close(q.ch)
+	<-q.done
+}

@@ -188,19 +188,20 @@ func Explore(ctx context.Context, a Agent, t Test, opts ...Option) (*Result, err
 		CanonicalCut:  cfg.canonicalCutOr(false),
 	}
 	agent, test := a.Name(), t.Name
+	var pq *progressQueue
 	if cfg.progress != nil {
-		progress := cfg.progress
+		pq = newProgressQueue(cfg.progress)
 		ho.Progress = func(n int) {
-			progress(Event{Phase: PhaseExplore, Agent: agent, Test: test, Done: n})
+			pq.send(Event{Phase: PhaseExplore, Agent: agent, Test: test, Done: n})
 		}
 	}
 	res := harness.ExploreContext(ctx, a, t, ho)
-	if cfg.progress != nil {
+	if pq != nil {
 		// Final event: the stage's solver statistics, for observability of
 		// cache and clause-sharing efficacy without a profiler. Total stays
 		// 0 per the PhaseExplore contract (the workload is never known in
 		// advance, and a truncated run completed only part of it).
-		cfg.progress(Event{
+		pq.close(Event{
 			Phase: PhaseExplore, Agent: agent, Test: test,
 			Done:  len(res.Paths),
 			Stats: &res.SolverStats,
@@ -230,19 +231,20 @@ func ExploreHandler(ctx context.Context, h Handler, opts ...Option) (*HandlerRes
 		Merge:         cfg.merge,
 		CanonicalCut:  cfg.canonicalCutOr(false),
 	}
+	var pq *progressQueue
 	if cfg.progress != nil {
-		progress := cfg.progress
+		pq = newProgressQueue(cfg.progress)
 		eng.Progress = func(n int) {
-			progress(Event{Phase: PhaseExplore, Done: n})
+			pq.send(Event{Phase: PhaseExplore, Done: n})
 		}
 	}
 	res := eng.RunContext(ctx, h)
-	if cfg.progress != nil {
+	if pq != nil {
 		// Queries stays zero: a raw handler run never touches the solver
 		// façade (feasibility runs on path-private SAT cores and is
 		// reported separately as HandlerResult.BranchQueries), and the
 		// field must mean the same thing here as in Explore's final event.
-		cfg.progress(Event{
+		pq.close(Event{
 			Phase: PhaseExplore,
 			Done:  len(res.Paths),
 			Stats: &SolverStats{
@@ -285,8 +287,10 @@ func CrossCheck(ctx context.Context, a, b *Grouped, opts ...Option) (*Report, er
 		PrivateCaches: !cfg.sharedCache,
 	}
 	var maxDone, lastTotal atomic.Int64
+	var pq *progressQueue
 	if cfg.progress != nil {
-		progress, agentA, agentB, test := cfg.progress, a.Agent, b.Agent, a.Test
+		pq = newProgressQueue(cfg.progress)
+		agentA, agentB, test := a.Agent, b.Agent, a.Test
 		co.Progress = func(done, total int) {
 			for { // track the high-water mark; counts may arrive out of order
 				cur := maxDone.Load()
@@ -295,16 +299,16 @@ func CrossCheck(ctx context.Context, a, b *Grouped, opts ...Option) (*Report, er
 				}
 			}
 			lastTotal.Store(int64(total))
-			progress(Event{
+			pq.send(Event{
 				Phase: PhaseCrossCheck, Agent: agentA, AgentB: agentB,
 				Test: test, Done: done, Total: total,
 			})
 		}
 	}
 	rep := crosscheck.RunOpts(ctx, a, b, co)
-	if cfg.progress != nil {
+	if pq != nil {
 		// Final event: the stage's aggregated solver statistics.
-		cfg.progress(Event{
+		pq.close(Event{
 			Phase: PhaseCrossCheck, Agent: a.Agent, AgentB: b.Agent,
 			Test: a.Test, Done: int(maxDone.Load()), Total: int(lastTotal.Load()),
 			Stats: &rep.SolverStats,
