@@ -25,6 +25,10 @@
 #                      stack on a FlowMod-class scenario (per-path solvers vs
 #                      assumption-stack sessions), merged into
 #                      BENCH_matrix.json's incremental object with speedups
+#   make bench-dist    fleet scaling points: the FlowMod matrix on a real TCP
+#                      fleet at 1/2/4 worker processes (paths/sec, lease-RTT
+#                      p50/p99), merged into BENCH_matrix.json's dist_scaling
+#                      object
 #   make bench         the paper's evaluation benches + parallel scaling benches
 #   make bench-solver  solver-stack scaling benches (parallel explore, clause
 #                      sharing, sharded-cache crosscheck) — run on multicore
@@ -34,7 +38,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race e2e-dist e2e-matrix e2e-serve e2e-scenario dist-demo bench bench-matrix bench-scenario bench-incremental bench-solver bench-smoke check
+.PHONY: build vet test race e2e-dist e2e-matrix e2e-serve e2e-scenario dist-demo bench bench-matrix bench-scenario bench-incremental bench-dist bench-solver bench-smoke check
 
 build:
 	$(GO) build ./...
@@ -106,6 +110,29 @@ bench-incremental:
 			-incremental=false -bench-json BENCH_matrix.json -o /dev/null || exit 1; \
 		/tmp/soft-bench-incremental-bin explore -test FlowMod -models=false -workers $$w \
 			-bench-json BENCH_matrix.json -o /dev/null || exit 1; \
+	done
+	@cat BENCH_matrix.json
+
+# Distributed scaling points: the same FlowMod exploration matrix driven
+# through a real TCP fleet at 1, 2, and 4 worker processes. Crosscheck and
+# model extraction are off so the metric is shard exploration throughput;
+# determinism makes every width's report byte-identical, so only the
+# timing and lease-RTT quantiles differ across the three dist_scaling/w<N>
+# objects merged into BENCH_matrix.json. Run on quiet multicore hardware.
+BENCH_DIST_ADDR ?= 127.0.0.1:7479
+bench-dist:
+	$(GO) build -o /tmp/soft-bench-dist-bin ./cmd/soft
+	@for w in 1 2 4; do \
+		echo "== fleet width $$w =="; \
+		/tmp/soft-bench-dist-bin matrix -agents ref,modified -tests FlowMod \
+			-crosscheck=false -models=false -addr $(BENCH_DIST_ADDR) -shard-depth 4 \
+			-bench-dist $$w -bench-json BENCH_matrix.json -o /dev/null & \
+		pid=$$!; sleep 0.3; \
+		i=0; while [ $$i -lt $$w ]; do \
+			i=$$((i+1)); \
+			/tmp/soft-bench-dist-bin work -addr $(BENCH_DIST_ADDR) -name bench-w$$i & \
+		done; \
+		wait $$pid || exit 1; wait; \
 	done
 	@cat BENCH_matrix.json
 

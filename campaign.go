@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"github.com/soft-testing/soft/internal/campaignd"
+	"github.com/soft-testing/soft/internal/obs"
 	"github.com/soft-testing/soft/internal/sched"
 )
 
@@ -89,10 +90,22 @@ func runMatrixRemote(ctx context.Context, cfg *config, agents, tests []string) (
 		CrossCheck:    !cfg.noCrossCheck,
 		CodeVersion:   cfg.codeVersion,
 	}
+	// With a local tracer active, thread the trace through the service:
+	// the job is submitted traced (the id rides the spec and the
+	// traceparent-style header), and the daemon's bundle — its own spans
+	// plus every fleet worker's — merges back into this process's trace
+	// once the job settles. Observation only, like all tracing.
+	traced := obs.Tracing()
+	if traced {
+		spec.Trace = true
+		spec.TraceID = obs.FormatTraceID(obs.NewTraceID())
+	}
 	job, err := cl.Submit(ctx, spec)
 	if err != nil {
 		return nil, err
 	}
+	sp := obs.StartSpan("campaign:" + job.ID)
+	defer sp.End()
 	var onEvent func(CampaignEvent)
 	if cfg.progress != nil {
 		progress := cfg.progress
@@ -110,6 +123,17 @@ func runMatrixRemote(ctx context.Context, cfg *config, agents, tests []string) (
 	data, err := cl.Report(ctx, final.ID)
 	if err != nil {
 		return nil, err
+	}
+	if traced {
+		// Trace download failures never fail the campaign — the report is
+		// the product, the trace an advisory artifact.
+		if b, terr := cl.Trace(ctx, final.ID); terr == nil {
+			if tr := obs.Active(); tr != nil {
+				tr.MergeBundle(b)
+			}
+		} else if cfg.log != nil {
+			fmt.Fprintf(cfg.log, "soft: campaign trace download failed: %v\n", terr)
+		}
 	}
 	return ReadMatrixReport(data)
 }

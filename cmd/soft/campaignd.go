@@ -36,6 +36,7 @@ func runCampaignd(e *env, args []string) error {
 	shardDepth := fs.String("shard-depth", "", "fleet frontier split depth: an integer, or \"auto\" for progress-driven balancing")
 	leaseTimeout := fs.Duration("lease-timeout", 0, "re-offer a fleet shard not completed in this long (0 = default, negative = never)")
 	pprofFlag := fs.Bool("pprof", false, "also mount net/http/pprof under /debug/pprof/ on the API address")
+	logFormat := logFormatFlag(fs)
 	verbose := fs.Bool("v", false, "report job lifecycle and fleet events on stderr")
 	if err := parse(fs, args); err != nil {
 		return err
@@ -49,6 +50,10 @@ func runCampaignd(e *env, args []string) error {
 	depth, adaptive, err := parseShardDepth(*shardDepth)
 	if err != nil {
 		return usageError{err}
+	}
+	logger, err := newCLILogger(e.stderr, *logFormat)
+	if err != nil {
+		return err
 	}
 
 	st, err := store.Open(*storeDir)
@@ -73,6 +78,10 @@ func runCampaignd(e *env, args []string) error {
 		Adaptive:    adaptive,
 	}
 	if *verbose {
+		// Structured lifecycle lines (campaignd and fleet) go through the
+		// slog handler; the sched layer's per-cell lines keep the legacy
+		// plain writer.
+		cfg.Logger = logger
 		cfg.Log = e.stderr
 	}
 
@@ -85,6 +94,7 @@ func runCampaignd(e *env, args []string) error {
 		fmt.Fprintf(e.stderr, "soft campaignd: fleet listening on %s\n", fleetLn.Addr())
 		fleet := dist.NewFleet(fleetLn, dist.FleetConfig{
 			LeaseTimeout: *leaseTimeout,
+			Logger:       cfg.Logger,
 			Log:          cfg.Log,
 		})
 		defer fleet.Close()

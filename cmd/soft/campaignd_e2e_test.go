@@ -118,7 +118,7 @@ func TestCampaignServeE2E(t *testing.T) {
 	// Daemon, round 1: submit, then SIGKILL as soon as the job starts.
 	storeDir := filepath.Join(dir, "store")
 	startedCh := make(chan string, 1)
-	base, daemon1, log1 := startCampaignd(t, bin, storeDir, ") started", startedCh)
+	base, daemon1, log1 := startCampaignd(t, bin, storeDir, `msg="job started"`, startedCh)
 	defer daemon1.Process.Kill()
 
 	submit := exec.Command(bin, "submit", "-service", base,
@@ -197,9 +197,13 @@ func TestCampaignServeE2E(t *testing.T) {
 
 	// Remote-matrix path: the same campaign through `soft matrix -service`
 	// — served warm from the daemon's store, byte-identical bytes again.
+	// -trace rides along: the client must download the daemon's segment
+	// bundle and merge it into one Chrome timeline whose job span lives on
+	// a different (remote) track than the client's own campaign span.
 	remoteReport := filepath.Join(dir, "remote.report")
+	remoteTrace := filepath.Join(dir, "remote-trace.json")
 	remote := exec.Command(bin, "matrix", "-agents", agents, "-tests", tests,
-		"-service", base, "-o", remoteReport)
+		"-service", base, "-trace", remoteTrace, "-o", remoteReport)
 	if out, err := remote.CombinedOutput(); err != nil {
 		t.Fatalf("soft matrix -service: %v\n%s", err, out)
 	}
@@ -210,6 +214,7 @@ func TestCampaignServeE2E(t *testing.T) {
 	if !bytes.Equal(remoteBytes, wantReport) {
 		t.Fatal("soft matrix -service report differs from the local reference")
 	}
+	assertServiceTrace(t, remoteTrace)
 
 	// Observability smoke: the daemon serves Prometheus text on GET
 	// /metrics — the campaign lifecycle series must be present (they are
@@ -254,6 +259,17 @@ func TestCampaignServeE2E(t *testing.T) {
 	if !strings.Contains(string(statsAllOut), "soft_campaignd_jobs_done_total") {
 		t.Errorf("soft stats output misses the registry:\n%s", statsAllOut)
 	}
+	// `soft top -once` renders one dashboard snapshot from the same scrape.
+	top := exec.Command(bin, "top", "-service", base, "-once")
+	topOut, err := top.CombinedOutput()
+	if err != nil {
+		t.Fatalf("soft top -once: %v\n%s", err, topOut)
+	}
+	for _, want := range []string{"jobs queued", "jobs running"} {
+		if !strings.Contains(string(topOut), want) {
+			t.Errorf("soft top -once output misses %q:\n%s", want, topOut)
+		}
+	}
 
 	// Graceful shutdown: SIGTERM exits 0 after requeueing running jobs.
 	if err := daemon2.Process.Signal(syscall.SIGTERM); err != nil {
@@ -261,5 +277,47 @@ func TestCampaignServeE2E(t *testing.T) {
 	}
 	if err := daemon2.Wait(); err != nil {
 		t.Fatalf("campaignd did not exit cleanly on SIGTERM: %v\n%s", err, log2)
+	}
+}
+
+// assertServiceTrace checks a `soft matrix -service -trace` file is one
+// merged Chrome timeline: the client's own campaign span on the local
+// track plus the daemon's job span merged onto a remote track.
+func assertServiceTrace(t *testing.T, path string) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read service trace: %v", err)
+	}
+	var tf struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+			Pid  int64  `json:"pid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &tf); err != nil {
+		t.Fatalf("service trace is not valid JSON: %v", err)
+	}
+	var campaignPid, jobPid int64 = -1, -1
+	for _, ev := range tf.TraceEvents {
+		if ev.Ph != "X" {
+			continue
+		}
+		if strings.HasPrefix(ev.Name, "campaign:") {
+			campaignPid = ev.Pid
+		}
+		if strings.HasPrefix(ev.Name, "job:") {
+			jobPid = ev.Pid
+		}
+	}
+	if campaignPid < 0 {
+		t.Errorf("service trace misses the client campaign: span (%d events)", len(tf.TraceEvents))
+	}
+	if jobPid < 0 {
+		t.Errorf("service trace misses the daemon job: span (%d events)", len(tf.TraceEvents))
+	}
+	if campaignPid >= 0 && jobPid >= 0 && campaignPid == jobPid {
+		t.Errorf("campaign and job spans share pid %d: the daemon bundle was not merged onto its own track", jobPid)
 	}
 }

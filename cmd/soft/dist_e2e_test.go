@@ -3,6 +3,7 @@ package main
 import (
 	"bufio"
 	"bytes"
+	"encoding/json"
 	"io"
 	"os"
 	"os/exec"
@@ -14,10 +15,14 @@ import (
 )
 
 // TestDistE2E is the multi-process acceptance test: it builds the real soft
-// binary, runs a coordinator and two worker processes over localhost TCP,
-// SIGKILLs the first worker after it takes a lease, and asserts the
-// distributed output is byte-identical to a single-process
-// `soft explore -workers 4` run (wall-clock line normalized).
+// binary, runs a traced coordinator and two worker processes over localhost
+// TCP, SIGKILLs the first worker after it completes a shard, and asserts
+// (1) the distributed output is byte-identical to a single-process
+// `soft explore -workers 4` run (wall-clock line normalized) — tracing and
+// structured logging included, observation never touches the answer path —
+// and (2) the merged Chrome trace is one timeline spanning all three
+// processes, with the killed worker's shipped-so-far segments present and
+// every worker shard span nested under a coordinator lease span.
 func TestDistE2E(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-process e2e skipped in -short mode")
@@ -45,11 +50,14 @@ func TestDistE2E(t *testing.T) {
 	}
 
 	// Coordinator on an ephemeral port; -progress exposes the address and
-	// every lease grant on stderr.
+	// structured lease/shard lifecycle lines on stderr; -trace collects the
+	// merged cross-process timeline.
 	distFile := filepath.Join(dir, "dist.results")
+	traceFilePath := filepath.Join(dir, "trace.json")
 	serve := exec.Command(bin, "serve",
 		"-addr", "127.0.0.1:0", "-agent", agent, "-test", test,
 		"-shard-depth", "4", "-lease-timeout", "5s", "-progress", "-v",
+		"-trace", traceFilePath,
 		"-timeout", "2m", "-o", distFile)
 	serveErr, err := serve.StderrPipe()
 	if err != nil {
@@ -61,7 +69,7 @@ func TestDistE2E(t *testing.T) {
 	defer serve.Process.Kill()
 
 	addrCh := make(chan string, 1)
-	leaseCh := make(chan string, 64)
+	shardDoneCh := make(chan string, 64)
 	serveLog := &lockedBuf{}
 	go func() {
 		sc := bufio.NewScanner(serveErr)
@@ -71,9 +79,10 @@ func TestDistE2E(t *testing.T) {
 			if a, ok := strings.CutPrefix(line, "soft serve: listening on "); ok {
 				addrCh <- a
 			}
-			if strings.Contains(line, "dist: lease ") && strings.Contains(line, " -> ") {
+			// Structured fleet lines render through the text slog handler.
+			if strings.Contains(line, `msg="shard done"`) {
 				select {
-				case leaseCh <- line:
+				case shardDoneCh <- line:
 				default:
 				}
 			}
@@ -86,20 +95,22 @@ func TestDistE2E(t *testing.T) {
 		t.Fatalf("coordinator never announced its address\n%s", serveLog)
 	}
 
-	// Worker A: started alone so it necessarily receives the first lease;
-	// killed (SIGKILL, no goodbye) as soon as a lease is granted. The
-	// coordinator must re-lease whatever A held.
+	// Worker A: started alone so it necessarily receives the first leases;
+	// killed (SIGKILL, no goodbye) as soon as it has banked one shard — at
+	// that point it has also shipped that shard's trace segment, which must
+	// survive into the merged timeline. The coordinator must re-lease
+	// whatever A still held.
 	workerA := exec.Command(bin, "work", "-addr", addr, "-name", "workerA", "-workers", "2")
 	workerA.Stderr = io.Discard
 	if err := workerA.Start(); err != nil {
 		t.Fatalf("start worker A: %v", err)
 	}
 	select {
-	case line := <-leaseCh:
+	case line := <-shardDoneCh:
 		t.Logf("killing worker A after %q", line)
 	case <-time.After(60 * time.Second):
 		workerA.Process.Kill()
-		t.Fatalf("no lease was ever granted to worker A\n%s", serveLog)
+		t.Fatalf("worker A never completed a shard\n%s", serveLog)
 	}
 	workerA.Process.Kill()
 	workerA.Wait()
@@ -137,7 +148,88 @@ func TestDistE2E(t *testing.T) {
 		t.Errorf("serve -v did not report aggregated solver statistics:\n%s", log)
 	}
 	if !strings.Contains(log, "re-queued") {
-		t.Logf("note: worker A finished its lease before the kill landed (re-lease path covered by internal/dist tests)")
+		t.Logf("note: worker A finished its leases before the kill landed (re-lease path covered by internal/dist tests)")
+	}
+	// Structured fleet lines carry the ids that make them greppable.
+	for _, want := range []string{`msg="lease granted"`, "worker=workerA", "worker=workerB", "job=", "lease="} {
+		if !strings.Contains(log, want) {
+			t.Errorf("serve log misses %q:\n%s", want, log)
+		}
+	}
+
+	assertMergedDistTrace(t, traceFilePath)
+}
+
+// assertMergedDistTrace checks the coordinator's -trace output is one
+// coherent multi-process timeline: spans from the coordinator and both
+// workers (the SIGKILLed one included — its shipped segments survive),
+// worker tracks named via process_name metadata, and every worker shard
+// span nested under a recorded coordinator lease span.
+func assertMergedDistTrace(t *testing.T, path string) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read trace: %v", err)
+	}
+	var tf struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+			Pid  int64  `json:"pid"`
+			Args struct {
+				Name   string `json:"name"`
+				Span   uint64 `json:"span"`
+				Parent uint64 `json:"parent"`
+			} `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &tf); err != nil {
+		t.Fatalf("trace file is not valid JSON: %v", err)
+	}
+
+	procNames := map[string]bool{}     // "M" metadata: pid track names
+	spanPids := map[int64]bool{}       // pids owning at least one "X" span
+	leaseSpans := map[uint64]bool{}    // coordinator lease span ids
+	shardParents := map[uint64]int{}   // worker shard spans by parent id
+	var coordSpans, shardSpans int
+	for _, ev := range tf.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			procNames[ev.Args.Name] = true
+		case "X":
+			spanPids[ev.Pid] = true
+			if ev.Pid == 1 {
+				coordSpans++
+				if strings.HasPrefix(ev.Name, "lease:") {
+					leaseSpans[ev.Args.Span] = true
+				}
+			}
+			if strings.HasPrefix(ev.Name, "shard:") && ev.Pid != 1 {
+				shardSpans++
+				shardParents[ev.Args.Parent]++
+			}
+		default:
+			t.Errorf("unexpected phase %q on %q", ev.Ph, ev.Name)
+		}
+	}
+	if len(spanPids) < 3 {
+		t.Fatalf("merged trace spans %d processes, want >= 3 (coordinator + both workers):\n%s", len(spanPids), data)
+	}
+	if !procNames["workerA"] || !procNames["workerB"] {
+		t.Errorf("worker tracks not named: got %v, want workerA and workerB", procNames)
+	}
+	if coordSpans == 0 || len(leaseSpans) == 0 {
+		t.Errorf("no coordinator lease spans recorded (coord spans: %d)", coordSpans)
+	}
+	if shardSpans == 0 {
+		t.Error("no worker shard spans in merged trace")
+	}
+	for parent, n := range shardParents {
+		if parent == 0 {
+			t.Errorf("%d worker shard spans have no parent", n)
+		} else if !leaseSpans[parent] {
+			t.Errorf("%d worker shard spans nest under unknown span %d", n, parent)
+		}
 	}
 }
 

@@ -10,6 +10,7 @@
 //	soft jobs        list a campaign service's jobs
 //	soft fetch       fetch a finished job's canonical report
 //	soft stats       fetch a running service's live metrics
+//	soft top         live dashboard over a service's /metrics
 //	soft serve       coordinate a distributed phase-1 run across workers
 //	soft work        explore shard leases for a coordinator fleet
 //	soft group       group a results file by output behavior
@@ -53,6 +54,7 @@ func commands() []*command {
 		jobsCmd(),
 		fetchCmd(),
 		statsCmd(),
+		topCmd(),
 		serveCmd(),
 		workCmd(),
 		groupCmd(),

@@ -15,6 +15,7 @@ import (
 
 	"github.com/soft-testing/soft"
 	"github.com/soft-testing/soft/internal/bitblast"
+	"github.com/soft-testing/soft/internal/dist"
 	"github.com/soft-testing/soft/internal/obs"
 	"github.com/soft-testing/soft/internal/store"
 )
@@ -80,6 +81,7 @@ func runMatrix(e *env, args []string) error {
 	out := fs.String("o", "", "write the canonical campaign report to this file (byte-identical across reruns)")
 	benchJSON := fs.String("bench-json", "", "merge this run's throughput metrics (cells/sec, cache-hit rate) into this JSON file as its cold or warm pass")
 	benchPass := fs.String("bench-pass", "auto", "which -bench-json pass this run is: cold, warm, or auto (classify by cache hits)")
+	benchDist := fs.Int("bench-dist", 0, "record this fleet run's scaling metrics (paths/sec, lease-RTT quantiles) under dist_scaling/w<N> of -bench-json instead of a cold/warm pass (N = worker process count)")
 	traceOut := fs.String("trace", "", "write a Chrome-trace-event JSON of this campaign's spans to this file (load in Perfetto; results are byte-identical either way)")
 	timeout := fs.Duration("timeout", 0, "wall-clock limit; on expiry the campaign aborts")
 	progress := fs.Bool("progress", false, "report fleet lifecycle and cell/check progress on stderr")
@@ -124,6 +126,9 @@ func runMatrix(e *env, args []string) error {
 	case "auto", "cold", "warm":
 	default:
 		return usagef("invalid -bench-pass %q (want cold, warm, or auto)", *benchPass)
+	}
+	if *benchDist > 0 && *benchJSON == "" {
+		return usagef("-bench-dist needs -bench-json: the scaling point has nowhere to go")
 	}
 	if *service != "" {
 		// A service-side campaign owns its own store and fleet; the
@@ -213,9 +218,11 @@ func runMatrix(e *env, args []string) error {
 	if *traceOut != "" {
 		flushTrace = startTrace(*traceOut)
 	}
-	// Snapshot the process-global solve-latency histogram around the run so
-	// the bench file records this campaign's quantiles, not the process's.
+	// Snapshot the process-global solve-latency and lease-RTT histograms
+	// around the run so the bench file records this campaign's quantiles,
+	// not the process's.
 	latBefore := bitblast.MSolveLatency.Snapshot()
+	rttBefore := dist.LeaseRTTSnapshot()
 	start := time.Now()
 	rep, err := soft.RunMatrix(ctx, agents, tests, opts...)
 	if flushTrace != nil {
@@ -227,6 +234,7 @@ func runMatrix(e *env, args []string) error {
 		return err
 	}
 	solveLat := bitblast.MSolveLatency.Snapshot().Sub(latBefore)
+	leaseRTT := dist.LeaseRTTSnapshot().Sub(rttBefore)
 
 	// Human-readable summary: deterministic content plus run annotations
 	// (cache markers) that describe this run, not the result.
@@ -297,7 +305,11 @@ func runMatrix(e *env, args []string) error {
 		}
 	}
 	if *benchJSON != "" {
-		if err := writeBenchJSON(*benchJSON, *benchPass, rep, time.Since(start), solveLat); err != nil {
+		if *benchDist > 0 {
+			if err := mergeDistBench(*benchJSON, *benchDist, rep, time.Since(start), solveLat, leaseRTT); err != nil {
+				return err
+			}
+		} else if err := writeBenchJSON(*benchJSON, *benchPass, rep, time.Since(start), solveLat); err != nil {
 			return err
 		}
 	}
@@ -419,6 +431,12 @@ type benchFile struct {
 	// -incremental=false (baseline) and -incremental (or -merge), with the
 	// speedup computed once both halves are in.
 	Incremental map[string]*incrementalBenchMetrics `json:"incremental,omitempty"`
+	// DistScaling holds fleet scaling points from
+	// `soft matrix -addr ... -bench-dist N -bench-json`, keyed "w<N>" by
+	// worker process count: campaign paths/sec plus the coordinator's
+	// lease round-trip quantiles at that fleet width. Additive to the v2
+	// schema: files without it parse unchanged.
+	DistScaling map[string]*distBenchMetrics `json:"dist_scaling,omitempty"`
 }
 
 // scenarioBenchMetrics is one cold scenario exploration: pure engine
@@ -456,6 +474,69 @@ type incrementalBenchMetrics struct {
 	IncrementalPathsPerSec float64 `json:"incremental_paths_per_sec,omitempty"`
 	// Speedup is incremental over baseline, present once both halves ran.
 	Speedup float64 `json:"speedup,omitempty"`
+}
+
+// distBenchMetrics is one fleet-width point of the distributed scaling
+// bench: the same FlowMod matrix driven through a real TCP fleet at N
+// worker processes. Determinism makes every point's report byte-identical;
+// only the timing moves.
+type distBenchMetrics struct {
+	Workers     int     `json:"workers"`
+	Cells       int     `json:"cells"`
+	Explored    int     `json:"explored"`
+	Paths       int     `json:"paths"`
+	ElapsedSec  float64 `json:"elapsed_sec"`
+	PathsPerSec float64 `json:"paths_per_sec,omitempty"`
+	// LeaseRTTP50Ns/P99Ns summarize the coordinator's grant-to-first-
+	// result round trip per shard (power-of-two buckets: quantiles are
+	// upper bounds within 2×). Zero when the run granted no leases.
+	LeaseRTTP50Ns int64             `json:"lease_rtt_p50_ns,omitempty"`
+	LeaseRTTP99Ns int64             `json:"lease_rtt_p99_ns,omitempty"`
+	Leases        int64             `json:"leases,omitempty"`
+	SolverStats   *benchSolverStats `json:"solver_stats,omitempty"`
+}
+
+// mergeDistBench merges one fleet-width scaling point into the bench file
+// (same read-modify-write shape as writeBenchJSON, same schema).
+func mergeDistBench(path string, workers int, rep *soft.MatrixReport, elapsed time.Duration, solveLat, leaseRTT obs.HistogramSnapshot) error {
+	paths := 0
+	for i := range rep.Cells {
+		paths += rep.Cells[i].Paths
+	}
+	m := &distBenchMetrics{
+		Workers:     workers,
+		Cells:       len(rep.Cells),
+		Explored:    rep.CacheMisses,
+		Paths:       paths,
+		ElapsedSec:  elapsed.Seconds(),
+		SolverStats: toBenchSolverStats(rep.SolverStats, solveLat),
+	}
+	if s := elapsed.Seconds(); s > 0 && elapsed >= benchMinElapsed {
+		m.PathsPerSec = float64(paths) / s
+	}
+	if n := leaseRTT.Count(); n > 0 {
+		m.Leases = n
+		m.LeaseRTTP50Ns = leaseRTT.Quantile(0.5)
+		m.LeaseRTTP99Ns = leaseRTT.Quantile(0.99)
+	}
+
+	var f benchFile
+	if existing, err := os.ReadFile(path); err == nil {
+		var parsed benchFile
+		if json.Unmarshal(existing, &parsed) == nil && parsed.Schema == benchSchema {
+			f = parsed
+		}
+	}
+	f.Schema = benchSchema
+	if f.DistScaling == nil {
+		f.DistScaling = map[string]*distBenchMetrics{}
+	}
+	f.DistScaling[fmt.Sprintf("w%d", workers)] = m
+	data, err := json.MarshalIndent(&f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 // benchMinElapsed is the shortest run whose paths/sec is worth reporting;

@@ -96,7 +96,8 @@ func TestMatrixE2E(t *testing.T) {
 			if a, ok := strings.CutPrefix(line, "soft matrix: listening on "); ok {
 				addrCh <- a
 			}
-			if strings.Contains(line, "dist: lease ") && strings.Contains(line, " -> ") {
+			// Structured fleet lines render through the text slog handler.
+		if strings.Contains(line, `msg="lease granted"`) {
 				select {
 				case leaseCh <- line:
 				default:

@@ -3,7 +3,10 @@ package main
 import (
 	"bufio"
 	"context"
+	"flag"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -33,6 +36,22 @@ func startTrace(path string) func() error {
 		}
 		return f.Close()
 	}
+}
+
+// logFormatFlag registers the shared -log-format flag (see obs.NewLogger:
+// "text" drops timestamps for stable greppable output, "json" emits one
+// object per line for log pipelines).
+func logFormatFlag(fs *flag.FlagSet) *string {
+	return fs.String("log-format", obs.LogText, "structured log rendering: text or json")
+}
+
+// newCLILogger validates -log-format and builds the logger lifecycle
+// lines render through.
+func newCLILogger(w io.Writer, format string) (*slog.Logger, error) {
+	if !obs.ValidLogFormat(format) {
+		return nil, usagef("invalid -log-format %q (want text or json)", format)
+	}
+	return obs.NewLogger(w, format), nil
 }
 
 // newMetricsMux builds the standalone observability endpoint used by

@@ -36,6 +36,8 @@ func runServe(e *env, args []string) error {
 	timeout := fs.Duration("timeout", 0, "wall-clock limit; on expiry the run aborts (distributed partial results are not deterministic)")
 	metricsAddr := fs.String("metrics-addr", "", "also serve Prometheus text on http://<addr>/metrics while the run is live (use :0 for an ephemeral port)")
 	pprofFlag := fs.Bool("pprof", false, "with -metrics-addr: also mount net/http/pprof under /debug/pprof/")
+	traceOut := fs.String("trace", "", "write a Chrome-trace-event JSON of this run's spans — coordinator and workers merged — to this file (results are byte-identical either way)")
+	logFormat := logFormatFlag(fs)
 	progress := fs.Bool("progress", false, "report lease grants and exploration progress on stderr")
 	verbose := fs.Bool("v", false, "report aggregated solver statistics (queries, cache hits, clause exchange) on stderr")
 	if err := parse(fs, args); err != nil {
@@ -57,6 +59,10 @@ func runServe(e *env, args []string) error {
 	depth, adaptive, err := parseShardDepth(*shardDepth)
 	if err != nil {
 		return usageError{err}
+	}
+	logger, err := newCLILogger(e.stderr, *logFormat)
+	if err != nil {
+		return err
 	}
 
 	ctx := context.Background()
@@ -104,7 +110,7 @@ func runServe(e *env, args []string) error {
 		soft.WithCanonicalCut(*canonicalCut),
 	}
 	if *progress {
-		opts = append(opts, soft.WithLog(e.stderr))
+		opts = append(opts, soft.WithLogger(logger))
 		var mu sync.Mutex
 		var last time.Time
 		opts = append(opts, soft.WithProgress(func(ev soft.Event) {
@@ -117,10 +123,21 @@ func runServe(e *env, args []string) error {
 			fmt.Fprintf(e.stderr, "soft serve: %d paths...\n", ev.Done)
 		}))
 	}
+	var flushTrace func() error
+	if *traceOut != "" {
+		// The trace file carries coordinator spans and every worker's
+		// shipped segments, merged into one timeline (see internal/obs).
+		flushTrace = startTrace(*traceOut)
+	}
 	// Version-mismatched workers never surface here: the coordinator
 	// refuses them with a reject frame and keeps serving (the worker side
 	// is what exits 2 — see runWork).
 	res, err := soft.ServeListener(ctx, ln, *agentName, *testName, opts...)
+	if flushTrace != nil {
+		if ferr := flushTrace(); ferr != nil && err == nil {
+			err = ferr
+		}
+	}
 	if err != nil {
 		return err
 	}

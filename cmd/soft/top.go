@@ -1,0 +1,243 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"math/bits"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"github.com/soft-testing/soft/internal/obs"
+)
+
+func topCmd() *command {
+	return &command{
+		name:     "top",
+		synopsis: "live fleet dashboard: poll a service's /metrics and render workers, queue, and latency quantiles",
+		run:      runTop,
+	}
+}
+
+func runTop(e *env, args []string) error {
+	fs := newFlags(e, "top")
+	service := serviceFlag(fs)
+	interval := fs.Duration("interval", 2*time.Second, "poll period between /metrics scrapes")
+	once := fs.Bool("once", false, "print one snapshot and exit instead of redrawing")
+	if err := parse(fs, args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return usagef("unexpected arguments %q", fs.Args())
+	}
+	if *interval <= 0 {
+		return usagef("-interval must be positive")
+	}
+
+	url := strings.TrimRight(*service, "/") + "/metrics"
+	if *once {
+		cur, err := scrapeMetrics(url)
+		if err != nil {
+			return err
+		}
+		return renderTop(e, url, cur, nil, 0)
+	}
+
+	// The loop survives scrape failures (a restarting daemon shouldn't kill
+	// the dashboard) and exits cleanly on interrupt.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	var prev *promScrape
+	var prevAt time.Time
+	for {
+		cur, err := scrapeMetrics(url)
+		fmt.Fprint(e.stdout, "\x1b[H\x1b[2J") // cursor home + clear screen
+		if err != nil {
+			fmt.Fprintf(e.stdout, "soft top: %s: %v (retrying every %s)\n", url, err, interval)
+		} else {
+			var dt time.Duration
+			if prev != nil {
+				dt = time.Since(prevAt)
+			}
+			if rerr := renderTop(e, url, cur, prev, dt); rerr != nil {
+				return rerr
+			}
+			prev, prevAt = cur, time.Now()
+		}
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-time.After(*interval):
+		}
+	}
+}
+
+// promScrape is one parse of a Prometheus text exposition: plain series
+// (counters and gauges) by name, and histograms reconstructed back into
+// obs snapshots so the same Quantile math serves scrape-side rendering.
+type promScrape struct {
+	values map[string]int64
+	hists  map[string]obs.HistogramSnapshot
+}
+
+func scrapeMetrics(url string) (*promScrape, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("HTTP %d", resp.StatusCode)
+	}
+	return parseProm(resp.Body)
+}
+
+// parseProm reads the exposition format WritePrometheus emits. Bucket
+// series are cumulative with power-of-two `le` bounds (2^i - 1), so the
+// per-bucket counts fall out of successive differences and the bound maps
+// back to its bucket index via bits.Len64.
+func parseProm(r io.Reader) (*promScrape, error) {
+	s := &promScrape{
+		values: map[string]int64{},
+		hists:  map[string]obs.HistogramSnapshot{},
+	}
+	prevCum := map[string]int64{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 4*1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		series, value, found := strings.Cut(line, " ")
+		if !found {
+			continue
+		}
+		v, err := strconv.ParseInt(value, 10, 64)
+		if err != nil {
+			continue // histogram _sum could overflow or be float-rendered elsewhere; skip, don't fail
+		}
+		if name, le, ok := bucketSeries(series); ok {
+			h := s.hists[name]
+			h.Counts[bucketIndex(le)] += v - prevCum[name]
+			prevCum[name] = v
+			s.hists[name] = h
+			continue
+		}
+		if name, ok := strings.CutSuffix(series, "_sum"); ok {
+			if h, isHist := s.hists[name]; isHist {
+				h.Sum = v
+				s.hists[name] = h
+				continue
+			}
+		}
+		if name, ok := strings.CutSuffix(series, "_count"); ok {
+			if _, isHist := s.hists[name]; isHist {
+				continue // redundant with the bucket sum
+			}
+		}
+		s.values[series] = v
+	}
+	return s, sc.Err()
+}
+
+// bucketSeries splits `name_bucket{le="N"}` into (name, N). The +Inf
+// bucket is reported as not-a-bucket: its count duplicates _count and
+// every observation already landed in a finite power-of-two bucket.
+func bucketSeries(series string) (name string, le int64, ok bool) {
+	prefix, rest, found := strings.Cut(series, "_bucket{le=\"")
+	if !found {
+		return "", 0, false
+	}
+	bound, found := strings.CutSuffix(rest, "\"}")
+	if !found || bound == "+Inf" {
+		return "", 0, false
+	}
+	le, err := strconv.ParseInt(bound, 10, 64)
+	if err != nil {
+		return "", 0, false
+	}
+	return prefix, le, true
+}
+
+// bucketIndex inverts obs.BucketBound: bound 2^i - 1 → bucket i.
+func bucketIndex(bound int64) int {
+	if bound <= 0 {
+		return 0
+	}
+	return bits.Len64(uint64(bound))
+}
+
+// renderTop writes one dashboard frame. prev (the previous scrape, nil on
+// the first frame) turns cumulative counters into rates and lifetime
+// histograms into since-last-poll quantiles; with no interval activity the
+// lifetime quantiles stand in, marked as such.
+func renderTop(e *env, url string, cur, prev *promScrape, dt time.Duration) error {
+	fmt.Fprintf(e.stdout, "soft top — %s — %s\n\n", url, time.Now().Format("15:04:05"))
+	tw := tabwriter.NewWriter(e.stdout, 2, 8, 2, ' ', 0)
+
+	gauge := func(label, name string) {
+		if v, ok := cur.values[name]; ok {
+			fmt.Fprintf(tw, "%s\t%d\n", label, v)
+		}
+	}
+	gauge("workers connected", "soft_fleet_workers_connected")
+	gauge("jobs queued", "soft_campaignd_jobs_queued")
+	gauge("jobs running", "soft_campaignd_jobs_running")
+
+	if paths, ok := cur.values["soft_fleet_paths_completed_total"]; ok {
+		rate := ""
+		if prev != nil && dt > 0 {
+			if pp, had := prev.values["soft_fleet_paths_completed_total"]; had && paths >= pp {
+				rate = fmt.Sprintf("\t%.1f/s", float64(paths-pp)/dt.Seconds())
+			}
+		}
+		fmt.Fprintf(tw, "paths completed\t%d%s\n", paths, rate)
+	}
+
+	hist := func(label, name string) {
+		h, ok := cur.hists[name]
+		if !ok {
+			return
+		}
+		window := "lifetime"
+		if prev != nil {
+			if d := h.Sub(prev.hists[name]); d.Count() > 0 {
+				h, window = d, "last poll"
+			}
+		}
+		if h.Count() == 0 {
+			fmt.Fprintf(tw, "%s\t—\n", label)
+			return
+		}
+		fmt.Fprintf(tw, "%s\tp50 %s\tp99 %s\t(n=%d, %s)\n", label,
+			fmtQuantileNs(h.Quantile(0.5)), fmtQuantileNs(h.Quantile(0.99)), h.Count(), window)
+	}
+	hist("lease RTT", "soft_fleet_lease_rtt_ns")
+	hist("solve latency", "soft_sat_solve_latency_ns")
+
+	return tw.Flush()
+}
+
+// fmtQuantileNs renders a nanosecond quantile bound at dashboard
+// precision — the buckets are only 2×-accurate, so two digits is honest.
+func fmtQuantileNs(v int64) string {
+	d := time.Duration(v)
+	switch {
+	case d >= time.Minute:
+		return d.Round(time.Second).String()
+	case d >= time.Second:
+		return d.Round(10 * time.Millisecond).String()
+	case d >= time.Millisecond:
+		return d.Round(10 * time.Microsecond).String()
+	case d >= time.Microsecond:
+		return d.Round(10 * time.Nanosecond).String()
+	}
+	return d.String()
+}

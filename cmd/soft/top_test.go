@@ -1,0 +1,117 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"github.com/soft-testing/soft/internal/obs"
+)
+
+// topExposition is a hand-written scrape body in the exact shape
+// WritePrometheus emits: cumulative power-of-two buckets, _sum/_count
+// pairs, gauges and counters as bare integers.
+const topExposition = `# TYPE soft_campaignd_jobs_queued gauge
+soft_campaignd_jobs_queued 3
+# TYPE soft_campaignd_jobs_running gauge
+soft_campaignd_jobs_running 2
+# TYPE soft_fleet_lease_rtt_ns histogram
+soft_fleet_lease_rtt_ns_bucket{le="0"} 0
+soft_fleet_lease_rtt_ns_bucket{le="1048575"} 4
+soft_fleet_lease_rtt_ns_bucket{le="2097151"} 10
+soft_fleet_lease_rtt_ns_bucket{le="+Inf"} 10
+soft_fleet_lease_rtt_ns_sum 12345678
+soft_fleet_lease_rtt_ns_count 10
+# TYPE soft_fleet_paths_completed_total counter
+soft_fleet_paths_completed_total 4321
+# TYPE soft_fleet_workers_connected gauge
+soft_fleet_workers_connected 2
+`
+
+func TestParsePromReconstructsHistograms(t *testing.T) {
+	s, err := parseProm(strings.NewReader(topExposition))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, want := range map[string]int64{
+		"soft_fleet_workers_connected":     2,
+		"soft_campaignd_jobs_queued":       3,
+		"soft_campaignd_jobs_running":      2,
+		"soft_fleet_paths_completed_total": 4321,
+	} {
+		if got := s.values[name]; got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+	h, ok := s.hists["soft_fleet_lease_rtt_ns"]
+	if !ok {
+		t.Fatal("lease RTT histogram not reconstructed")
+	}
+	if got := h.Count(); got != 10 {
+		t.Fatalf("histogram count = %d, want 10", got)
+	}
+	if h.Sum != 12345678 {
+		t.Fatalf("histogram sum = %d, want 12345678", h.Sum)
+	}
+	// Bucket bound 1048575 = 2^20-1 is bucket 20; 2097151 = 2^21-1 is 21.
+	// Cumulative 4 then 10 means per-bucket counts 4 and 6.
+	if h.Counts[20] != 4 || h.Counts[21] != 6 {
+		t.Fatalf("per-bucket counts [20]=%d [21]=%d, want 4 and 6", h.Counts[20], h.Counts[21])
+	}
+	// p50 rank falls in bucket 21 → the quantile is that bucket's bound.
+	if got := h.Quantile(0.5); got != obs.BucketBound(21) {
+		t.Fatalf("p50 = %d, want %d", got, obs.BucketBound(21))
+	}
+	// The histogram's _sum/_count series must not leak into plain values.
+	if _, leaked := s.values["soft_fleet_lease_rtt_ns_count"]; leaked {
+		t.Error("_count series leaked into plain values")
+	}
+	if _, leaked := s.values["soft_fleet_lease_rtt_ns_sum"]; leaked {
+		t.Error("_sum series leaked into plain values")
+	}
+}
+
+// TestTopOnceSnapshot drives `soft top -once` against a fake service and
+// asserts the dashboard renders every headline row from one scrape.
+func TestTopOnceSnapshot(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/metrics" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Write([]byte(topExposition))
+	}))
+	defer ts.Close()
+
+	stdout, stderr, code := runCLI(t, "top", "-service", ts.URL, "-once")
+	if code != 0 {
+		t.Fatalf("soft top -once: exit %d\n%s", code, stderr)
+	}
+	for _, want := range []string{
+		"workers connected", "jobs queued", "jobs running",
+		"paths completed", "4321", "lease RTT", "p50", "p99",
+	} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("top output misses %q:\n%s", want, stdout)
+		}
+	}
+	if strings.Contains(stdout, "\x1b[") {
+		t.Error("-once output carries ANSI clear sequences")
+	}
+	// Solve latency never appeared in the scrape: the row must be absent
+	// rather than rendered with zeros.
+	if strings.Contains(stdout, "solve latency") {
+		t.Errorf("absent metric rendered:\n%s", stdout)
+	}
+}
+
+// TestTopRejectsBadFlags pins the usage errors.
+func TestTopRejectsBadFlags(t *testing.T) {
+	if _, _, code := runCLI(t, "top", "-interval", "-1s", "-once"); code != 2 {
+		t.Fatalf("negative -interval: exit %d, want 2", code)
+	}
+	if _, _, code := runCLI(t, "top", "extra"); code != 2 {
+		t.Fatalf("stray argument: exit %d, want 2", code)
+	}
+}

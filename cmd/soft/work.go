@@ -22,12 +22,17 @@ func runWork(e *env, args []string) error {
 	workers := fs.Int("workers", 0, "parallel engine workers per shard (0 = GOMAXPROCS, 1 = sequential)")
 	name := fs.String("name", "", "worker name in coordinator logs (default hostname/pid)")
 	timeout := fs.Duration("timeout", 0, "wall-clock limit; on expiry the current shard is abandoned for re-lease")
+	logFormat := logFormatFlag(fs)
 	verbose := fs.Bool("v", false, "report lease lifecycle on stderr")
 	if err := parse(fs, args); err != nil {
 		return err
 	}
 	if fs.NArg() != 0 {
 		return usagef("unexpected arguments %q", fs.Args())
+	}
+	logger, err := newCLILogger(e.stderr, *logFormat)
+	if err != nil {
+		return err
 	}
 
 	ctx := context.Background()
@@ -41,7 +46,7 @@ func runWork(e *env, args []string) error {
 		soft.WithWorkerName(*name),
 	}
 	if *verbose {
-		opts = append(opts, soft.WithLog(e.stderr))
+		opts = append(opts, soft.WithLogger(logger))
 	}
 	if err := soft.Work(ctx, *addr, opts...); err != nil {
 		if errors.Is(err, soft.ErrProtocolMismatch) {

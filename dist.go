@@ -68,6 +68,7 @@ func ServeListener(ctx context.Context, ln net.Listener, agent, test string, opt
 		ShardDepth:     cfg.shardDepth,
 		AdaptiveShards: cfg.adaptiveShards,
 		LeaseTimeout:   cfg.leaseTimeout,
+		Logger:         cfg.logger,
 		Log:            cfg.log,
 	}
 	var pq *progressQueue
@@ -112,6 +113,7 @@ func Work(ctx context.Context, addr string, opts ...Option) error {
 	return dist.Work(ctx, addr, dist.WorkerConfig{
 		Name:    cfg.workerName,
 		Workers: cfg.workers,
+		Logger:  cfg.logger,
 		Log:     cfg.log,
 	})
 }

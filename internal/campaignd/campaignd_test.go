@@ -3,6 +3,7 @@ package campaignd
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -12,7 +13,8 @@ import (
 	_ "github.com/soft-testing/soft/internal/agents/modified"  // register "modified"
 	_ "github.com/soft-testing/soft/internal/agents/ovs"       // register "ovs"
 	_ "github.com/soft-testing/soft/internal/agents/refswitch" // register "ref"
-	_ "github.com/soft-testing/soft/internal/scenario"         // register the scenario test source
+	"github.com/soft-testing/soft/internal/obs"
+	_ "github.com/soft-testing/soft/internal/scenario" // register the scenario test source
 	"github.com/soft-testing/soft/internal/sched"
 	"github.com/soft-testing/soft/internal/store"
 )
@@ -537,5 +539,175 @@ func TestSubmitAcceptsScenarioNames(t *testing.T) {
 		if !bytes.Equal(got, want) {
 			t.Fatal("scenario job report differs from a direct sched run")
 		}
+	}
+}
+
+// TestTracedJobBundleDownload drives the traced-job lifecycle over the
+// HTTP surface: submitting with trace=true mints a canonical trace id,
+// the finished job's segment bundle downloads via the client and carries
+// the daemon's job span, the default format is Chrome trace JSON, and
+// the trace endpoint 404s/409s correctly for unknown and untraced jobs.
+// The traced report must also stay byte-identical to an untraced one —
+// tracing is observation-only at the service layer too.
+func TestTracedJobBundleDownload(t *testing.T) {
+	s := newTestServer(t, t.TempDir())
+	ctx, cancel := context.WithCancel(context.Background())
+	defer func() { cancel(); s.Close() }()
+	s.Start(ctx)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	cl := NewClient(ts.URL)
+
+	// The untraced sibling is both the 409 subject and the byte-identity
+	// oracle for the traced run.
+	plain, err := cl.Submit(ctx, smallSpec("alice"))
+	if err != nil {
+		t.Fatalf("Submit(untraced): %v", err)
+	}
+	spec := smallSpec("alice")
+	spec.Trace = true
+	j, err := cl.Submit(ctx, spec)
+	if err != nil {
+		t.Fatalf("Submit(traced): %v", err)
+	}
+	if !j.Spec.Trace || j.Spec.TraceID == "" {
+		t.Fatalf("traced submit did not mint a trace id: %+v", j.Spec)
+	}
+	if _, err := obs.ParseTraceID(j.Spec.TraceID); err != nil {
+		t.Fatalf("minted trace id %q is not canonical: %v", j.Spec.TraceID, err)
+	}
+	waitState(t, s, plain.ID, StateDone)
+	waitState(t, s, j.ID, StateDone)
+
+	tracedRep, err := cl.Report(ctx, j.ID)
+	if err != nil {
+		t.Fatalf("Report(traced): %v", err)
+	}
+	plainRep, err := cl.Report(ctx, plain.ID)
+	if err != nil {
+		t.Fatalf("Report(untraced): %v", err)
+	}
+	if !bytes.Equal(tracedRep, plainRep) {
+		t.Fatal("traced job report differs from untraced sibling: instrumentation leaked into the answer path")
+	}
+
+	// The client downloads the raw segment bundle; the job span the
+	// daemon wrapped around execution must be in it.
+	b, err := cl.Trace(ctx, j.ID)
+	if err != nil {
+		t.Fatalf("Trace: %v", err)
+	}
+	if len(b.Segments) == 0 {
+		t.Fatal("trace bundle has no segments")
+	}
+	var sawJobSpan bool
+	for _, seg := range b.Segments {
+		for _, ev := range seg.Events {
+			if ev.Name == "job:"+j.ID {
+				sawJobSpan = true
+			}
+		}
+	}
+	if !sawJobSpan {
+		t.Fatalf("bundle misses the job:%s span: %+v", j.ID, b.Segments)
+	}
+
+	// Default (no ?format) is merged Chrome trace JSON, ready for
+	// Perfetto.
+	resp, err := http.Get(ts.URL + apiPrefix + "/jobs/" + j.ID + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET trace: HTTP %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("trace Content-Type = %q, want application/json", ct)
+	}
+	var tf struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&tf); err != nil {
+		t.Fatalf("default trace format is not Chrome JSON: %v", err)
+	}
+	if len(tf.TraceEvents) == 0 {
+		t.Fatal("Chrome trace carries no events")
+	}
+
+	// Error surface: untraced job conflicts, unknown job 404s.
+	if _, err := cl.Trace(ctx, plain.ID); err == nil || !strings.Contains(err.Error(), "not traced") {
+		t.Errorf("Trace(untraced) = %v, want a was-not-traced conflict", err)
+	}
+	if _, err := cl.Trace(ctx, "nope"); err == nil || !strings.Contains(err.Error(), "no such job") {
+		t.Errorf("Trace(unknown) = %v, want no-such-job", err)
+	}
+}
+
+// TestSubmitTraceparentHeader pins cross-process propagation into the
+// daemon: a traceparent-style header on submit adopts the caller's trace
+// identity without the body asking for tracing, and a malformed header
+// is rejected rather than silently dropped.
+func TestSubmitTraceparentHeader(t *testing.T) {
+	s := newTestServer(t, t.TempDir())
+	ctx, cancel := context.WithCancel(context.Background())
+	defer func() { cancel(); s.Close() }()
+	s.Start(ctx)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	const callerID = uint64(0xabcdef1234567890)
+	body, err := json.Marshal(smallSpec("alice"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		ts.URL+apiPrefix+"/jobs", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Soft-Traceparent", obs.FormatTraceparent(callerID))
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit with traceparent: HTTP %d", resp.StatusCode)
+	}
+	var j Job
+	if err := json.NewDecoder(resp.Body).Decode(&j); err != nil {
+		t.Fatal(err)
+	}
+	if !j.Spec.Trace || j.Spec.TraceID != obs.FormatTraceID(callerID) {
+		t.Fatalf("header did not adopt caller trace context: trace=%t id=%q, want id %q",
+			j.Spec.Trace, j.Spec.TraceID, obs.FormatTraceID(callerID))
+	}
+	waitState(t, s, j.ID, StateDone)
+	b, err := NewClient(ts.URL).Trace(ctx, j.ID)
+	if err != nil {
+		t.Fatalf("Trace after header-propagated submit: %v", err)
+	}
+	if len(b.Segments) == 0 {
+		t.Fatal("header-traced job drained no segments")
+	}
+
+	// Malformed header: reject loudly.
+	req2, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		ts.URL+apiPrefix+"/jobs", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req2.Header.Set("Soft-Traceparent", "00-zznothexzz-0000000000000000-01")
+	resp2, err := ts.Client().Do(req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed traceparent: HTTP %d, want 400", resp2.StatusCode)
 	}
 }

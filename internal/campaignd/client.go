@@ -10,6 +10,8 @@ import (
 	"net/http"
 	"net/url"
 	"strings"
+
+	"github.com/soft-testing/soft/internal/obs"
 )
 
 // Client talks to a campaign service over its HTTP/JSON API. The zero
@@ -35,6 +37,11 @@ func (c *Client) http() *http.Client {
 // do issues one request and decodes a JSON body into out (when non-nil),
 // translating error envelopes into Go errors.
 func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	return c.doHeader(ctx, method, path, nil, body, out)
+}
+
+// doHeader is do with extra request headers (trace propagation).
+func (c *Client) doHeader(ctx context.Context, method, path string, hdr http.Header, body, out any) error {
 	var rd io.Reader
 	if body != nil {
 		data, err := json.Marshal(body)
@@ -46,6 +53,11 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, rd)
 	if err != nil {
 		return fmt.Errorf("campaignd client: %w", err)
+	}
+	for k, vs := range hdr {
+		for _, v := range vs {
+			req.Header.Add(k, v)
+		}
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
@@ -76,10 +88,19 @@ func decodeError(resp *http.Response) error {
 	return fmt.Errorf("campaignd client: HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(data)))
 }
 
-// Submit submits one job and returns its durable record.
+// Submit submits one job and returns its durable record. A spec carrying
+// a trace id is also announced via the traceparent-style header, so
+// intermediaries (and the daemon's header path) see the trace context
+// without parsing the body.
 func (c *Client) Submit(ctx context.Context, spec JobSpec) (*Job, error) {
+	var hdr http.Header
+	if spec.TraceID != "" {
+		if id, err := obs.ParseTraceID(spec.TraceID); err == nil {
+			hdr = http.Header{"Soft-Traceparent": []string{obs.FormatTraceparent(id)}}
+		}
+	}
 	var j Job
-	if err := c.do(ctx, http.MethodPost, apiPrefix+"/jobs", spec, &j); err != nil {
+	if err := c.doHeader(ctx, http.MethodPost, apiPrefix+"/jobs", hdr, spec, &j); err != nil {
 		return nil, err
 	}
 	return &j, nil
@@ -138,6 +159,30 @@ func (c *Client) Report(ctx context.Context, id string) ([]byte, error) {
 		return nil, fmt.Errorf("campaignd client: %w", err)
 	}
 	return data, nil
+}
+
+// Trace fetches a traced job's raw segment bundle (the journaled
+// obs.Bundle). Callers merge it into a local tracer (obs.MergeBundle)
+// or render it standalone (Bundle.WriteChromeJSON).
+func (c *Client) Trace(ctx context.Context, id string) (*obs.Bundle, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.BaseURL+apiPrefix+"/jobs/"+url.PathEscape(id)+"/trace?format=segments", nil)
+	if err != nil {
+		return nil, fmt.Errorf("campaignd client: %w", err)
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("campaignd client: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeError(resp)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("campaignd client: %w", err)
+	}
+	return obs.ParseBundle(data)
 }
 
 // Metrics fetches one job's derived timing metrics (queue wait, run

@@ -23,6 +23,8 @@ const apiPrefix = "/api/v1"
 //	GET    /api/v1/jobs/<id>/events SSE progress stream until terminal
 //	GET    /api/v1/jobs/<id>/report canonical report bytes (done jobs)
 //	GET    /api/v1/jobs/<id>/metrics per-job timing snapshot (JSON)
+//	GET    /api/v1/jobs/<id>/trace  merged Chrome trace JSON (traced jobs;
+//	                                ?format=segments for the raw bundle)
 //	GET    /api/v1/status           daemon counters
 //	GET    /metrics                 Prometheus text exposition
 //
@@ -64,6 +66,25 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 		if err := dec.Decode(&spec); err != nil {
 			httpError(w, http.StatusBadRequest, "bad job spec: %v", err)
 			return
+		}
+		// A traceparent-style header propagates the caller's trace
+		// context without touching the body; an explicit spec trace_id
+		// wins over it.
+		if spec.TraceID == "" {
+			for _, h := range []string{"Soft-Traceparent", "Traceparent"} {
+				v := r.Header.Get(h)
+				if v == "" {
+					continue
+				}
+				id, err := obs.ParseTraceparent(v)
+				if err != nil {
+					httpError(w, http.StatusBadRequest, "bad %s header: %v", h, err)
+					return
+				}
+				spec.TraceID = obs.FormatTraceID(id)
+				spec.Trace = true
+				break
+			}
 		}
 		j, err := s.Submit(spec)
 		if err != nil {
@@ -141,6 +162,36 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		w.Write(data)
+	case "trace":
+		data, ok, err := s.Trace(id)
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		if !ok {
+			j, known := s.Job(id)
+			switch {
+			case !known:
+				httpError(w, http.StatusNotFound, "no such job %q", id)
+			case !j.Spec.Trace:
+				httpError(w, http.StatusConflict, "job %s was not traced", id)
+			default:
+				httpError(w, http.StatusConflict,
+					"job %s is %s; its trace has not been journaled yet", id, j.State)
+			}
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if r.URL.Query().Get("format") == "segments" {
+			w.Write(data)
+			return
+		}
+		b, err := obs.ParseBundle(data)
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		b.WriteChromeJSON(w)
 	default:
 		httpError(w, http.StatusNotFound, "no such endpoint")
 	}

@@ -53,6 +53,17 @@ type JobSpec struct {
 	// CodeVersion overrides the cache-key code version for this job's
 	// store lookups; empty uses the daemon's version.
 	CodeVersion string `json:"code_version,omitempty"`
+
+	// Trace asks the daemon to collect a distributed trace for this job:
+	// coordinator spans plus every worker's shipped segments, journaled at
+	// job end and served by GET /api/v1/jobs/<id>/trace. Pure
+	// observability — a traced job's report is byte-identical to an
+	// untraced one.
+	Trace bool `json:"trace,omitempty"`
+	// TraceID is the job's 64-bit trace correlation id in hex (see
+	// obs.FormatTraceID). Empty with Trace set means the daemon mints
+	// one at submission so the journal pins it; setting it implies Trace.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // Job is one journaled campaign job: the durable record (spec, state,
@@ -106,7 +117,7 @@ type journal struct {
 }
 
 func openJournal(dir string) (*journal, error) {
-	for _, sub := range []string{"jobs", "reports"} {
+	for _, sub := range []string{"jobs", "reports", "traces"} {
 		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
 			return nil, fmt.Errorf("campaignd: %w", err)
 		}
@@ -120,6 +131,10 @@ func (jr *journal) jobPath(id string) string {
 
 func (jr *journal) reportPath(id string) string {
 	return filepath.Join(jr.dir, "reports", id+".report")
+}
+
+func (jr *journal) tracePath(id string) string {
+	return filepath.Join(jr.dir, "traces", id+".trace.json")
 }
 
 // putJob journals a job record atomically.
@@ -166,6 +181,25 @@ func (jr *journal) putReport(id string, data []byte) error {
 	return jr.writeAtomic(jr.reportPath(id), data)
 }
 
+// putTrace persists a traced job's drained segment bundle (JSON). Traces
+// are advisory: a failed write is logged, never fails the job.
+func (jr *journal) putTrace(id string, data []byte) error {
+	return jr.writeAtomic(jr.tracePath(id), data)
+}
+
+// trace loads a traced job's segment bundle; ok=false when absent (the
+// job was untraced, or has not drained yet).
+func (jr *journal) trace(id string) ([]byte, bool, error) {
+	data, err := os.ReadFile(jr.tracePath(id))
+	if os.IsNotExist(err) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("campaignd: %w", err)
+	}
+	return data, true, nil
+}
+
 // report loads a completed job's canonical report; ok=false when absent.
 func (jr *journal) report(id string) ([]byte, bool, error) {
 	data, err := os.ReadFile(jr.reportPath(id))
@@ -201,11 +235,12 @@ func (jr *journal) writeAtomic(path string, data []byte) error {
 	return nil
 }
 
-// remove deletes a job's journal record and report (retention pruning).
-// Missing files are fine — a cancelled or failed job has no report.
+// remove deletes a job's journal record, report, and trace (retention
+// pruning). Missing files are fine — a cancelled or failed job has no
+// report, an untraced job no trace.
 func (jr *journal) remove(id string) error {
 	var firstErr error
-	for _, path := range []string{jr.jobPath(id), jr.reportPath(id)} {
+	for _, path := range []string{jr.jobPath(id), jr.reportPath(id), jr.tracePath(id)} {
 		if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
 			if firstErr == nil {
 				firstErr = fmt.Errorf("campaignd: %w", err)

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"sync"
 	"time"
 
@@ -43,7 +44,13 @@ type Config struct {
 	// are pruned — journal record and report included — at startup and as
 	// jobs finish. Zero keeps everything. Live jobs are never pruned.
 	Retain int
-	// Log, when set, receives one line per service lifecycle event.
+	// Logger, when set, receives one structured line per service
+	// lifecycle event, each carrying job/tenant/state ids (and the trace
+	// id for traced jobs).
+	Logger *slog.Logger
+	// Log is the legacy plain-writer form: when Logger is nil and Log is
+	// set, lines render through the text slog handler onto Log. It is
+	// also what each job's sched layer logs to.
 	Log io.Writer
 }
 
@@ -81,6 +88,7 @@ type Status struct {
 type Server struct {
 	cfg Config
 	jr  *journal
+	log *slog.Logger
 
 	mu         sync.Mutex
 	cond       *sync.Cond
@@ -97,8 +105,17 @@ type Server struct {
 	running    int
 	closed     bool
 
-	wg    sync.WaitGroup
-	logMu sync.Mutex
+	wg sync.WaitGroup
+
+	// The shared job tracer: traced jobs refcount one process-global
+	// tracer (workers' segments arrive through the fleet merging into
+	// it), and each traced job drains it into its own journaled bundle at
+	// job end. When traced jobs overlap, spans buffered while both run
+	// attribute to whichever job drains first — an accepted imprecision
+	// for an advisory artifact.
+	traceMu  sync.Mutex
+	traceRef int
+	traceOwn bool // we installed the tracer (vs adopting a caller's)
 }
 
 // New opens (or resumes) a campaign service on cfg.Store: the journal is
@@ -121,8 +138,13 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	log := cfg.Logger
+	if log == nil {
+		log = obs.NewLogger(cfg.Log, obs.LogText) // nil Log → no-op logger
+	}
 	s := &Server{
 		cfg:        cfg,
+		log:        log.With("component", "campaignd"),
 		jr:         jr,
 		jobs:       map[string]*Job{},
 		queues:     map[string][]*Job{},
@@ -162,20 +184,58 @@ func New(cfg Config) (*Server, error) {
 		}
 	}
 	if len(replayed) > 0 {
-		s.logf("journal replayed: %d job(s), %d resumed from a dead coordinator", len(replayed), resumed)
+		s.log.Info("journal replayed", "jobs", len(replayed), "resumed", resumed)
 	}
 	s.syncGaugesLocked()
 	s.prune()
 	return s, nil
 }
 
-func (s *Server) logf(format string, args ...any) {
-	if s.cfg.Log == nil {
-		return
+// traceIDOf parses a job's journaled trace id for log fields and the
+// sched plumb-through; zero when untraced or malformed.
+func traceIDOf(j *Job) uint64 {
+	if j.Spec.TraceID == "" {
+		return 0
 	}
-	s.logMu.Lock()
-	defer s.logMu.Unlock()
-	fmt.Fprintf(s.cfg.Log, "campaignd: "+format+"\n", args...)
+	id, err := obs.ParseTraceID(j.Spec.TraceID)
+	if err != nil {
+		return 0
+	}
+	return id
+}
+
+// acquireTracer refcounts the shared job tracer: the first traced job
+// installs one (or adopts a tracer the embedding process already
+// installed, e.g. `soft campaignd -trace`) and names the local track;
+// later traced jobs share it.
+func (s *Server) acquireTracer() *obs.Tracer {
+	s.traceMu.Lock()
+	defer s.traceMu.Unlock()
+	if s.traceRef == 0 {
+		tr := obs.Active()
+		if tr == nil {
+			tr = obs.StartTracing()
+			s.traceOwn = true
+		} else {
+			s.traceOwn = false
+		}
+		tr.SetProcessName(obs.LocalPid, "campaignd")
+	}
+	s.traceRef++
+	return obs.Active()
+}
+
+// releaseTracer drops one traced job's reference; the last release stops
+// the tracer only if acquireTracer installed it.
+func (s *Server) releaseTracer() {
+	s.traceMu.Lock()
+	defer s.traceMu.Unlock()
+	s.traceRef--
+	if s.traceRef == 0 && s.traceOwn {
+		if tr := obs.Active(); tr != nil {
+			tr.Stop()
+		}
+	}
 }
 
 // registerLocked adds a job to the id index (any state).
@@ -276,6 +336,20 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 		}
 		seen["t:"+t] = true
 	}
+	// Normalize the trace request: a caller-supplied id implies tracing,
+	// and a traced job without an id gets one minted here so the journal
+	// pins it (a restarted coordinator resumes the same trace identity).
+	if spec.TraceID != "" {
+		id, err := obs.ParseTraceID(spec.TraceID)
+		if err != nil {
+			return nil, fmt.Errorf("campaignd: %w", err)
+		}
+		spec.TraceID = obs.FormatTraceID(id)
+		spec.Trace = true
+	}
+	if spec.Trace && spec.TraceID == "" {
+		spec.TraceID = obs.FormatTraceID(obs.NewTraceID())
+	}
 
 	s.mu.Lock()
 	if s.closed {
@@ -315,8 +389,10 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 	s.mu.Lock()
 	s.syncGaugesLocked()
 	s.mu.Unlock()
-	s.logf("job %s (tenant %s) submitted: %d agent(s) × %d test(s), crosscheck=%t",
-		j.ID, spec.Tenant, len(spec.Agents), len(spec.Tests), spec.CrossCheck)
+	s.log.Info("job submitted",
+		"job", j.ID, "tenant", spec.Tenant,
+		"agents", len(spec.Agents), "tests", len(spec.Tests),
+		"crosscheck", spec.CrossCheck, obs.TraceAttr(traceIDOf(j)))
 	s.cond.Broadcast()
 	return rec, nil
 }
@@ -367,6 +443,19 @@ func (s *Server) Report(id string) ([]byte, bool, error) {
 		return nil, false, fmt.Errorf("campaignd: job %s is done but its report is missing from the journal", id)
 	}
 	return data, true, nil
+}
+
+// Trace returns a traced job's journaled segment-bundle bytes (JSON, the
+// obs.Bundle schema); ok=false when the job is unknown, untraced, or has
+// not drained its trace yet (it drains once execution settles).
+func (s *Server) Trace(id string) ([]byte, bool, error) {
+	s.mu.Lock()
+	_, known := s.jobs[id]
+	s.mu.Unlock()
+	if !known {
+		return nil, false, nil
+	}
+	return s.jr.trace(id)
 }
 
 // Status snapshots daemon-level counters.
@@ -442,16 +531,15 @@ func (s *Server) schedule(ctx context.Context) {
 		// write fails the job still runs — replay would merely re-run it,
 		// and determinism makes that invisible.
 		if err := s.jr.putJob(rec); err != nil {
-			s.logf("journal: %v", err)
+			s.log.Error("journal write failed", "job", j.ID, "error", err)
 		}
-		s.logf("job %s (tenant %s) started", j.ID, j.Spec.Tenant)
+		s.log.Info("job started", "job", j.ID, "tenant", j.Spec.Tenant,
+			obs.TraceAttr(traceIDOf(j)))
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
 			defer jcancel()
-			sp := obs.StartSpan("job:" + j.ID)
 			s.execute(jctx, j)
-			sp.End()
 			s.mu.Lock()
 			delete(s.cancels, j.ID)
 			s.mu.Unlock()
@@ -467,7 +555,15 @@ func (s *Server) execute(ctx context.Context, j *Job) {
 	if cv == "" {
 		cv = s.cfg.CodeVersion
 	}
+	traceID := traceIDOf(j)
+	var tr *obs.Tracer
+	if spec.Trace {
+		tr = s.acquireTracer()
+		defer s.releaseTracer()
+	}
+	sp := obs.StartSpan("job:" + j.ID)
 	rep, err := sched.RunMatrix(ctx, spec.Agents, spec.Tests, sched.Options{
+		TraceID:       traceID,
 		MaxPaths:      spec.MaxPaths,
 		MaxDepth:      spec.MaxDepth,
 		Models:        spec.Models,
@@ -484,6 +580,14 @@ func (s *Server) execute(ctx context.Context, j *Job) {
 		Progress:      func(done, total int) { s.progress(j, done, total) },
 		Log:           s.cfg.Log,
 	})
+	sp.End()
+	if tr != nil {
+		// Drain after the job span ends so the bundle contains it, and
+		// before the terminal journal write so a done job's trace is
+		// immediately downloadable. The drain always runs — a failed or
+		// shutdown-aborted job keeps the segments its workers shipped.
+		s.journalTrace(j, tr, traceID)
+	}
 
 	// Every transition below yields to an already-journaled cancellation:
 	// once Cancel marked the job, no completion, failure, or requeue may
@@ -515,12 +619,15 @@ func (s *Server) execute(ctx context.Context, j *Job) {
 				j.Inconsistencies = rep.Inconsistencies()
 			})
 			if cancelled {
-				s.logf("job %s cancelled (completed result discarded)", j.ID)
+				s.log.Info("job cancelled (completed result discarded)",
+					"job", j.ID, obs.TraceAttr(traceID))
 				return
 			}
-			s.logf("job %s done: %d cells, %d checks, %d inconsistencies, %d/%d cache hits",
-				j.ID, len(rep.Cells), len(rep.Checks), rep.Inconsistencies(),
-				rep.CacheHits, rep.CacheHits+rep.CacheMisses)
+			s.log.Info("job done",
+				"job", j.ID, "cells", len(rep.Cells), "checks", len(rep.Checks),
+				"inconsistencies", rep.Inconsistencies(),
+				"cache_hits", rep.CacheHits, "cache_misses", rep.CacheMisses,
+				obs.TraceAttr(traceID))
 			return
 		}
 	}
@@ -537,9 +644,11 @@ func (s *Server) execute(ctx context.Context, j *Job) {
 			j.Done, j.Total = 0, 0
 		})
 		if cancelled {
-			s.logf("job %s cancelled (execution aborted)", j.ID)
+			s.log.Info("job cancelled (execution aborted)",
+				"job", j.ID, obs.TraceAttr(traceID))
 		} else {
-			s.logf("job %s requeued (shutdown)", j.ID)
+			s.log.Info("job requeued (shutdown)",
+				"job", j.ID, obs.TraceAttr(traceID))
 		}
 		return
 	}
@@ -552,10 +661,32 @@ func (s *Server) execute(ctx context.Context, j *Job) {
 		j.Error = msg
 	})
 	if cancelled {
-		s.logf("job %s cancelled (failure superseded)", j.ID)
+		s.log.Info("job cancelled (failure superseded)",
+			"job", j.ID, obs.TraceAttr(traceID))
 		return
 	}
-	s.logf("job %s failed: %s", j.ID, msg)
+	s.log.Error("job failed", "job", j.ID, "error", msg, obs.TraceAttr(traceID))
+}
+
+// journalTrace drains the shared tracer into this job's bundle and
+// journals it. Advisory: failures are logged, never fail the job.
+func (s *Server) journalTrace(j *Job, tr *obs.Tracer, traceID uint64) {
+	b := &obs.Bundle{Segments: tr.Drain()}
+	data, err := obs.EncodeBundle(b)
+	if err == nil {
+		err = s.jr.putTrace(j.ID, data)
+	}
+	if err != nil {
+		s.log.Error("trace journal write failed", "job", j.ID, "error", err,
+			obs.TraceAttr(traceID))
+		return
+	}
+	events := 0
+	for _, seg := range b.Segments {
+		events += len(seg.Events)
+	}
+	s.log.Info("trace journaled", "job", j.ID,
+		"segments", len(b.Segments), "events", events, obs.TraceAttr(traceID))
 }
 
 // finish applies a terminal (or requeue) transition under the lock,
@@ -591,7 +722,7 @@ func (s *Server) finish(j *Job, apply func(*Job)) {
 		mRunDuration.Observe((rec.FinishedUnix - rec.StartedUnix) * int64(time.Second))
 	}
 	if err := s.jr.putJob(rec); err != nil {
-		s.logf("journal: %v", err)
+		s.log.Error("journal write failed", "job", rec.ID, "error", err)
 	}
 	if rec.State.terminal() {
 		s.prune()
@@ -652,12 +783,13 @@ func (s *Server) Cancel(id string) (*Job, error) {
 	// Journal before interrupting the run: the cancelled mark must be
 	// durable before execution can observe the abort and race a restart.
 	if err := s.jr.putJob(rec); err != nil {
-		s.logf("journal: %v", err)
+		s.log.Error("journal write failed", "job", rec.ID, "error", err)
 	}
 	if cancelRun != nil {
 		cancelRun()
 	}
-	s.logf("job %s cancelled (was %s)", id, was)
+	s.log.Info("job cancelled", "job", id, "was", string(was),
+		obs.TraceAttr(traceIDOf(rec)))
 	if wasQueued {
 		// A running job's execute unwind prunes; a dequeued job settles here.
 		s.prune()
@@ -700,9 +832,9 @@ func (s *Server) prune() {
 	s.mu.Unlock()
 	for _, id := range victims {
 		if err := s.jr.remove(id); err != nil {
-			s.logf("retention: %v", err)
+			s.log.Error("retention prune failed", "job", id, "error", err)
 		} else {
-			s.logf("retention: pruned job %s", id)
+			s.log.Info("retention pruned job", "job", id)
 		}
 	}
 }

@@ -3,6 +3,7 @@ package dist
 import (
 	"context"
 	"io"
+	"log/slog"
 	"net"
 	"time"
 
@@ -69,9 +70,12 @@ type Config struct {
 	// (coordinator-local paths plus live shard progress). Counts are a
 	// monotone high-water mark.
 	Progress func(done int)
-	// Log, when set, receives one line per lifecycle event (worker
-	// connects, lease grants, re-leases, shard completions). Safe for any
-	// io.Writer; writes are serialized.
+	// Logger, when set, receives one structured line per lifecycle event
+	// (worker connects, lease grants, re-leases, shard completions), each
+	// carrying job/lease/worker/trace ids.
+	Logger *slog.Logger
+	// Log is the legacy plain-writer form: when Logger is nil and Log is
+	// set, lines render through the text slog handler onto Log.
 	Log io.Writer
 }
 
@@ -90,6 +94,7 @@ func Serve(ctx context.Context, ln net.Listener, cfg Config) (*harness.MergedRes
 	f := NewFleet(ln, FleetConfig{
 		LeaseTimeout: cfg.LeaseTimeout,
 		DrainTimeout: cfg.DrainTimeout,
+		Logger:       cfg.Logger,
 		Log:          cfg.Log,
 	})
 	defer f.Close()

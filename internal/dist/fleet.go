@@ -5,12 +5,14 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"sync"
 	"time"
 
 	"github.com/soft-testing/soft/internal/agents"
 	"github.com/soft-testing/soft/internal/harness"
+	"github.com/soft-testing/soft/internal/obs"
 )
 
 // FleetConfig parameterizes a persistent worker fleet.
@@ -23,9 +25,13 @@ type FleetConfig struct {
 	// stuck mid-read on a hung worker is cut off after this long
 	// (default 5s).
 	DrainTimeout time.Duration
-	// Log, when set, receives one line per lifecycle event (worker
-	// connects, job submissions, lease grants, re-leases, splits, shard
-	// completions). Writes are serialized.
+	// Logger, when set, receives one structured line per lifecycle event
+	// (worker connects, job submissions, lease grants, re-leases,
+	// splits, shard completions), every line carrying its job/lease/
+	// shard/worker/trace ids.
+	Logger *slog.Logger
+	// Log is the legacy plain-writer form: when Logger is nil and Log is
+	// set, lines render through the text slog handler onto Log.
 	Log io.Writer
 }
 
@@ -68,6 +74,7 @@ type FleetStats struct {
 type Fleet struct {
 	cfg FleetConfig
 	ln  net.Listener
+	log *slog.Logger
 
 	mu          sync.Mutex
 	cond        *sync.Cond
@@ -78,9 +85,14 @@ type Fleet struct {
 	waiting     int // handlers blocked waiting for a lease
 	closed      bool
 	stats       FleetStats
+	// pidByWorker assigns each worker name a stable trace pid (the
+	// coordinator itself is obs.LocalPid; workers get 2, 3, … in
+	// first-seen order) so merged Chrome traces keep one track per
+	// worker across reconnects.
+	pidByWorker map[string]int64
+	nextPid     int64
 
-	wg    sync.WaitGroup
-	logMu sync.Mutex
+	wg sync.WaitGroup
 }
 
 // NewFleet starts a coordinator that serves every Work process connecting
@@ -93,20 +105,36 @@ func NewFleet(ln net.Listener, cfg FleetConfig) *Fleet {
 	if cfg.DrainTimeout == 0 {
 		cfg.DrainTimeout = 5 * time.Second
 	}
-	f := &Fleet{cfg: cfg, ln: ln, conns: make(map[net.Conn]bool)}
+	log := cfg.Logger
+	if log == nil {
+		log = obs.NewLogger(cfg.Log, obs.LogText) // nil Log → no-op logger
+	}
+	f := &Fleet{
+		cfg:         cfg,
+		ln:          ln,
+		log:         log.With("component", "dist"),
+		conns:       make(map[net.Conn]bool),
+		pidByWorker: make(map[string]int64),
+		nextPid:     obs.LocalPid + 1,
+	}
 	f.cond = sync.NewCond(&f.mu)
 	go f.accept()
 	go f.watch()
 	return f
 }
 
-func (f *Fleet) logf(format string, args ...any) {
-	if f.cfg.Log == nil {
-		return
+// pidFor returns the stable trace pid for a worker name, assigning the
+// next one on first sight.
+func (f *Fleet) pidFor(worker string) int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if pid, ok := f.pidByWorker[worker]; ok {
+		return pid
 	}
-	f.logMu.Lock()
-	defer f.logMu.Unlock()
-	fmt.Fprintf(f.cfg.Log, "dist: "+format+"\n", args...)
+	pid := f.nextPid
+	f.nextPid++
+	f.pidByWorker[worker] = pid
+	return pid
 }
 
 // Stats returns a snapshot of the fleet's lifecycle counters.
@@ -197,6 +225,16 @@ func (f *Fleet) Run(ctx context.Context, cfg JobConfig) (*harness.MergedResult, 
 		return nil, err
 	}
 	j.localPaths = len(j.local.Paths)
+	mPathsDone.Add(int64(j.localPaths))
+
+	// Freeze the job's trace context at submission: traced jobs mark
+	// every lease so workers buffer and ship their spans back; the id is
+	// a pure correlation label for logs.
+	j.traced = obs.Tracing()
+	j.traceID = cfg.TraceID
+	if j.traceID == 0 && j.traced {
+		j.traceID = obs.NewTraceID()
+	}
 
 	f.mu.Lock()
 	if f.closed {
@@ -218,8 +256,10 @@ func (f *Fleet) Run(ctx context.Context, cfg JobConfig) (*harness.MergedResult, 
 	f.jobs = append(f.jobs, j)
 	f.mu.Unlock()
 	f.cond.Broadcast()
-	f.logf("job %d (%s / %s): %d local paths, %d shards (depth %d)",
-		j.id, cfg.AgentName, cfg.TestName, j.localPaths, len(prefixes), cfg.ShardDepth)
+	f.log.Info("job submitted",
+		"job", j.id, "agent", cfg.AgentName, "test", cfg.TestName,
+		"local_paths", j.localPaths, "shards", len(prefixes),
+		"shard_depth", cfg.ShardDepth, obs.TraceAttr(j.traceID))
 	f.reportProgress(j)
 
 	// Wake the wait loop when this job's context dies.
@@ -274,7 +314,9 @@ func (f *Fleet) Run(ctx context.Context, cfg JobConfig) (*harness.MergedResult, 
 	f.mu.Lock()
 	f.stats.JobsCompleted++
 	f.mu.Unlock()
-	f.logf("job %d merged: %d paths from %d shard payloads", j.id, len(merged.Paths), len(shards))
+	f.log.Info("job merged",
+		"job", j.id, "paths", len(merged.Paths), "shard_payloads", len(shards),
+		obs.TraceAttr(j.traceID))
 	return merged, nil
 }
 
@@ -392,7 +434,9 @@ func (f *Fleet) release(g *grant) {
 	mRequeues.Add(int64(requeued))
 	f.mu.Unlock()
 	if requeued > 0 {
-		f.logf("lease %d re-queued %d shard(s) (worker lost)", g.id, requeued)
+		f.log.Info("lease re-queued (worker lost)",
+			"job", g.job.id, "lease", g.id, "shards", requeued,
+			obs.TraceAttr(g.job.traceID))
 		f.cond.Broadcast()
 	}
 }
@@ -434,6 +478,7 @@ func (f *Fleet) completeShard(g *grant, idx int, result *harness.Shard) {
 		s.status = shardDone
 		s.result = result
 		j.donePaths += len(result.Paths)
+		mPathsDone.Add(int64(len(result.Paths)))
 		// The accepted result covers the whole subtree; pending split
 		// children are now redundant.
 		j.cancelSubtree(s)
@@ -444,9 +489,12 @@ func (f *Fleet) completeShard(g *grant, idx int, result *harness.Shard) {
 	}
 	f.mu.Unlock()
 	if accepted {
-		f.logf("lease %d: shard %d done (%d paths)", g.id, s.id, len(result.Paths))
+		f.log.Info("shard done",
+			"job", j.id, "lease", g.id, "shard", s.id, "paths", len(result.Paths),
+			obs.TraceAttr(j.traceID))
 	} else {
-		f.logf("lease %d: shard %d result dropped as redundant", g.id, s.id)
+		f.log.Info("shard result dropped as redundant",
+			"job", j.id, "lease", g.id, "shard", s.id, obs.TraceAttr(j.traceID))
 	}
 	f.reportProgress(j)
 	// Wake everyone: handlers waiting for a lease re-check the queues, and
@@ -513,6 +561,9 @@ func (f *Fleet) watch() {
 		}
 		now := time.Now()
 		requeued := 0
+		// Expired shards are logged per job so every line carries the
+		// owning job's ids rather than one anonymous fleet-wide count.
+		expiredByJob := make(map[*jobRun]int)
 		var splits []*shard
 		var splitJobs []*jobRun
 		for _, j := range f.jobs {
@@ -526,6 +577,7 @@ func (f *Fleet) watch() {
 					// still arrives first it wins as before.
 					j.pending = append(j.pending, s)
 					requeued++
+					expiredByJob[j]++
 					f.stats.Expirations++
 					mExpirations.Inc()
 					continue
@@ -549,7 +601,10 @@ func (f *Fleet) watch() {
 		}
 		f.mu.Unlock()
 		if requeued > 0 {
-			f.logf("re-leased %d expired shard(s)", requeued)
+			for j, n := range expiredByJob {
+				f.log.Info("re-queued expired shards",
+					"job", j.id, "shards", n, obs.TraceAttr(j.traceID))
+			}
 			f.cond.Broadcast()
 		}
 		for i, s := range splits {
@@ -582,6 +637,7 @@ func (f *Fleet) split(j *jobRun, s *shard) {
 	s.split = true
 	s.stub = sub.Shard()
 	j.donePaths += len(sub.Paths)
+	mPathsDone.Add(int64(len(sub.Paths)))
 	for _, p := range childPrefixes {
 		c := j.addShard(p) // registered pending
 		c.parent = s
@@ -601,8 +657,10 @@ func (f *Fleet) split(j *jobRun, s *shard) {
 		j.completed = true
 	}
 	f.mu.Unlock()
-	f.logf("job %d: split shard %d (prefix %s) into %d sub-shard(s) + %d stub path(s)",
-		j.id, s.id, fmtPrefix(s.prefix), len(childPrefixes), len(sub.Paths))
+	f.log.Info("shard split",
+		"job", j.id, "shard", s.id, "prefix", fmtPrefix(s.prefix),
+		"sub_shards", len(childPrefixes), "stub_paths", len(sub.Paths),
+		obs.TraceAttr(j.traceID))
 	f.reportProgress(j)
 	f.cond.Broadcast()
 }
@@ -610,23 +668,34 @@ func (f *Fleet) split(j *jobRun, s *shard) {
 // handle drives one worker connection through the protocol.
 func (f *Fleet) handle(conn net.Conn) {
 	var cur *grant
+	var curSpan obs.Span
+	welcomed := false
 	defer func() {
 		f.release(cur)
+		// A lease span left open by a dying worker still records what ran.
+		curSpan.End()
 		f.mu.Lock()
 		delete(f.conns, conn)
 		f.mu.Unlock()
 		conn.Close()
+		if welcomed {
+			mWorkersConnected.Dec()
+		}
 		f.wg.Done()
 	}()
 
+	remote := "?"
+	if ra := conn.RemoteAddr(); ra != nil {
+		remote = ra.String()
+	}
 	t, payload, err := readFrame(conn)
 	if err != nil || t != msgHello {
-		f.logf("worker rejected: bad hello (%v)", err)
+		f.log.Warn("worker rejected: bad hello", "remote", remote, "err", err)
 		return
 	}
 	h, err := decodeHello(payload)
 	if err != nil {
-		f.logf("worker rejected: bad hello (%v)", err)
+		f.log.Warn("worker rejected: bad hello", "remote", remote, "err", err)
 		return
 	}
 	if h.version != protocolVersion {
@@ -634,7 +703,9 @@ func (f *Fleet) handle(conn net.Conn) {
 		f.stats.WorkersRejected++
 		f.mu.Unlock()
 		mWorkersRejected.Inc()
-		f.logf("worker %q rejected: protocol version %d != %d", h.name, h.version, protocolVersion)
+		f.log.Warn("worker rejected: protocol version mismatch",
+			"worker", h.name, "remote", remote,
+			"worker_version", h.version, "want_version", uint64(protocolVersion))
 		writeFrame(conn, msgReject, encodeReject(reject{want: protocolVersion}))
 		return
 	}
@@ -645,7 +716,13 @@ func (f *Fleet) handle(conn net.Conn) {
 	f.stats.WorkersJoined++
 	f.mu.Unlock()
 	mWorkersJoined.Inc()
-	f.logf("worker %q connected", h.name)
+	mWorkersConnected.Inc()
+	welcomed = true
+	// The worker's trace pid is stable across its whole connection (and
+	// across reconnects under the same name): one track per worker in the
+	// merged timeline.
+	pid := f.pidFor(h.name)
+	f.log.Info("worker connected", "worker", h.name, "remote", remote, "trace_pid", pid)
 
 	sentJobs := make(map[uint64]bool)
 	for {
@@ -665,9 +742,23 @@ func (f *Fleet) handle(conn net.Conn) {
 		for i, s := range g.shards {
 			prefixes[i] = s.prefix
 		}
-		f.logf("lease %d -> %q (job %d, %d shard(s), first prefix %s)",
-			g.id, h.name, g.job.id, len(g.shards), fmtPrefix(prefixes[0]))
-		if err := writeFrame(conn, msgLease, encodeLease(lease{job: g.job.id, id: g.id, prefixes: prefixes})); err != nil {
+		// A traced lease opens a coordinator-side span (one lane per
+		// worker pid) whose id rides the lease frame; the worker's shipped
+		// segments nest under it in the merged trace.
+		var parentSpan uint64
+		traced := g.job.traced && obs.Tracing()
+		if traced {
+			curSpan = obs.StartSpan(fmt.Sprintf("lease:%d -> %s", g.id, h.name)).WithTID(int(pid))
+			parentSpan = curSpan.ID()
+		}
+		f.log.Info("lease granted",
+			"job", g.job.id, "lease", g.id, "worker", h.name,
+			"shards", len(g.shards), "prefix", fmtPrefix(prefixes[0]),
+			obs.TraceAttr(g.job.traceID))
+		if err := writeFrame(conn, msgLease, encodeLease(lease{
+			job: g.job.id, id: g.id, prefixes: prefixes,
+			traced: traced, traceID: g.job.traceID, parentSpan: parentSpan,
+		})); err != nil {
 			return
 		}
 		// Drain progress frames until every leased shard's result arrived —
@@ -686,7 +777,7 @@ func (f *Fleet) handle(conn net.Conn) {
 			case msgProgress:
 				p, err := decodeProgress(payload)
 				if err != nil {
-					f.logf("worker %q: %v", h.name, err)
+					f.log.Warn("bad progress frame", "worker", h.name, "err", err)
 					return
 				}
 				// Deltas describe worker-global solver activity, so they
@@ -695,28 +786,46 @@ func (f *Fleet) handle(conn net.Conn) {
 				if p.lease == g.id {
 					f.progress(g, int(p.done))
 				}
+			case msgTrace:
+				m, err := decodeTrace(payload)
+				if err != nil {
+					f.log.Warn("bad trace frame", "worker", h.name, "err", err)
+					return
+				}
+				// Merge even stale-lease segments: they describe real work
+				// this worker did, and merging is observation-only. With
+				// tracing stopped the segment is simply dropped.
+				if tr := obs.Active(); tr != nil {
+					tr.MergeSegment(m.seg, pid)
+				}
 			case msgResult:
 				r, err := decodeResult(payload, g.job.agent.CovMap())
 				if err != nil {
-					f.logf("worker %q: dropping lease result: %v", h.name, err)
+					f.log.Warn("dropping lease result", "worker", h.name,
+						"job", g.job.id, "lease", g.id, "err", err,
+						obs.TraceAttr(g.job.traceID))
 					return
 				}
 				if r.lease != g.id {
 					continue // stale result from a pre-re-lease run
 				}
 				if r.index >= uint64(len(g.shards)) || seen[r.index] {
-					f.logf("worker %q: lease %d: bad shard index %d", h.name, g.id, r.index)
+					f.log.Warn("bad shard index", "worker", h.name,
+						"job", g.job.id, "lease", g.id, "index", r.index,
+						obs.TraceAttr(g.job.traceID))
 					return
 				}
 				seen[r.index] = true
 				f.completeShard(g, int(r.index), r.shard)
 				remaining--
 			default:
-				f.logf("worker %q: unexpected frame type %d", h.name, t)
+				f.log.Warn("unexpected frame type", "worker", h.name, "type", uint64(t))
 				return
 			}
 		}
 		f.leaseFinished(g)
+		curSpan.End()
+		curSpan = obs.Span{}
 		cur = nil
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"github.com/soft-testing/soft/internal/agents/modified"
 	"github.com/soft-testing/soft/internal/agents/refswitch"
 	"github.com/soft-testing/soft/internal/harness"
+	"github.com/soft-testing/soft/internal/obs"
 )
 
 // newTestFleet stands up a fleet on a fresh localhost listener.
@@ -247,7 +248,7 @@ func TestFleetZeroShards(t *testing.T) {
 // original worker then finishes must be accepted AND pulled from the
 // queue, never re-leased as a phantom.
 func TestCompleteRemovesExpiredShardFromQueue(t *testing.T) {
-	f := &Fleet{conns: make(map[net.Conn]bool)}
+	f := &Fleet{conns: make(map[net.Conn]bool), log: obs.NopLogger()}
 	f.cond = sync.NewCond(&f.mu)
 	j := &jobRun{}
 	s := j.addShard([]bool{true, false})
@@ -312,5 +313,85 @@ func TestWorkerVersionReject(t *testing.T) {
 	err = Work(context.Background(), ln.Addr().String(), WorkerConfig{Name: "w"})
 	if !errors.Is(err, ErrVersionMismatch) {
 		t.Fatalf("Work error = %v, want ErrVersionMismatch", err)
+	}
+}
+
+// TestWorkerSegmentsNestUnderLeaseSpans drives worker-shipped span
+// segments through the wire encoding and the coordinator-side merge, and
+// asserts the invariants the merged timeline depends on: a worker name
+// maps to one stable pid for the fleet's lifetime, each worker's spans
+// land under that pid on the lease span's lane, and each parentless
+// worker span nests under exactly the coordinator lease span that granted
+// the work.
+func TestWorkerSegmentsNestUnderLeaseSpans(t *testing.T) {
+	tr := obs.StartTracing()
+	defer tr.Stop()
+	f, _ := newTestFleet(t, FleetConfig{})
+
+	pidA := f.pidFor("worker/a")
+	pidB := f.pidFor("worker/b")
+	if pidA == pidB {
+		t.Fatalf("distinct workers share pid %d", pidA)
+	}
+	if got := f.pidFor("worker/a"); got != pidA {
+		t.Fatalf("pid for worker/a drifted: %d then %d", pidA, got)
+	}
+	if pidA <= obs.LocalPid || pidB <= obs.LocalPid {
+		t.Fatalf("worker pids %d/%d collide with the coordinator's %d", pidA, pidB, obs.LocalPid)
+	}
+
+	// Coordinator-side lease spans, one lane per worker pid — as handle()
+	// opens them when granting a traced lease.
+	leaseA := obs.StartSpan("lease:1 -> worker/a").WithTID(int(pidA))
+	leaseB := obs.StartSpan("lease:2 -> worker/b").WithTID(int(pidB))
+
+	// Worker-side segments as Work ships them: stamped with the worker
+	// name and the granting lease's span id, sent over the real encoding.
+	ship := func(leaseID uint64, parent uint64, proc string, pid int64, span string) {
+		t.Helper()
+		m, err := decodeTrace(encodeTrace(traceMsg{job: 1, lease: leaseID, seg: obs.Segment{
+			Process:       proc,
+			BaseUnixMicro: time.Now().UnixMicro(),
+			Parent:        parent,
+			Events:        []obs.SegmentEvent{{Name: span, TS: 1, Dur: 2, ID: 1000 + uint64(pid)}},
+		}}))
+		if err != nil {
+			t.Fatalf("trace frame round trip: %v", err)
+		}
+		tr.MergeSegment(m.seg, pid)
+	}
+	ship(1, leaseA.ID(), "worker/a", pidA, "shard:00")
+	ship(2, leaseB.ID(), "worker/b", pidB, "shard:01")
+	leaseA.End()
+	leaseB.End()
+
+	segs := tr.Drain()
+	byPid := make(map[int64]obs.Segment, len(segs))
+	for _, seg := range segs {
+		byPid[seg.Pid] = seg
+	}
+	local, ok := byPid[obs.LocalPid]
+	if !ok || len(local.Events) != 2 {
+		t.Fatalf("coordinator segment missing or wrong size: %+v", segs)
+	}
+	leaseSpanByTID := make(map[int64]uint64)
+	for _, ev := range local.Events {
+		leaseSpanByTID[ev.TID] = ev.ID
+	}
+	if leaseSpanByTID[pidA] != leaseA.ID() || leaseSpanByTID[pidB] != leaseB.ID() {
+		t.Fatalf("lease spans not on their workers' lanes: %+v", local.Events)
+	}
+	for pid, wantParent := range map[int64]uint64{pidA: leaseA.ID(), pidB: leaseB.ID()} {
+		seg, ok := byPid[pid]
+		if !ok || len(seg.Events) != 1 {
+			t.Fatalf("worker pid %d segment missing: %+v", pid, segs)
+		}
+		if seg.Events[0].Parent != wantParent {
+			t.Fatalf("worker pid %d span nests under %d, want lease span %d",
+				pid, seg.Events[0].Parent, wantParent)
+		}
+	}
+	if byPid[pidA].Process != "worker/a" || byPid[pidB].Process != "worker/b" {
+		t.Fatalf("worker track names lost: %+v", segs)
 	}
 }

@@ -56,6 +56,11 @@ type JobConfig struct {
 	// monotone high-water mark and may slightly overcount during
 	// speculative splits (the count is advisory; results are exact).
 	Progress func(done int)
+
+	// TraceID is the campaign's correlation id, threaded through log
+	// lines and wire frames (pure observability). Zero with tracing
+	// active makes the fleet mint one per job.
+	TraceID uint64
 }
 
 // DefaultSplitAfter is how long a leased shard may run without completing
@@ -182,6 +187,11 @@ type jobRun struct {
 	pending   []*shard
 	nextShard uint64
 
+	// traced/traceID freeze the job's trace context at submission time
+	// (whether a tracer was active, and the correlation id).
+	traced  bool
+	traceID uint64
+
 	completed bool
 	failed    error
 	removed   bool // Run returned; no further callbacks may fire
@@ -208,6 +218,8 @@ func (j *jobRun) jobMsg() jobMsg {
 		incremental:   j.cfg.Incremental,
 		merge:         j.cfg.Merge,
 		canonicalCut:  !j.cfg.NoCanonicalCut,
+		traced:        j.traced,
+		traceID:       j.traceID,
 	}
 }
 

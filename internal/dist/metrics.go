@@ -18,6 +18,13 @@ var (
 	mExpirations     = obs.NewCounter("soft_fleet_expirations_total")
 	mSplits          = obs.NewCounter("soft_fleet_splits_total")
 	mStaleResults    = obs.NewCounter("soft_fleet_stale_results_total")
+	// mWorkersConnected tracks live worker connections (welcomed minus
+	// departed) for the `soft top` dashboard.
+	mWorkersConnected = obs.NewGauge("soft_fleet_workers_connected")
+	// mPathsDone counts paths banked into jobs (coordinator-local split
+	// paths, accepted shard results, split stubs): the numerator of the
+	// dashboard's paths/sec rate.
+	mPathsDone = obs.NewCounter("soft_fleet_paths_completed_total")
 	// mLeaseRTT is the grant-to-first-accepted-result round trip per shard.
 	mLeaseRTT = obs.NewHistogram("soft_fleet_lease_rtt_ns")
 
@@ -29,6 +36,11 @@ var (
 	mRemoteAssumption = obs.NewCounter("soft_fleet_remote_assumption_solves_total")
 	mRemoteReused     = obs.NewCounter("soft_fleet_remote_constraints_reused_total")
 )
+
+// LeaseRTTSnapshot snapshots the fleet lease round-trip histogram. It
+// exists so benchmarks can diff the histogram around a run without
+// re-registering the metric (each name must register exactly once).
+func LeaseRTTSnapshot() obs.HistogramSnapshot { return mLeaseRTT.Snapshot() }
 
 // workerMetrics is the fixed set of worker-local counters whose deltas ride
 // progress frames. Sampling reads the worker process's global SAT metrics —

@@ -38,6 +38,9 @@
 //	coord  → lease       {job id, lease id, decision prefixes}   (repeated;
 //	                      a lease may batch several small shards)
 //	worker → progress    {job id, lease id, paths completed}     (throttled)
+//	worker → trace       {job id, lease id, span segment}        (traced leases
+//	                      only; one frame per completed prefix, sent just
+//	                      before that prefix's result frame)
 //	worker → result      {job id, lease id, prefix index, shard payload}
 //	                      (one frame per prefix, sent as each completes)
 //	coord  → shutdown    {}                  (fleet shutting down)
@@ -60,6 +63,7 @@ import (
 
 	"github.com/soft-testing/soft/internal/coverage"
 	"github.com/soft-testing/soft/internal/harness"
+	"github.com/soft-testing/soft/internal/obs"
 	"github.com/soft-testing/soft/internal/solver"
 	"github.com/soft-testing/soft/internal/sym"
 )
@@ -72,8 +76,12 @@ import (
 // and the reject frame. Version 4 extended progress frames with
 // worker-local metric deltas (SAT solves, solve time, assumption solves,
 // constraint reuses) so the coordinator can aggregate fleet-wide solver
-// throughput live.
-const protocolVersion = 4
+// throughput live. Version 5 added distributed trace context: job and
+// lease frames carry a trace id (and the lease its coordinator-side
+// parent span id), and traced workers ship their buffered span segments
+// back on the new trace frame so the coordinator can merge one
+// cross-process timeline.
+const protocolVersion = 5
 
 // maxFrame bounds a frame (type byte + payload). It matches the results
 // reader's line buffer: anything bigger is a corrupt or hostile peer.
@@ -91,6 +99,7 @@ const (
 	msgShutdown msgType = 6 // coordinator → worker: fleet done, disconnect
 	msgReject   msgType = 7 // coordinator → worker: protocol version mismatch
 	msgJob      msgType = 8 // coordinator → worker: one job's configuration
+	msgTrace    msgType = 9 // worker → coordinator: buffered span segment (v5)
 )
 
 // writeFrame sends one frame. Callers serialize writes per connection.
@@ -328,6 +337,12 @@ type jobMsg struct {
 	incremental        bool
 	merge              bool
 	canonicalCut       bool
+
+	// traced marks the job as span-traced at submission; traceID is the
+	// campaign's correlation id, threaded through worker log lines. Both
+	// are pure observability (v5): they never reach the engine.
+	traced  bool
+	traceID uint64
 }
 
 func encodeJob(j jobMsg) []byte {
@@ -342,6 +357,8 @@ func encodeJob(j jobMsg) []byte {
 	e.boolean(j.incremental)
 	e.boolean(j.merge)
 	e.boolean(j.canonicalCut)
+	e.boolean(j.traced)
+	e.u64(j.traceID)
 	return e.b
 }
 
@@ -359,6 +376,8 @@ func decodeJob(p []byte) (jobMsg, error) {
 	j.incremental = d.boolean()
 	j.merge = d.boolean()
 	j.canonicalCut = d.boolean()
+	j.traced = d.boolean()
+	j.traceID = d.u64()
 	return j, d.done()
 }
 
@@ -370,12 +389,23 @@ type lease struct {
 	job      uint64
 	id       uint64
 	prefixes [][]bool
+
+	// Trace context (v5): traced asks the worker to buffer and ship its
+	// spans for this lease; parentSpan is the coordinator-side lease
+	// span's id, under which the worker's shipped segment nests in the
+	// merged timeline; traceID is the campaign correlation id.
+	traced     bool
+	traceID    uint64
+	parentSpan uint64
 }
 
 func encodeLease(l lease) []byte {
 	var e enc
 	e.u64(l.job)
 	e.u64(l.id)
+	e.boolean(l.traced)
+	e.u64(l.traceID)
+	e.u64(l.parentSpan)
 	e.u64(uint64(len(l.prefixes)))
 	for _, p := range l.prefixes {
 		e.bits(p)
@@ -386,6 +416,9 @@ func encodeLease(l lease) []byte {
 func decodeLease(p []byte) (lease, error) {
 	d := dec{b: p}
 	l := lease{job: d.u64(), id: d.u64()}
+	l.traced = d.boolean()
+	l.traceID = d.u64()
+	l.parentSpan = d.u64()
 	n := d.count("prefix", 1)
 	for i := 0; i < n && d.err == nil; i++ {
 		l.prefixes = append(l.prefixes, d.bits())
@@ -617,6 +650,67 @@ func (d *dec) expr(what string) *sym.Expr {
 		return nil
 	}
 	return x
+}
+
+// traceMsg ships one span segment — the worker's buffered spans since
+// its previous trace frame — back to the coordinator (v5). Segments are
+// drained and sent just before each prefix's result frame, so a worker
+// that dies mid-batch has already shipped the spans of everything it
+// completed. The payload is pure observability: the coordinator merges
+// it into the active tracer (or drops it when tracing stopped) and the
+// merge can never influence a result.
+type traceMsg struct {
+	job   uint64
+	lease uint64
+	seg   obs.Segment
+}
+
+func encodeTrace(m traceMsg) []byte {
+	var e enc
+	e.u64(m.job)
+	e.u64(m.lease)
+	e.segment(m.seg)
+	return e.b
+}
+
+func decodeTrace(p []byte) (traceMsg, error) {
+	d := dec{b: p}
+	m := traceMsg{job: d.u64(), lease: d.u64()}
+	m.seg = d.segment()
+	return m, d.done()
+}
+
+// segment flattens one obs span segment into the payload.
+func (e *enc) segment(s obs.Segment) {
+	e.str(s.Process)
+	e.i64(s.BaseUnixMicro)
+	e.u64(s.Parent)
+	e.u64(uint64(len(s.Events)))
+	for _, ev := range s.Events {
+		e.str(ev.Name)
+		e.i64(ev.TS)
+		e.i64(ev.Dur)
+		e.i64(ev.TID)
+		e.u64(ev.ID)
+		e.u64(ev.Parent)
+	}
+}
+
+// segment rebuilds one obs span segment.
+func (d *dec) segment() obs.Segment {
+	s := obs.Segment{Process: d.str(), BaseUnixMicro: d.i64(), Parent: d.u64()}
+	n := d.count("trace event", 6)
+	for i := 0; i < n && d.err == nil; i++ {
+		s.Events = append(s.Events, obs.SegmentEvent{
+			Name:   d.str(),
+			TS:     d.i64(),
+			Dur:    d.i64(),
+			TID:    d.i64(),
+			ID:     d.u64(),
+			Parent: d.u64(),
+		})
+	}
+	return s
 }
 
 // ErrVersionMismatch is returned by Work when the coordinator refuses this

@@ -8,6 +8,7 @@ import (
 
 	"github.com/soft-testing/soft/internal/coverage"
 	"github.com/soft-testing/soft/internal/harness"
+	"github.com/soft-testing/soft/internal/obs"
 	"github.com/soft-testing/soft/internal/solver"
 	"github.com/soft-testing/soft/internal/sym"
 )
@@ -62,11 +63,11 @@ func FuzzReadFrame(f *testing.F) {
 // FuzzLeaseRoundTrip covers the prefix-batch payload: job and lease ids
 // plus several bit-packed decision prefixes of every length and pattern.
 func FuzzLeaseRoundTrip(f *testing.F) {
-	f.Add(uint64(0), uint64(0), uint8(1), uint8(0), uint64(0))
-	f.Add(uint64(3), uint64(42), uint8(4), uint8(7), uint64(0b1010101))
-	f.Add(^uint64(0), ^uint64(0), uint8(17), uint8(66), ^uint64(0))
-	f.Fuzz(func(t *testing.T, job, id uint64, count, n uint8, pattern uint64) {
-		l := lease{job: job, id: id}
+	f.Add(uint64(0), uint64(0), uint8(1), uint8(0), uint64(0), false, uint64(0), uint64(0))
+	f.Add(uint64(3), uint64(42), uint8(4), uint8(7), uint64(0b1010101), true, uint64(0xfeed), uint64(12))
+	f.Add(^uint64(0), ^uint64(0), uint8(17), uint8(66), ^uint64(0), true, ^uint64(0), ^uint64(0))
+	f.Fuzz(func(t *testing.T, job, id uint64, count, n uint8, pattern uint64, traced bool, traceID, parentSpan uint64) {
+		l := lease{job: job, id: id, traced: traced, traceID: traceID, parentSpan: parentSpan}
 		for i := 0; i < int(count)%9; i++ {
 			l.prefixes = append(l.prefixes, bitsFromSeed(n+uint8(i), pattern^uint64(i)))
 		}
@@ -79,6 +80,9 @@ func FuzzLeaseRoundTrip(f *testing.F) {
 		}
 		if got.job != l.job || got.id != l.id || len(got.prefixes) != len(l.prefixes) {
 			t.Fatalf("lease mismatch: %+v vs %+v", got, l)
+		}
+		if got.traced != l.traced || got.traceID != l.traceID || got.parentSpan != l.parentSpan {
+			t.Fatalf("lease trace context mismatch: %+v vs %+v", got, l)
 		}
 		for p := range l.prefixes {
 			if len(got.prefixes[p]) != len(l.prefixes[p]) {
@@ -96,10 +100,10 @@ func FuzzLeaseRoundTrip(f *testing.F) {
 // FuzzHelloJobRoundTrip covers the handshake and job-announcement payloads
 // (plus the reject frame's version field).
 func FuzzHelloJobRoundTrip(f *testing.F) {
-	f.Add(uint64(1), "worker/1", uint64(0), "ref", "Packet Out", int64(100), int64(64), true, false, true)
-	f.Add(uint64(0), "", uint64(7), "", "", int64(0), int64(0), false, false, false)
-	f.Add(^uint64(0), "ünïcödé\nworker", ^uint64(0), "agent \"q\"", "test\ttab", int64(-5), int64(1<<40), true, true, true)
-	f.Fuzz(func(t *testing.T, version uint64, name string, jobID uint64, agent, test string, maxPaths, maxDepth int64, models, sharing, cut bool) {
+	f.Add(uint64(1), "worker/1", uint64(0), "ref", "Packet Out", int64(100), int64(64), true, false, true, false, uint64(0))
+	f.Add(uint64(0), "", uint64(7), "", "", int64(0), int64(0), false, false, false, true, uint64(0xdead))
+	f.Add(^uint64(0), "ünïcödé\nworker", ^uint64(0), "agent \"q\"", "test\ttab", int64(-5), int64(1<<40), true, true, true, true, ^uint64(0))
+	f.Fuzz(func(t *testing.T, version uint64, name string, jobID uint64, agent, test string, maxPaths, maxDepth int64, models, sharing, cut, traced bool, traceID uint64) {
 		h, err := decodeHello(encodeHello(hello{version: version, name: name}))
 		if err != nil {
 			t.Fatalf("decodeHello of own output: %v", err)
@@ -111,6 +115,7 @@ func FuzzHelloJobRoundTrip(f *testing.F) {
 			id: jobID, agent: agent, test: test,
 			maxPaths: int(maxPaths), maxDepth: int(maxDepth),
 			models: models, clauseSharing: sharing, canonicalCut: cut,
+			traced: traced, traceID: traceID,
 		}
 		gj, err := decodeJob(encodeJob(j))
 		if err != nil {
@@ -329,19 +334,65 @@ func FuzzDecodeResult(f *testing.F) {
 	})
 }
 
+// FuzzTraceRoundTrip covers the v5 span-segment payload: a worker's
+// buffered spans must survive encode → decode with every event field
+// intact, since the coordinator rebases timestamps off these values when
+// merging the cross-process timeline.
+func FuzzTraceRoundTrip(f *testing.F) {
+	f.Add(uint64(1), uint64(2), "worker/w1", int64(1700000000_000000), uint64(7), uint8(3), "shard", int64(10), int64(250), int64(4), uint64(100))
+	f.Add(uint64(0), uint64(0), "", int64(0), uint64(0), uint8(0), "", int64(0), int64(0), int64(0), uint64(0))
+	f.Add(^uint64(0), ^uint64(0), "pröc\n\"q\"", int64(-5), ^uint64(0), uint8(9), "span\twith\ttabs", int64(-1), int64(1<<50), int64(-9), ^uint64(0))
+	f.Fuzz(func(t *testing.T, job, leaseID uint64, process string, base int64, parent uint64, count uint8, name string, ts, dur, tid int64, id uint64) {
+		m := traceMsg{job: job, lease: leaseID, seg: obs.Segment{
+			Process: process, BaseUnixMicro: base, Parent: parent,
+		}}
+		for i := 0; i < int(count)%5; i++ {
+			k := int64(i)
+			m.seg.Events = append(m.seg.Events, obs.SegmentEvent{
+				Name: name, TS: ts + k, Dur: dur - k, TID: tid ^ k,
+				ID: id + uint64(i), Parent: parent ^ uint64(i),
+			})
+		}
+		got, err := decodeTrace(encodeTrace(m))
+		if err != nil {
+			t.Fatalf("decodeTrace of own output: %v", err)
+		}
+		if got.job != m.job || got.lease != m.lease {
+			t.Fatalf("trace ids (%d, %d), want (%d, %d)", got.job, got.lease, m.job, m.lease)
+		}
+		gs, ws := got.seg, m.seg
+		if gs.Process != ws.Process || gs.BaseUnixMicro != ws.BaseUnixMicro || gs.Parent != ws.Parent {
+			t.Fatalf("segment header mismatch: %+v vs %+v", gs, ws)
+		}
+		if len(gs.Events) != len(ws.Events) {
+			t.Fatalf("event count %d, want %d", len(gs.Events), len(ws.Events))
+		}
+		for i := range ws.Events {
+			if gs.Events[i] != ws.Events[i] {
+				t.Fatalf("event %d mismatch: %+v vs %+v", i, gs.Events[i], ws.Events[i])
+			}
+		}
+	})
+}
+
 // FuzzDecodeHelloLease throws arbitrary bytes at the small-message
 // decoders.
 func FuzzDecodeHelloLease(f *testing.F) {
 	f.Add([]byte{})
 	f.Add(encodeHello(hello{version: 1, name: "w"}))
-	f.Add(encodeLease(lease{job: 1, id: 9, prefixes: [][]bool{{true, false, true}, {false}}}))
-	f.Add(encodeJob(jobMsg{id: 3, agent: "ref", test: "Packet Out"}))
+	f.Add(encodeLease(lease{job: 1, id: 9, traced: true, traceID: 0xbeef, parentSpan: 4, prefixes: [][]bool{{true, false, true}, {false}}}))
+	f.Add(encodeJob(jobMsg{id: 3, agent: "ref", test: "Packet Out", traced: true, traceID: 0xfeed}))
+	f.Add(encodeTrace(traceMsg{job: 3, lease: 9, seg: obs.Segment{
+		Process: "worker/w1", BaseUnixMicro: 42, Parent: 7,
+		Events: []obs.SegmentEvent{{Name: "shard", TS: 1, Dur: 2, TID: 3, ID: 4, Parent: 7}},
+	}}))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		decodeHello(data)
 		decodeLease(data)
 		decodeJob(data)
 		decodeProgress(data)
 		decodeReject(data)
+		decodeTrace(data)
 	})
 }
 

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"os"
 	"sync"
@@ -11,6 +12,7 @@ import (
 
 	"github.com/soft-testing/soft/internal/agents"
 	"github.com/soft-testing/soft/internal/harness"
+	"github.com/soft-testing/soft/internal/obs"
 )
 
 // WorkerConfig parameterizes one worker process.
@@ -22,7 +24,11 @@ type WorkerConfig struct {
 	// leased subtree is itself explored with the in-process work-stealing
 	// frontier, so a distributed run parallelizes at two levels.
 	Workers int
-	// Log, when set, receives one line per job join and lease.
+	// Logger, when set, receives one structured line per job join and
+	// lease, each carrying worker/job/lease/trace ids.
+	Logger *slog.Logger
+	// Log is the legacy plain-writer form: when Logger is nil and Log is
+	// set, lines render through the text slog handler onto Log.
 	Log io.Writer
 }
 
@@ -92,12 +98,12 @@ func Work(ctx context.Context, addr string, cfg WorkerConfig) error {
 	default:
 		return protocolErr(fmt.Errorf("expected welcome, got frame type %d", t))
 	}
-	logf := func(format string, args ...any) {
-		if cfg.Log != nil {
-			fmt.Fprintf(cfg.Log, "dist: "+format+"\n", args...)
-		}
+	log := cfg.Logger
+	if log == nil {
+		log = obs.NewLogger(cfg.Log, obs.LogText) // nil Log → no-op logger
 	}
-	logf("worker %s: connected", cfg.Name)
+	log = log.With("component", "worker", "worker", cfg.Name)
+	log.Info("connected", "addr", addr)
 
 	// Frame writes interleave streamed progress (from engine worker
 	// goroutines, via the throttler) with results; serialize them.
@@ -119,7 +125,7 @@ func Work(ctx context.Context, addr string, cfg WorkerConfig) error {
 		}
 		switch t {
 		case msgShutdown:
-			logf("worker %s: fleet shut down", cfg.Name)
+			log.Info("fleet shut down")
 			return nil
 		case msgJob:
 			jm, err := decodeJob(payload)
@@ -135,7 +141,8 @@ func Work(ctx context.Context, addr string, cfg WorkerConfig) error {
 				return fmt.Errorf("dist: coordinator job needs unknown test %q", jm.test)
 			}
 			jobs[jm.id] = &workerJob{agent: agent, test: test, cfg: jm}
-			logf("worker %s: joined job %d (%s / %s)", cfg.Name, jm.id, jm.agent, jm.test)
+			log.Info("joined job", "job", jm.id, "agent", jm.agent, "test", jm.test,
+				obs.TraceAttr(jm.traceID))
 		case msgLease:
 			l, err := decodeLease(payload)
 			if err != nil {
@@ -146,10 +153,23 @@ func Work(ctx context.Context, addr string, cfg WorkerConfig) error {
 				return protocolErr(fmt.Errorf("lease for unannounced job %d", l.job))
 			}
 			start := time.Now()
+			// A traced lease turns on the worker-local tracer (kept for
+			// the connection's lifetime) and ships the buffered spans back
+			// as one segment per completed prefix. Draining first discards
+			// spans accumulated during untraced interludes so nothing
+			// nests under the wrong lease.
+			var tr *obs.Tracer
+			if l.traced {
+				if tr = obs.Active(); tr == nil {
+					tr = obs.StartTracing()
+				}
+				tr.Drain()
+			}
 			progress := throttledProgress(l.job, l.id, send)
 			total := 0
 			for i, prefix := range l.prefixes {
 				base := total
+				sp := obs.StartSpan("shard:" + fmtPrefix(prefix))
 				res := harness.ExploreContext(ctx, job.agent, job.test, harness.Options{
 					MaxPaths:      job.cfg.maxPaths,
 					MaxDepth:      job.cfg.maxDepth,
@@ -166,7 +186,21 @@ func Work(ctx context.Context, addr string, cfg WorkerConfig) error {
 					// Never ship a partial subtree; the coordinator re-leases.
 					return ctx.Err()
 				}
+				sp.End()
 				total += len(res.Paths)
+				// Ship the prefix's spans before its result: once the
+				// coordinator has banked the last result it stops reading
+				// this lease, and a worker killed mid-batch has then
+				// already delivered the spans of everything it finished.
+				if tr != nil {
+					for _, seg := range tr.Drain() {
+						seg.Process = cfg.Name
+						seg.Parent = l.parentSpan
+						if err := send(msgTrace, encodeTrace(traceMsg{job: l.job, lease: l.id, seg: seg})); err != nil {
+							return fmt.Errorf("dist: send trace: %w", err)
+						}
+					}
+				}
 				// One result frame per prefix, shipped as it completes:
 				// frames stay bounded by a single subtree however many
 				// shards the lease batched, and the coordinator banks the
@@ -177,8 +211,10 @@ func Work(ctx context.Context, addr string, cfg WorkerConfig) error {
 					return fmt.Errorf("dist: send result: %w", err)
 				}
 			}
-			logf("worker %s: lease %d done: %d shard(s), %d paths in %s",
-				cfg.Name, l.id, len(l.prefixes), total, time.Since(start).Round(time.Millisecond))
+			log.Info("lease done",
+				"job", l.job, "lease", l.id, "shards", len(l.prefixes),
+				"paths", total, "elapsed", time.Since(start).Round(time.Millisecond),
+				obs.TraceAttr(l.traceID))
 		default:
 			return protocolErr(fmt.Errorf("unexpected frame type %d from coordinator", t))
 		}

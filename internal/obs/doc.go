@@ -47,4 +47,45 @@
 //     path to preserve an observation would invert the priority.
 //
 // Any new instrumentation must preserve all three properties.
+//
+// # Cross-process traces
+//
+// One traced campaign yields one timeline even when the work spans a
+// coordinator, fleet workers, and the campaign daemon. The unit of
+// exchange is the Segment: one process's buffered spans plus the
+// wall-clock base (BaseUnixMicro) that lets a receiver rebase them, the
+// originating process's name, and an optional Parent span id. Drain
+// empties a tracer into segments (local spans first); MergeSegment
+// rebases a foreign segment onto the receiving tracer's clock, assigns
+// it a fresh pid (one track per remote process in the rendered trace),
+// and re-parents its parentless spans under Segment.Parent — the
+// coordinator lease span that granted the work — while spans with
+// explicit in-segment parents keep them. Bundle is just a set of
+// segments (the campaignd trace download); MergeBundle merges each onto
+// its own track.
+//
+// Trace identity crosses process boundaries as a 64-bit id: hex
+// (FormatTraceID) in log fields and job specs, traceparent-style
+// (FormatTraceparent, the Soft-Traceparent header) over HTTP, and a raw
+// uint64 on the dist wire. Propagation is always context + ship-back:
+// the caller sends the id (and parent span) down with the work, the
+// callee traces locally and ships segments up, the caller merges. No
+// process ever blocks on another's trace state.
+//
+// # Structured-logging conventions
+//
+// Long-running commands log through log/slog (NewLogger: text or JSON
+// handler). Field names are shared across processes so one grep
+// reassembles a distributed run:
+//
+//   - component: the emitting subsystem ("dist", "campaignd")
+//   - job, lease, shard: the dist work-unit ids, outermost first
+//   - worker: the worker's self-reported name
+//   - tenant, state: campaign-service job lifecycle fields
+//   - trace: the hex trace id (TraceAttr; omitted when untraced)
+//
+// Lines are emitted at Info for lifecycle transitions (lease granted,
+// shard done, job done) and Debug for per-frame chatter; logging obeys
+// the same invariant as everything else here — it observes, it never
+// steers.
 package obs

@@ -66,6 +66,7 @@ func (k metricKind) String() string {
 type metric struct {
 	name string
 	kind metricKind
+	regs int // lookupOrCreate calls for this name (lint: should be 1)
 	ctr  *Counter
 	gau  *Gauge
 	hist *Histogram
@@ -122,9 +123,11 @@ func (r *Registry) lookupOrCreate(name string, kind metricKind, make func() *met
 		if m.kind != kind {
 			panic("obs: metric " + name + " re-registered as " + kind.String() + ", was " + m.kind.String())
 		}
+		m.regs++
 		return m
 	}
 	m := make()
+	m.regs = 1
 	sh.metrics[name] = m
 	return m
 }
@@ -166,6 +169,31 @@ func (r *Registry) snapshot() []*metric {
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i].name < all[j].name })
 	return all
+}
+
+// Names returns every registered metric name, sorted. It exists for the
+// metrics-name lint: instrumented packages register under init, so a
+// test that imports them and walks Names sees the full inventory.
+func (r *Registry) Names() []string {
+	ms := r.snapshot()
+	names := make([]string, len(ms))
+	for i, m := range ms {
+		names[i] = m.name
+	}
+	return names
+}
+
+// Registrations returns how many times each name was registered. Every
+// metric is meant to be created exactly once, in a package-level var
+// block; a count above one means two call sites race for the same name
+// (the second silently shares the first's handle) and the lint test
+// flags it.
+func (r *Registry) Registrations() map[string]int {
+	out := make(map[string]int)
+	for _, m := range r.snapshot() {
+		out[m.name] = m.regs
+	}
+	return out
 }
 
 // NewCounter registers (or fetches) a counter in the Default registry.

@@ -194,3 +194,166 @@ func TestTracerBufferBound(t *testing.T) {
 		t.Fatalf("dropped = %d, want 3", d)
 	}
 }
+
+// TestDrainGroupsByPid: drained segments come back grouped per pid with
+// process names attached, and the tracer keeps collecting afterwards.
+func TestDrainGroupsByPid(t *testing.T) {
+	tr := StartTracing()
+	defer tr.Stop()
+	tr.SetProcessName(LocalPid, "coordinator")
+	sp := StartSpan("job:1")
+	sp.End()
+	tr.MergeSegment(Segment{
+		Process:       "worker/a",
+		BaseUnixMicro: tr.baseMicro,
+		Events:        []SegmentEvent{{Name: "shard:x", TS: 5, Dur: 2, ID: 9}},
+	}, LocalPid+1)
+
+	segs := tr.Drain()
+	if len(segs) != 2 {
+		t.Fatalf("got %d segments, want 2", len(segs))
+	}
+	if segs[0].Pid != LocalPid || segs[0].Process != "coordinator" {
+		t.Fatalf("local segment first, got %+v", segs[0])
+	}
+	if segs[1].Pid != LocalPid+1 || segs[1].Process != "worker/a" || len(segs[1].Events) != 1 {
+		t.Fatalf("unexpected worker segment %+v", segs[1])
+	}
+	if got := tr.Drain(); len(got) != 0 {
+		t.Fatalf("second drain returned %d segments, want 0", len(got))
+	}
+	StartSpan("after-drain").End()
+	if got := tr.Drain(); len(got) != 1 {
+		t.Fatalf("tracer stopped collecting after drain: %d segments", len(got))
+	}
+}
+
+// TestMergeSegmentNesting: parentless events inherit the segment's parent
+// (the coordinator lease span), events with explicit parents keep them,
+// and timestamps rebase via the two wall-clock bases.
+func TestMergeSegmentNesting(t *testing.T) {
+	tr := StartTracing()
+	defer tr.Stop()
+	const leaseSpan = 77
+	tr.MergeSegment(Segment{
+		Process:       "worker/a",
+		BaseUnixMicro: tr.baseMicro + 1000, // worker tracer started 1ms later
+		Parent:        leaseSpan,
+		Events: []SegmentEvent{
+			{Name: "shard:0", TS: 10, Dur: 3, ID: 5},
+			{Name: "solve", TS: 11, Dur: 1, ID: 6, Parent: 5},
+		},
+	}, LocalPid+1)
+	if len(tr.events) != 2 {
+		t.Fatalf("merged %d events, want 2", len(tr.events))
+	}
+	root, child := tr.events[0], tr.events[1]
+	if root.parent != leaseSpan {
+		t.Fatalf("parentless event's parent = %d, want lease span %d", root.parent, leaseSpan)
+	}
+	if child.parent != 5 {
+		t.Fatalf("explicit parent overwritten: %d, want 5", child.parent)
+	}
+	if root.ts != 1010 {
+		t.Fatalf("rebased ts = %d, want 1010", root.ts)
+	}
+	if root.pid != LocalPid+1 || child.pid != LocalPid+1 {
+		t.Fatalf("merged events carry pids %d/%d, want %d", root.pid, child.pid, LocalPid+1)
+	}
+}
+
+// TestMergeBundleAssignsPids: each bundle segment gets the next free pid
+// so two downloads never collide tracks.
+func TestMergeBundleAssignsPids(t *testing.T) {
+	tr := StartTracing()
+	defer tr.Stop()
+	b := &Bundle{Segments: []Segment{
+		{Process: "campaignd", BaseUnixMicro: tr.baseMicro, Events: []SegmentEvent{{Name: "job:j1"}}},
+		{Process: "worker/a", BaseUnixMicro: tr.baseMicro, Events: []SegmentEvent{{Name: "shard:0"}}},
+	}}
+	tr.MergeBundle(b)
+	if len(tr.events) != 2 {
+		t.Fatalf("merged %d events, want 2", len(tr.events))
+	}
+	if tr.events[0].pid == tr.events[1].pid {
+		t.Fatalf("bundle segments share pid %d", tr.events[0].pid)
+	}
+	for _, ev := range tr.events {
+		if ev.pid <= LocalPid {
+			t.Fatalf("bundle segment landed on local pid %d", ev.pid)
+		}
+	}
+}
+
+// TestBundleJSONRoundTrip: encode → parse → Chrome JSON stays one valid
+// trace with every segment's events present.
+func TestBundleJSONRoundTrip(t *testing.T) {
+	in := &Bundle{Segments: []Segment{
+		{Process: "coordinator", Pid: 1, BaseUnixMicro: 100, Events: []SegmentEvent{{Name: "lease:1", ID: 3}}},
+		{Process: "worker/a", Pid: 2, BaseUnixMicro: 150, Parent: 3, Events: []SegmentEvent{{Name: "shard:0", TS: 1, Dur: 2}}},
+	}}
+	data, err := EncodeBundle(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ParseBundle(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Segments) != 2 || out.Segments[1].Parent != 3 {
+		t.Fatalf("round trip lost fields: %+v", out)
+	}
+	var buf bytes.Buffer
+	if err := out.WriteChromeJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("chrome JSON invalid: %v\n%s", err, buf.String())
+	}
+	var spans, meta int
+	for _, ev := range parsed.TraceEvents {
+		switch ev.Ph {
+		case "X":
+			spans++
+		case "M":
+			meta++
+		default:
+			t.Fatalf("unexpected phase %q", ev.Ph)
+		}
+	}
+	if spans != 2 || meta != 2 {
+		t.Fatalf("got %d spans and %d metadata events, want 2 and 2", spans, meta)
+	}
+}
+
+// TestTraceIDFormats pins the id and traceparent round trips.
+func TestTraceIDFormats(t *testing.T) {
+	id := NewTraceID()
+	if id == 0 {
+		t.Fatal("NewTraceID returned zero")
+	}
+	got, err := ParseTraceID(FormatTraceID(id))
+	if err != nil || got != id {
+		t.Fatalf("trace id round trip: got %x, %v; want %x", got, err, id)
+	}
+	got, err = ParseTraceparent(FormatTraceparent(id))
+	if err != nil || got != id {
+		t.Fatalf("traceparent round trip: got %x, %v; want %x", got, err, id)
+	}
+	if _, err := ParseTraceID("not hex"); err == nil {
+		t.Fatal("ParseTraceID accepted garbage")
+	}
+	if _, err := ParseTraceparent(""); err == nil {
+		t.Fatal("ParseTraceparent accepted empty value")
+	}
+	// A bare hex id is accepted where a header value is expected.
+	if got, err := ParseTraceparent(FormatTraceID(id)); err != nil || got != id {
+		t.Fatalf("bare hex traceparent: got %x, %v", got, err)
+	}
+}

@@ -68,6 +68,12 @@ type Options struct {
 	Progress func(done, total int)
 	// Log, when set, receives one line per cell and check.
 	Log io.Writer
+
+	// TraceID is the campaign's trace correlation id, forwarded to every
+	// fleet job so coordinator, worker, and daemon log lines (and the
+	// merged span timeline) share one id. Zero means untraced (fleet jobs
+	// mint their own when a tracer is active). Pure observability.
+	TraceID uint64
 }
 
 // Cell is one (agent, test) entry of the campaign matrix.
@@ -301,6 +307,7 @@ func RunMatrix(ctx context.Context, agentNames, testNames []string, o Options) (
 				WantModels: o.Models, ClauseSharing: o.ClauseSharing,
 				Incremental: o.Incremental, Merge: o.Merge,
 				ShardDepth: o.ShardDepth, Adaptive: o.Adaptive, SplitAfter: o.SplitAfter,
+				TraceID: o.TraceID,
 			})
 			if err != nil {
 				fail(err)

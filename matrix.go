@@ -121,6 +121,7 @@ func RunMatrix(ctx context.Context, agents, tests []string, opts ...Option) (*Ma
 	if cfg.fleetLn != nil {
 		fleet := dist.NewFleet(cfg.fleetLn, dist.FleetConfig{
 			LeaseTimeout: cfg.leaseTimeout,
+			Logger:       cfg.logger,
 			Log:          cfg.log,
 		})
 		defer fleet.Close()

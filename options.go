@@ -2,6 +2,7 @@ package soft
 
 import (
 	"io"
+	"log/slog"
 	"net"
 	"time"
 
@@ -34,6 +35,7 @@ type config struct {
 	adaptiveShards  bool
 	leaseTimeout    time.Duration
 	log             io.Writer
+	logger          *slog.Logger
 	workerName      string
 
 	storeDir     string
@@ -226,8 +228,18 @@ func WithLeaseTimeout(d time.Duration) Option {
 }
 
 // WithLog streams distributed lifecycle lines (worker connects, lease
-// grants, re-leases, shard completions) from Serve and Work to w.
+// grants, re-leases, shard completions) from Serve and Work to w. Lines
+// render through the structured text handler; WithLogger chooses the
+// handler (JSON output, level filtering) explicitly and wins over
+// WithLog when both are set.
 func WithLog(w io.Writer) Option { return func(c *config) { c.log = w } }
+
+// WithLogger routes distributed lifecycle logging (Serve, Work, and
+// RunMatrix fleets) through an explicit slog.Logger. Every line carries
+// the job/lease/shard/worker ids as attributes, plus the trace id when
+// the run is traced — the cross-process correlation key. Build a handler
+// with obs.NewLogger (text or JSON) or bring any slog backend.
+func WithLogger(l *slog.Logger) Option { return func(c *config) { c.logger = l } }
 
 // WithWorkerName labels a Work process in coordinator logs (default
 // "hostname/pid").
